@@ -1,0 +1,200 @@
+//! Sensor-array geometries and geometric delays.
+//!
+//! The delay of sensor `k` for a far-field plane wave arriving from angle
+//! `θ` is `τ_k = d_k sin θ / c` (Eq. 2 of the paper), with `d_k` the sensor
+//! position along the array axis and `c` the propagation speed of the
+//! medium (the speed of light for radio waves, the speed of sound for
+//! acoustic waves).  Near-field (spherical-wavefront) delays are also
+//! provided, as the ultrasound application images sources centimetres from
+//! the probe.
+
+use serde::{Deserialize, Serialize};
+
+/// Speed of light in vacuum, m/s.
+pub const SPEED_OF_LIGHT: f64 = 299_792_458.0;
+/// Speed of sound in water, m/s (ultrasound coupling medium).
+pub const SPEED_OF_SOUND_WATER: f64 = 1480.0;
+/// Speed of sound in soft tissue, m/s (the usual ultrasound assumption).
+pub const SPEED_OF_SOUND_TISSUE: f64 = 1540.0;
+
+/// Positions of the sensors of an array, in metres.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ArrayGeometry {
+    /// Sensor positions as (x, y, z) triples.
+    positions: Vec<[f64; 3]>,
+    /// Propagation speed of the medium in m/s.
+    wave_speed: f64,
+}
+
+impl ArrayGeometry {
+    /// Creates a geometry from explicit positions.
+    pub fn new(positions: Vec<[f64; 3]>, wave_speed: f64) -> Self {
+        assert!(wave_speed > 0.0, "wave speed must be positive");
+        assert!(!positions.is_empty(), "an array needs at least one sensor");
+        ArrayGeometry { positions, wave_speed }
+    }
+
+    /// A uniform linear array of `n` sensors spaced `spacing` metres apart
+    /// along the x axis, centred on the origin.
+    pub fn uniform_linear(n: usize, spacing: f64, wave_speed: f64) -> Self {
+        assert!(n > 0);
+        let centre = (n as f64 - 1.0) / 2.0;
+        let positions = (0..n)
+            .map(|k| [(k as f64 - centre) * spacing, 0.0, 0.0])
+            .collect();
+        ArrayGeometry::new(positions, wave_speed)
+    }
+
+    /// A uniform planar (rectangular) array of `nx × ny` sensors in the
+    /// z = 0 plane.
+    pub fn uniform_planar(nx: usize, ny: usize, spacing: f64, wave_speed: f64) -> Self {
+        assert!(nx > 0 && ny > 0);
+        let cx = (nx as f64 - 1.0) / 2.0;
+        let cy = (ny as f64 - 1.0) / 2.0;
+        let mut positions = Vec::with_capacity(nx * ny);
+        for iy in 0..ny {
+            for ix in 0..nx {
+                positions.push([(ix as f64 - cx) * spacing, (iy as f64 - cy) * spacing, 0.0]);
+            }
+        }
+        ArrayGeometry::new(positions, wave_speed)
+    }
+
+    /// Number of sensors (the `K` of the GEMM mapping).
+    pub fn num_sensors(&self) -> usize {
+        self.positions.len()
+    }
+
+    /// Sensor positions.
+    pub fn positions(&self) -> &[[f64; 3]] {
+        &self.positions
+    }
+
+    /// Propagation speed in the medium.
+    pub fn wave_speed(&self) -> f64 {
+        self.wave_speed
+    }
+
+    /// Far-field delay of every sensor for a plane wave arriving from
+    /// `azimuth` (radians, measured from broadside in the x–z plane):
+    /// `τ_k = x_k sin θ / c` (Eq. 2).
+    pub fn far_field_delays(&self, azimuth: f64) -> Vec<f64> {
+        self.positions
+            .iter()
+            .map(|p| p[0] * azimuth.sin() / self.wave_speed)
+            .collect()
+    }
+
+    /// Near-field delays for a point source at `source` (metres): the
+    /// propagation time from the source to each sensor, relative to the
+    /// propagation time to the array origin.
+    pub fn near_field_delays(&self, source: [f64; 3]) -> Vec<f64> {
+        let origin_distance =
+            (source[0] * source[0] + source[1] * source[1] + source[2] * source[2]).sqrt();
+        self.positions
+            .iter()
+            .map(|p| {
+                let dx = source[0] - p[0];
+                let dy = source[1] - p[1];
+                let dz = source[2] - p[2];
+                let d = (dx * dx + dy * dy + dz * dz).sqrt();
+                (d - origin_distance) / self.wave_speed
+            })
+            .collect()
+    }
+
+    /// Aperture of the array: largest pairwise sensor distance, in metres.
+    pub fn aperture(&self) -> f64 {
+        let mut max = 0.0f64;
+        for (i, a) in self.positions.iter().enumerate() {
+            for b in &self.positions[i + 1..] {
+                let d = ((a[0] - b[0]).powi(2) + (a[1] - b[1]).powi(2) + (a[2] - b[2]).powi(2))
+                    .sqrt();
+                max = max.max(d);
+            }
+        }
+        max
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn linear_array_is_centred_and_spaced() {
+        let array = ArrayGeometry::uniform_linear(5, 0.5, SPEED_OF_LIGHT);
+        assert_eq!(array.num_sensors(), 5);
+        assert_eq!(array.positions()[2], [0.0, 0.0, 0.0]);
+        assert_eq!(array.positions()[0][0], -1.0);
+        assert_eq!(array.positions()[4][0], 1.0);
+        assert!((array.aperture() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn planar_array_size() {
+        let array = ArrayGeometry::uniform_planar(8, 8, 0.001, SPEED_OF_SOUND_TISSUE);
+        assert_eq!(array.num_sensors(), 64);
+        // Centred: the mean position is the origin.
+        let mean_x: f64 =
+            array.positions().iter().map(|p| p[0]).sum::<f64>() / array.num_sensors() as f64;
+        assert!(mean_x.abs() < 1e-12);
+    }
+
+    #[test]
+    fn broadside_plane_wave_has_zero_delays() {
+        let array = ArrayGeometry::uniform_linear(16, 1.0, SPEED_OF_LIGHT);
+        let delays = array.far_field_delays(0.0);
+        assert!(delays.iter().all(|&d| d.abs() < 1e-18));
+    }
+
+    #[test]
+    fn endfire_delays_match_hand_computation() {
+        // θ = 90°: τ_k = x_k / c.
+        let array = ArrayGeometry::uniform_linear(3, 30.0, SPEED_OF_LIGHT);
+        let delays = array.far_field_delays(std::f64::consts::FRAC_PI_2);
+        assert!((delays[0] - (-30.0 / SPEED_OF_LIGHT)).abs() < 1e-15);
+        assert!((delays[2] - (30.0 / SPEED_OF_LIGHT)).abs() < 1e-15);
+    }
+
+    #[test]
+    fn near_field_delays_relative_to_origin() {
+        let array = ArrayGeometry::uniform_linear(3, 0.01, SPEED_OF_SOUND_TISSUE);
+        // A source on the z axis is equidistant from symmetric sensors.
+        let delays = array.near_field_delays([0.0, 0.0, 0.05]);
+        assert!((delays[0] - delays[2]).abs() < 1e-15);
+        // The centre sensor is at the origin, so its relative delay is zero.
+        assert!(delays[1].abs() < 1e-15);
+        // Off-axis sensors are farther away, so their delays are positive.
+        assert!(delays[0] > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "wave speed must be positive")]
+    fn invalid_wave_speed_panics() {
+        ArrayGeometry::new(vec![[0.0; 3]], 0.0);
+    }
+
+    proptest! {
+        #[test]
+        fn delays_are_bounded_by_aperture(n in 2usize..32, spacing in 1e-3f64..1.0, angle in -1.5f64..1.5) {
+            let array = ArrayGeometry::uniform_linear(n, spacing, SPEED_OF_LIGHT);
+            let delays = array.far_field_delays(angle);
+            let bound = array.aperture() / SPEED_OF_LIGHT;
+            for d in delays {
+                prop_assert!(d.abs() <= bound + 1e-18);
+            }
+        }
+
+        #[test]
+        fn far_field_delay_is_antisymmetric_in_angle(angle in -1.5f64..1.5) {
+            let array = ArrayGeometry::uniform_linear(9, 0.1, SPEED_OF_SOUND_WATER);
+            let pos = array.far_field_delays(angle);
+            let neg = array.far_field_delays(-angle);
+            for (a, b) in pos.iter().zip(&neg) {
+                prop_assert!((a + b).abs() < 1e-15);
+            }
+        }
+    }
+}

@@ -1,0 +1,31 @@
+//! Domain-independent beamforming on top of ccglib.
+//!
+//! Section II of the paper: an array of `K` sensors receives a plane wave
+//! from direction `θ`; each sensor sees the signal delayed by
+//! `τ_k = d_k · sin θ / c`.  Beamforming multiplies the sensor samples by
+//! complex weights that undo those delays and sums over sensors, which —
+//! when many beams are formed from the same samples and the weights are
+//! constant over a block of samples — is exactly a matrix-matrix
+//! multiplication with `M` = beams, `N` = time samples, `K` = receivers.
+//!
+//! This crate supplies the domain-independent pieces both applications
+//! (ultrasound and radio astronomy) share:
+//!
+//! * [`geometry`] — sensor array geometries and propagation delays;
+//! * [`signal`] — synthetic plane-wave signal generation with noise;
+//! * [`weights`] — steering-weight computation (Eq. 3) and weight
+//!   matrices for many beams;
+//! * [`beamformer`] — the mapping onto the ccglib GEMM, a direct
+//!   delay-and-sum reference implementation, beam patterns and SNR gain.
+
+#![deny(missing_docs)]
+
+pub mod beamformer;
+pub mod geometry;
+pub mod signal;
+pub mod weights;
+
+pub use beamformer::{BeamformOutput, Beamformer, BeamformerConfig};
+pub use geometry::{ArrayGeometry, SPEED_OF_LIGHT, SPEED_OF_SOUND_TISSUE, SPEED_OF_SOUND_WATER};
+pub use signal::{PlaneWaveSource, SignalGenerator};
+pub use weights::{steering_vector, WeightMatrix};

@@ -1,0 +1,201 @@
+//! Beamforming weight computation.
+//!
+//! The beamformed output is `y(t) = Σ_k w_k x_k(t)` (Eq. 3); the weights
+//! `w_k` are unit-magnitude phasors that undo the geometric delay of each
+//! sensor for the chosen look direction, so that signals from that
+//! direction add coherently.  Forming `M` beams turns the weight vectors
+//! into an `M × K` matrix — the `A` operand of the ccglib GEMM.
+
+use crate::geometry::ArrayGeometry;
+use ccglib::matrix::HostComplexMatrix;
+use serde::{Deserialize, Serialize};
+use tcbf_types::{Complex, Complex32};
+
+/// The steering vector for one look direction: `w_k = exp(+2πi f τ_k) / K`
+/// (the conjugate of the propagation phase, normalised so the beamformed
+/// amplitude of a unit source is one).
+pub fn steering_vector(
+    geometry: &ArrayGeometry,
+    frequency: f64,
+    azimuth: f64,
+    normalise: bool,
+) -> Vec<Complex32> {
+    let k = geometry.num_sensors();
+    let scale = if normalise { 1.0 / k as f32 } else { 1.0 };
+    geometry
+        .far_field_delays(azimuth)
+        .iter()
+        .map(|&tau| {
+            let phi = 2.0 * std::f64::consts::PI * frequency * tau;
+            Complex::from_polar(scale, phi as f32)
+        })
+        .collect()
+}
+
+/// A weight matrix: `M` beams × `K` receivers.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct WeightMatrix {
+    weights: HostComplexMatrix,
+    azimuths: Vec<f64>,
+}
+
+impl WeightMatrix {
+    /// Builds steering weights for a fan of beams at the given azimuths.
+    pub fn steering(
+        geometry: &ArrayGeometry,
+        frequency: f64,
+        azimuths: &[f64],
+        normalise: bool,
+    ) -> Self {
+        let k = geometry.num_sensors();
+        let mut weights = HostComplexMatrix::zeros(azimuths.len(), k);
+        for (m, &az) in azimuths.iter().enumerate() {
+            for (kk, w) in steering_vector(geometry, frequency, az, normalise).into_iter().enumerate()
+            {
+                weights.set(m, kk, w);
+            }
+        }
+        WeightMatrix { weights, azimuths: azimuths.to_vec() }
+    }
+
+    /// A uniform fan of `num_beams` beams between `min_azimuth` and
+    /// `max_azimuth` (inclusive), in radians.
+    pub fn uniform_fan(
+        geometry: &ArrayGeometry,
+        frequency: f64,
+        num_beams: usize,
+        min_azimuth: f64,
+        max_azimuth: f64,
+    ) -> Self {
+        assert!(num_beams > 0);
+        let azimuths: Vec<f64> = if num_beams == 1 {
+            vec![(min_azimuth + max_azimuth) / 2.0]
+        } else {
+            (0..num_beams)
+                .map(|i| {
+                    min_azimuth
+                        + (max_azimuth - min_azimuth) * i as f64 / (num_beams as f64 - 1.0)
+                })
+                .collect()
+        };
+        WeightMatrix::steering(geometry, frequency, &azimuths, true)
+    }
+
+    /// Builds a weight matrix from raw weights (e.g. calibrated instrument
+    /// weights) with unknown look directions.
+    pub fn from_matrix(weights: HostComplexMatrix) -> Self {
+        let beams = weights.rows();
+        WeightMatrix { weights, azimuths: vec![f64::NAN; beams] }
+    }
+
+    /// Number of beams (`M`).
+    pub fn num_beams(&self) -> usize {
+        self.weights.rows()
+    }
+
+    /// Number of receivers (`K`).
+    pub fn num_receivers(&self) -> usize {
+        self.weights.cols()
+    }
+
+    /// Look directions, if known.
+    pub fn azimuths(&self) -> &[f64] {
+        &self.azimuths
+    }
+
+    /// The `M × K` weight matrix.
+    pub fn matrix(&self) -> &HostComplexMatrix {
+        &self.weights
+    }
+
+    /// The array (power) response of beam `beam` to a unit plane wave from
+    /// `azimuth`: `|Σ_k w_k v_k(azimuth)|²` with `v` the propagation
+    /// phasor.  Sampling this over azimuth gives the beam pattern.
+    pub fn beam_response(
+        &self,
+        geometry: &ArrayGeometry,
+        frequency: f64,
+        beam: usize,
+        azimuth: f64,
+    ) -> f64 {
+        let arrival = steering_vector(geometry, frequency, azimuth, false)
+            .into_iter()
+            .map(|v| v.conj())
+            .collect::<Vec<_>>();
+        let mut sum = Complex32::ZERO;
+        for k in 0..self.num_receivers() {
+            sum += self.weights.get(beam, k) * arrival[k];
+        }
+        f64::from(sum.norm_sqr())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geometry::{ArrayGeometry, SPEED_OF_LIGHT};
+
+    fn array(n: usize) -> ArrayGeometry {
+        let wavelength = SPEED_OF_LIGHT / 150e6;
+        ArrayGeometry::uniform_linear(n, wavelength / 2.0, SPEED_OF_LIGHT)
+    }
+
+    #[test]
+    fn steering_vector_is_unit_magnitude() {
+        let geom = array(32);
+        let w = steering_vector(&geom, 150e6, 0.4, false);
+        assert_eq!(w.len(), 32);
+        for v in w {
+            assert!((v.abs() - 1.0).abs() < 1e-5);
+        }
+        let wn = steering_vector(&geom, 150e6, 0.4, true);
+        assert!((wn[0].abs() - 1.0 / 32.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn beam_peaks_at_its_look_direction() {
+        let geom = array(64);
+        let weights = WeightMatrix::uniform_fan(&geom, 150e6, 5, -0.5, 0.5);
+        assert_eq!(weights.num_beams(), 5);
+        assert_eq!(weights.num_receivers(), 64);
+        for beam in 0..5 {
+            let look = weights.azimuths()[beam];
+            let on_axis = weights.beam_response(&geom, 150e6, beam, look);
+            // The normalised response at the look direction is 1.
+            assert!((on_axis - 1.0).abs() < 1e-4, "beam {beam}: {on_axis}");
+            // Looking 0.3 rad away the response must be much lower.
+            let off_axis = weights.beam_response(&geom, 150e6, beam, look + 0.3);
+            assert!(off_axis < 0.1 * on_axis, "beam {beam}: off-axis {off_axis}");
+        }
+    }
+
+    #[test]
+    fn single_beam_fan_points_at_centre() {
+        let geom = array(8);
+        let weights = WeightMatrix::uniform_fan(&geom, 150e6, 1, -0.2, 0.6);
+        assert_eq!(weights.num_beams(), 1);
+        assert!((weights.azimuths()[0] - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn from_matrix_preserves_shape() {
+        let raw = HostComplexMatrix::zeros(7, 12);
+        let weights = WeightMatrix::from_matrix(raw);
+        assert_eq!(weights.num_beams(), 7);
+        assert_eq!(weights.num_receivers(), 12);
+        assert!(weights.azimuths()[0].is_nan());
+    }
+
+    #[test]
+    fn beam_width_shrinks_with_more_receivers() {
+        // Larger apertures give narrower beams: the response 0.05 rad off
+        // axis is lower for the bigger array.
+        let freq = 150e6;
+        let small = WeightMatrix::uniform_fan(&array(8), freq, 1, 0.0, 0.0);
+        let large = WeightMatrix::uniform_fan(&array(128), freq, 1, 0.0, 0.0);
+        let off = 0.05;
+        let small_off = small.beam_response(&array(8), freq, 0, off);
+        let large_off = large.beam_response(&array(128), freq, 0, off);
+        assert!(large_off < small_off);
+    }
+}

@@ -1,0 +1,71 @@
+//! Criterion benchmarks of the two application pipelines at reduced sizes:
+//! ultrasound model construction + reconstruction, and LOFAR beamlet
+//! synthesis + central beamforming.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gpu_sim::Gpu;
+use radioastro::{CentralBeamformer, CentralMode, SkySource, StationBeamlets};
+use std::hint::black_box;
+use ultrasound::{
+    AcousticModel, DopplerMode, FlowPhantom, ImagingConfig, ReconstructionPrecision, Reconstructor,
+};
+
+fn bench_ultrasound(c: &mut Criterion) {
+    let config = ImagingConfig::small(8, 8, 2);
+    let dims = (8, 8, 6);
+    let voxels = ImagingConfig::voxel_grid(dims.0, dims.1, dims.2, 0.008, 0.02);
+    let model = AcousticModel::build(&config, &voxels);
+    let phantom = FlowPhantom::two_vessels(0.008, 0.02);
+    let measurements = phantom.measurements(&model, 8);
+
+    let mut group = c.benchmark_group("ultrasound");
+    group.bench_function("model_build", |bench| {
+        bench.iter(|| AcousticModel::build(black_box(&config), black_box(&voxels)))
+    });
+    for (label, precision) in [
+        ("reconstruct_int1", ReconstructionPrecision::Int1),
+        ("reconstruct_f16", ReconstructionPrecision::Float16),
+    ] {
+        let reconstructor =
+            Reconstructor::new(&Gpu::A100.device(), precision, DopplerMode::MeanRemoval);
+        group.bench_function(label, |bench| {
+            bench.iter(|| {
+                reconstructor
+                    .reconstruct(black_box(&model), black_box(&measurements), dims)
+                    .unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_lofar(c: &mut Criterion) {
+    let sources = [SkySource { azimuth: 2e-4, amplitude: 1.0 }];
+    let beamlets = StationBeamlets::synthesise(24, 16, 150e6, &sources, 0.0, 64, 0.05, 3);
+    let beams: Vec<f64> = (0..16).map(|i| (i as f64 - 8.0) * 1e-4).collect();
+    let bf = CentralBeamformer::new(&Gpu::Gh200.device(), beams);
+
+    let mut group = c.benchmark_group("lofar");
+    group.bench_function("beamlet_synthesis", |bench| {
+        bench.iter(|| {
+            StationBeamlets::synthesise(24, 16, 150e6, black_box(&sources), 0.0, 64, 0.05, 3)
+        })
+    });
+    group.bench_function("central_coherent", |bench| {
+        bench.iter(|| bf.beamform(black_box(&beamlets), CentralMode::Coherent).unwrap())
+    });
+    group.bench_function("central_incoherent", |bench| {
+        bench.iter(|| bf.beamform(black_box(&beamlets), CentralMode::Incoherent).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(1));
+    targets = bench_ultrasound, bench_lofar
+}
+criterion_main!(benches);

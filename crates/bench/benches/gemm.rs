@@ -1,0 +1,57 @@
+//! Criterion benchmarks of the functional complex GEMM kernels (CPU
+//! substrate execution): float16 vs 1-bit (XOR and AND formulations) vs
+//! the float32 reference, at sizes small enough to run quickly.
+
+use ccglib::matrix::{F16Matrix, HostComplexMatrix, Int1Matrix};
+use ccglib::{gemm, reference_gemm};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gpu_sim::BitOp;
+use std::hint::black_box;
+use tcbf_types::Complex;
+
+fn matrix(rows: usize, cols: usize, seed: u64) -> HostComplexMatrix {
+    let mut state = seed | 1;
+    let mut next = move || {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        ((state >> 41) as f32 / 4194304.0) - 1.0
+    };
+    HostComplexMatrix::from_fn(rows, cols, |_, _| Complex::new(next(), next()))
+}
+
+fn bench_gemm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("complex_gemm");
+    for &size in &[32usize, 64] {
+        let a = matrix(size, 4 * size, 1);
+        let b_t = matrix(size, 4 * size, 2);
+
+        let a16 = F16Matrix::from_host(&a);
+        let b16 = F16Matrix::from_host(&b_t);
+        group.bench_with_input(BenchmarkId::new("float16", size), &size, |bench, _| {
+            bench.iter(|| gemm::gemm_f16(black_box(&a16), black_box(&b16)).unwrap())
+        });
+
+        let a1 = Int1Matrix::from_host_padded(&a, 256);
+        let b1 = Int1Matrix::from_host_padded(&b_t, 256);
+        group.bench_with_input(BenchmarkId::new("int1_xor", size), &size, |bench, _| {
+            bench.iter(|| gemm::gemm_int1(black_box(&a1), black_box(&b1), BitOp::Xor).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("int1_and", size), &size, |bench, _| {
+            bench.iter(|| gemm::gemm_int1(black_box(&a1), black_box(&b1), BitOp::And).unwrap())
+        });
+
+        group.bench_with_input(BenchmarkId::new("float32_reference", size), &size, |bench, _| {
+            bench.iter(|| reference_gemm(black_box(&a), black_box(&b_t)).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(1));
+    targets = bench_gemm
+}
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! Regenerates Fig. 2: the auto-tuning scatter — performance versus energy
+//! efficiency of every valid tuning-parameter combination, per GPU
+//! (float16 everywhere, 1-bit on the NVIDIA devices).
+//!
+//! Pass `--json` to also dump the full point clouds as JSON.
+
+use tcbf_bench::{header, print_table};
+use tuner::{Objective, Strategy, Tuner};
+use ccglib::Precision;
+use gpu_sim::Gpu;
+
+fn main() {
+    let json = std::env::args().any(|a| a == "--json");
+    header("Fig. 2 — auto-tuning: performance vs energy efficiency of every configuration");
+    let mut outcomes = Vec::new();
+    for gpu in Gpu::ALL {
+        let mut precisions = vec![Precision::Float16];
+        if gpu.spec().supports_int1() {
+            precisions.push(Precision::Int1);
+        }
+        for precision in precisions {
+            let tuner = Tuner::new(gpu.device(), Tuner::paper_tuning_shape(precision), precision);
+            let Some(outcome) = tuner.tune(Strategy::Exhaustive, Objective::Performance) else {
+                continue;
+            };
+            let evaluated = outcome.evaluated.len();
+            let min_tops = outcome.evaluated.iter().map(|r| r.tops).fold(f64::INFINITY, f64::min);
+            let best_energy = outcome
+                .best_under(Objective::EnergyEfficiency)
+                .map(|r| r.tops_per_joule)
+                .unwrap_or(0.0);
+            println!();
+            println!(
+                "{gpu} {precision}: {evaluated} valid configurations, \
+                 performance {min_tops:.0}–{:.0} TOPs/s, best energy efficiency {best_energy:.2} TOPs/J",
+                outcome.best.tops
+            );
+            // Print a compact summary of the scatter: the five best points.
+            let mut sorted = outcome.evaluated.clone();
+            sorted.sort_by(|a, b| b.tops.total_cmp(&a.tops));
+            let rows: Vec<Vec<String>> = sorted
+                .iter()
+                .take(5)
+                .map(|r| {
+                    vec![
+                        r.params.to_string(),
+                        format!("{:.0}", r.tops),
+                        format!("{:.2}", r.tops_per_joule),
+                    ]
+                })
+                .collect();
+            print_table(&["configuration", "TOPs/s", "TOPs/J"], &rows);
+            outcomes.push(outcome);
+        }
+    }
+    if json {
+        println!();
+        println!("{}", serde_json::to_string(&outcomes).unwrap());
+    }
+}

@@ -1,0 +1,177 @@
+//! Built-in benchmark tools.
+//!
+//! "We take the best parameters from Table III, and use the built-in
+//! benchmark tools of ccglib to measure performance and energy efficiency
+//! across a range of matrix sizes." (Section IV-C.)  These helpers run (or
+//! predict) a GEMM for a given shape and return the paper's two metrics —
+//! TeraOps/s and TeraOps/J — so the figure-regenerating binaries in the
+//! `tcbf-bench` crate stay thin.
+
+use crate::error::Result;
+use crate::plan::Gemm;
+use crate::{Precision, TuningParameters};
+use gpu_sim::Device;
+use serde::{Deserialize, Serialize};
+use tcbf_types::GemmShape;
+
+/// One benchmark measurement.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ThroughputResult {
+    /// Problem shape.
+    pub shape: GemmShape,
+    /// Achieved throughput in TeraOps/s.
+    pub tops: f64,
+    /// Energy efficiency in TeraOps/J.
+    pub tops_per_joule: f64,
+    /// Predicted execution time in seconds.
+    pub elapsed_s: f64,
+    /// Arithmetic intensity in operations per byte (touch-once traffic).
+    pub arithmetic_intensity: f64,
+}
+
+/// Measures one shape with the shipped default parameters.
+pub fn measure(device: &Device, shape: GemmShape, precision: Precision) -> Result<ThroughputResult> {
+    let gemm = Gemm::new(device, shape, precision)?;
+    Ok(result_from(&gemm, shape, precision))
+}
+
+/// Measures one shape with explicit tuning parameters (used by the tuner
+/// and by the auto-tuning scatter of Fig. 2).
+pub fn measure_with_params(
+    device: &Device,
+    shape: GemmShape,
+    precision: Precision,
+    params: TuningParameters,
+) -> Result<ThroughputResult> {
+    let gemm = Gemm::with_params(device, shape, precision, params)?;
+    Ok(result_from(&gemm, shape, precision))
+}
+
+fn result_from(gemm: &Gemm, shape: GemmShape, precision: Precision) -> ThroughputResult {
+    let report = gemm.predict();
+    ThroughputResult {
+        shape,
+        tops: report.achieved_tops,
+        tops_per_joule: report.tops_per_joule,
+        elapsed_s: report.predicted.elapsed_s,
+        arithmetic_intensity: shape.arithmetic_intensity(precision.input_bits()),
+    }
+}
+
+/// Sweeps square matrices (`M = N = K = size`, batch 1) over a list of
+/// sizes — the float16 panel of Fig. 4.
+pub fn sweep_square(
+    device: &Device,
+    precision: Precision,
+    sizes: &[usize],
+) -> Result<Vec<ThroughputResult>> {
+    sizes
+        .iter()
+        .map(|&s| measure(device, GemmShape::new(s, s, s), precision))
+        .collect()
+}
+
+/// Sweeps the 1-bit shape of Fig. 4: `M = N = size` with a fixed large `K`,
+/// and a separate sweep over `K` with fixed `M`, `N`.
+pub fn sweep_int1(
+    device: &Device,
+    mn_sizes: &[usize],
+    fixed_k: usize,
+    k_sizes: &[usize],
+    fixed_mn: usize,
+) -> Result<(Vec<ThroughputResult>, Vec<ThroughputResult>)> {
+    let mn: Result<Vec<_>> = mn_sizes
+        .iter()
+        .map(|&s| measure(device, GemmShape::new(s, s, fixed_k), Precision::Int1))
+        .collect();
+    let k: Result<Vec<_>> = k_sizes
+        .iter()
+        .map(|&kk| measure(device, GemmShape::new(fixed_mn, fixed_mn, kk), Precision::Int1))
+        .collect();
+    Ok((mn?, k?))
+}
+
+/// Measures the four roofline evaluation points of Fig. 3 for a device:
+/// (label, arithmetic intensity, achieved TOPs/s).
+pub fn roofline_points(device: &Device) -> Result<Vec<(String, f64, f64)>> {
+    use gpu_sim::roofline::eval_shapes;
+    let mut points = Vec::new();
+    for (label, shape, precision) in [
+        ("float16 small", eval_shapes::f16_small(), Precision::Float16),
+        ("float16 big", eval_shapes::f16_big(), Precision::Float16),
+        ("int1 small", eval_shapes::int1_small(), Precision::Int1),
+        ("int1 big", eval_shapes::int1_big(), Precision::Int1),
+    ] {
+        if precision == Precision::Int1 && !device.spec().supports_int1() {
+            continue;
+        }
+        let r = measure(device, shape, precision)?;
+        points.push((label.to_string(), r.arithmetic_intensity, r.tops));
+    }
+    Ok(points)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_sim::Gpu;
+
+    #[test]
+    fn sweep_shows_ramp_then_plateau() {
+        let device = Gpu::Mi300x.device();
+        let results =
+            sweep_square(&device, Precision::Float16, &[256, 1024, 4096, 8192]).unwrap();
+        assert_eq!(results.len(), 4);
+        // Performance grows with size…
+        assert!(results[0].tops < results[1].tops);
+        assert!(results[1].tops < results[3].tops);
+        // …and approaches the Table III value for the biggest size.
+        assert!(results[3].tops > 0.8 * 603.0);
+    }
+
+    #[test]
+    fn energy_efficiency_tracks_performance() {
+        let device = Gpu::A100.device();
+        let small = measure(&device, GemmShape::new(512, 512, 512), Precision::Float16).unwrap();
+        let big = measure(&device, GemmShape::new(8192, 8192, 8192), Precision::Float16).unwrap();
+        assert!(big.tops_per_joule > small.tops_per_joule);
+        // Table III: 0.8 TOPs/J.
+        assert!((big.tops_per_joule - 0.8).abs() < 0.2);
+    }
+
+    #[test]
+    fn int1_sweep_produces_both_series() {
+        let device = Gpu::A100.device();
+        let (mn, k) = sweep_int1(&device, &[1024, 8192], 524_288, &[65_536, 524_288], 8192).unwrap();
+        assert_eq!(mn.len(), 2);
+        assert_eq!(k.len(), 2);
+        assert!(mn[1].tops > mn[0].tops);
+        assert!(k[1].tops > k[0].tops);
+    }
+
+    #[test]
+    fn roofline_points_skip_int1_on_amd() {
+        let nv = roofline_points(&Gpu::A100.device()).unwrap();
+        assert_eq!(nv.len(), 4);
+        let amd = roofline_points(&Gpu::Mi210.device()).unwrap();
+        assert_eq!(amd.len(), 2);
+        // Small points have lower intensity than big points.
+        assert!(nv[0].1 < nv[1].1);
+    }
+
+    #[test]
+    fn measure_with_params_differs_from_default_for_bad_config() {
+        let device = Gpu::Gh200.device();
+        let shape = GemmShape::new(4096, 4096, 4096);
+        let default = measure(&device, shape, Precision::Float16).unwrap();
+        // A deliberately poor configuration: tiny warp tiles, single buffer.
+        let poor = measure_with_params(
+            &device,
+            shape,
+            Precision::Float16,
+            TuningParameters::new(64, 16, 32, 16, 1),
+        )
+        .unwrap();
+        assert!(poor.tops < default.tops);
+    }
+}

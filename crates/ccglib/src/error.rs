@@ -1,0 +1,98 @@
+//! Error type of the ccglib public API.
+
+use tcbf_types::GemmShape;
+
+/// Errors returned by ccglib.
+#[derive(Clone, Debug, PartialEq)]
+pub enum CcglibError {
+    /// An operand's dimensions do not match the GEMM shape it is used in.
+    ShapeMismatch {
+        /// What the operation expected.
+        expected: String,
+        /// What it received.
+        actual: String,
+    },
+    /// The requested precision is not supported on the selected device
+    /// (1-bit mode on AMD GPUs).
+    UnsupportedPrecision {
+        /// Device name.
+        device: String,
+        /// Requested precision.
+        precision: String,
+    },
+    /// The tuning parameters are invalid for the device (shared memory
+    /// overflow, too many warps per block, register pressure, …).
+    InvalidParameters {
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// The operands would not fit in device memory.
+    OutOfDeviceMemory {
+        /// Problem shape.
+        shape: GemmShape,
+        /// Required bytes.
+        required_bytes: u128,
+        /// Available bytes.
+        available_bytes: u128,
+    },
+    /// An operand was supplied in the wrong precision for this plan.
+    PrecisionMismatch {
+        /// Expected precision.
+        expected: String,
+        /// Supplied precision.
+        actual: String,
+    },
+}
+
+impl std::fmt::Display for CcglibError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CcglibError::ShapeMismatch { expected, actual } => {
+                write!(f, "shape mismatch: expected {expected}, got {actual}")
+            }
+            CcglibError::UnsupportedPrecision { device, precision } => {
+                write!(f, "{precision} precision is not supported on {device}")
+            }
+            CcglibError::InvalidParameters { reason } => {
+                write!(f, "invalid tuning parameters: {reason}")
+            }
+            CcglibError::OutOfDeviceMemory { shape, required_bytes, available_bytes } => write!(
+                f,
+                "problem {shape} needs {required_bytes} bytes but only {available_bytes} are available"
+            ),
+            CcglibError::PrecisionMismatch { expected, actual } => {
+                write!(f, "operand precision mismatch: expected {expected}, got {actual}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CcglibError {}
+
+/// Convenience result alias.
+pub type Result<T> = std::result::Result<T, CcglibError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_format_usefully() {
+        let e = CcglibError::UnsupportedPrecision {
+            device: "MI300X".to_string(),
+            precision: "int1".to_string(),
+        };
+        assert!(e.to_string().contains("MI300X"));
+        assert!(e.to_string().contains("int1"));
+
+        let e = CcglibError::OutOfDeviceMemory {
+            shape: GemmShape::new(1, 2, 3),
+            required_bytes: 100,
+            available_bytes: 10,
+        };
+        assert!(e.to_string().contains("100"));
+
+        let e = CcglibError::ShapeMismatch { expected: "64x32".into(), actual: "32x64".into() };
+        assert!(format!("{e}").contains("expected 64x32"));
+    }
+}

@@ -1,0 +1,388 @@
+//! Functional complex GEMM kernels.
+//!
+//! Two tensor-core kernels are implemented, mirroring Sections III-B, III-D
+//! and III-E of the paper:
+//!
+//! * **float16** — complex multiplication decomposed into four real
+//!   multiply-accumulates with an in-register negation of `Im(b)`; inputs
+//!   are binary16, accumulation is binary32.
+//! * **int1** — inputs are ±1 encoded as single bits; real-valued dot
+//!   products are computed from XOR + popcount (Table II) or, on
+//!   architectures where XOR is deprecated, from two AND + popcount passes
+//!   (Eq. 6).  Complex outputs apply the padding correction of Eq. 5: the
+//!   real part is insensitive to the −1-valued padding (the two partial
+//!   products cancel), while the imaginary part must subtract the
+//!   `K_pad` contribution.
+//!
+//! Operand convention used throughout the crate: `A` is `M×K`, `B` is
+//! supplied **transposed** as `N×K` (each row holds the `K`-vector of one
+//! output column).  This is the orientation the transpose kernel produces
+//! and the one in which both the bit-rows of the 1-bit kernel and the
+//! fragment loads of the 16-bit kernel are contiguous.
+
+use crate::error::{CcglibError, Result};
+use crate::matrix::{F16Matrix, HostComplexMatrix, Int1Matrix};
+use crate::Precision;
+use gpu_sim::BitOp;
+use rayon::prelude::*;
+use tcbf_types::Complex32;
+
+/// The beamformed output matrix: `M×N` complex values in single precision
+/// (for 1-bit inputs the components are integers represented exactly).
+pub type ComplexOutput = HostComplexMatrix;
+
+/// A quantised GEMM operand, ready for the tensor-core kernels.
+#[derive(Clone, Debug)]
+pub enum GemmInput {
+    /// Planar binary16 operand.
+    F16(F16Matrix),
+    /// Packed 1-bit operand.
+    Int1(Int1Matrix),
+}
+
+impl GemmInput {
+    /// Default packing granularity for 1-bit operands: the depth of the
+    /// 16×8×256 fragment, so a packed operand is always consumable by
+    /// either fragment layout.
+    pub const DEFAULT_INT1_K_GRANULARITY: usize = 256;
+
+    /// Quantises a host matrix to binary16 planes.
+    pub fn quantise_f16(host: &HostComplexMatrix) -> Self {
+        GemmInput::F16(F16Matrix::from_host(host))
+    }
+
+    /// Builds a binary16 operand from interleaved single-precision data
+    /// (the layout applications naturally produce); the split into planes
+    /// is what the paper's transpose kernel does.
+    pub fn quantise_f16_interleaved(rows: usize, cols: usize, interleaved: &[f32]) -> Self {
+        GemmInput::F16(crate::transpose::interleaved_to_planar(rows, cols, interleaved))
+    }
+
+    /// Quantises a host matrix to packed 1-bit planes with the default
+    /// padding granularity.
+    pub fn quantise_int1(host: &HostComplexMatrix) -> Self {
+        GemmInput::Int1(Int1Matrix::from_host_padded(host, Self::DEFAULT_INT1_K_GRANULARITY))
+    }
+
+    /// Quantises to 1-bit with an explicit padding granularity.
+    pub fn quantise_int1_padded(host: &HostComplexMatrix, k_granularity: usize) -> Self {
+        GemmInput::Int1(Int1Matrix::from_host_padded(host, k_granularity))
+    }
+
+    /// Precision of this operand.
+    pub fn precision(&self) -> Precision {
+        match self {
+            GemmInput::F16(_) => Precision::Float16,
+            GemmInput::Int1(_) => Precision::Int1,
+        }
+    }
+
+    /// Number of rows (M for the `A` operand, N for the transposed `B`).
+    pub fn rows(&self) -> usize {
+        match self {
+            GemmInput::F16(m) => m.rows(),
+            GemmInput::Int1(m) => m.rows(),
+        }
+    }
+
+    /// Logical reduction-dimension length (K, before padding).
+    pub fn k(&self) -> usize {
+        match self {
+            GemmInput::F16(m) => m.cols(),
+            GemmInput::Int1(m) => m.k_bits(),
+        }
+    }
+
+    /// Device-memory footprint in bytes.
+    pub fn device_bytes(&self) -> u128 {
+        match self {
+            GemmInput::F16(m) => m.device_bytes(),
+            GemmInput::Int1(m) => m.device_bytes(),
+        }
+    }
+}
+
+/// float16 complex GEMM: `C[M×N] = A[M×K] · Bᵀ[N×K]` with binary16 inputs
+/// and binary32 accumulation.
+pub fn gemm_f16(a: &F16Matrix, b_t: &F16Matrix) -> Result<ComplexOutput> {
+    if a.cols() != b_t.cols() {
+        return Err(CcglibError::ShapeMismatch {
+            expected: format!("A and B to share K (A has K={})", a.cols()),
+            actual: format!("B has K={}", b_t.cols()),
+        });
+    }
+    let m = a.rows();
+    let n = b_t.rows();
+    let k = a.cols();
+    let (a_re, a_im) = (a.re(), a.im());
+    let (b_re, b_im) = (b_t.re(), b_t.im());
+
+    let mut out = vec![Complex32::ZERO; m * n];
+    out.par_chunks_mut(n).enumerate().for_each(|(i, row)| {
+        let a_re_row = &a_re[i * k..(i + 1) * k];
+        let a_im_row = &a_im[i * k..(i + 1) * k];
+        for (j, slot) in row.iter_mut().enumerate() {
+            let b_re_row = &b_re[j * k..(j + 1) * k];
+            let b_im_row = &b_im[j * k..(j + 1) * k];
+            // Four real accumulations, exactly as the tensor-core kernel
+            // issues them (Section III-B); Im(b) is negated "in registers"
+            // by subtracting the product instead of mutating the operand.
+            let mut acc_rr = 0.0f32;
+            let mut acc_ii = 0.0f32;
+            let mut acc_ri = 0.0f32;
+            let mut acc_ir = 0.0f32;
+            for kk in 0..k {
+                let ar = a_re_row[kk].to_f32();
+                let ai = a_im_row[kk].to_f32();
+                let br = b_re_row[kk].to_f32();
+                let bi = b_im_row[kk].to_f32();
+                acc_rr += ar * br;
+                acc_ii += ai * bi;
+                acc_ri += ar * bi;
+                acc_ir += ai * br;
+            }
+            *slot = Complex32::new(acc_rr - acc_ii, acc_ri + acc_ir);
+        }
+    });
+    HostComplexMatrix::from_data(m, n, out)
+}
+
+/// 1-bit complex GEMM with the XOR or AND formulation.
+///
+/// Both operands must have been packed with the same padding granularity;
+/// the `K_pad` correction of Eq. 5 is applied to the imaginary part.  The
+/// two formulations produce bit-identical results (a property the test
+/// suite asserts); the AND path exists because XOR is deprecated from the
+/// Hopper architecture on.
+pub fn gemm_int1(a: &Int1Matrix, b_t: &Int1Matrix, op: BitOp) -> Result<ComplexOutput> {
+    if a.k_bits() != b_t.k_bits() || a.k_padded() != b_t.k_padded() {
+        return Err(CcglibError::ShapeMismatch {
+            expected: format!("A and B to share K (A has K={}/{} padded)", a.k_bits(), a.k_padded()),
+            actual: format!("B has K={}/{} padded", b_t.k_bits(), b_t.k_padded()),
+        });
+    }
+    let m = a.rows();
+    let n = b_t.rows();
+    let k_valid = a.k_bits() as i32;
+
+    // Real-valued ±1 dot product of two packed planes, through the chosen
+    // bit operation.  The popcount identities are implemented in
+    // `tcbf_types::PackedBits`; the AND variant needs the second pass over
+    // the complemented inputs, doubling the tensor-core instruction count.
+    let dot = |x: &tcbf_types::PackedBits, y: &tcbf_types::PackedBits| -> i32 {
+        match op {
+            BitOp::Xor => x.dot_xor(y),
+            BitOp::And => x.dot_and(y),
+        }
+    };
+
+    let mut out = vec![Complex32::ZERO; m * n];
+    out.par_chunks_mut(n).enumerate().for_each(|(i, row)| {
+        let ar = a.re_row(i);
+        let ai = a.im_row(i);
+        for (j, slot) in row.iter_mut().enumerate() {
+            let br = b_t.re_row(j);
+            let bi = b_t.im_row(j);
+            // Dot products over the padded length.  The padding value is
+            // binary 0 (decimal −1) in every plane, so:
+            //  * the real part  Σ ar·br − Σ ai·bi  sees +K_pad from both
+            //    terms and they cancel;
+            //  * the imaginary part Σ ar·bi + Σ ai·br picks up +K_pad from
+            //    each term, which must be subtracted (Eq. 5).
+            let k_pad = a.k_padding() as i32;
+            let rr = dot(ar, br);
+            let ii = dot(ai, bi);
+            let ri = dot(ar, bi);
+            let ir = dot(ai, br);
+            let re = (rr - k_pad) - (ii - k_pad);
+            let im = (ri - k_pad) + (ir - k_pad);
+            debug_assert!(re.abs() <= 2 * k_valid && im.abs() <= 2 * k_valid);
+            *slot = Complex32::new(re as f32, im as f32);
+        }
+    });
+    HostComplexMatrix::from_data(m, n, out)
+}
+
+/// Executes a GEMM on already-quantised operands, dispatching on their
+/// precision.  Both operands must share the same precision.
+pub fn gemm_dispatch(a: &GemmInput, b_t: &GemmInput, op: BitOp) -> Result<ComplexOutput> {
+    match (a, b_t) {
+        (GemmInput::F16(a), GemmInput::F16(b)) => gemm_f16(a, b),
+        (GemmInput::Int1(a), GemmInput::Int1(b)) => gemm_int1(a, b, op),
+        (a, b) => Err(CcglibError::PrecisionMismatch {
+            expected: a.precision().to_string(),
+            actual: b.precision().to_string(),
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reference::reference_gemm;
+    use proptest::prelude::*;
+    use tcbf_types::Complex;
+
+    fn pseudo_random_matrix(rows: usize, cols: usize, seed: u64, scale: f32) -> HostComplexMatrix {
+        let mut state = seed | 1;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (((state >> 40) & 0xFFFF) as f32 / 32768.0 - 1.0) * scale
+        };
+        HostComplexMatrix::from_fn(rows, cols, |_, _| Complex::new(next(), next()))
+    }
+
+    #[test]
+    fn f16_gemm_matches_reference_within_half_precision() {
+        let a = pseudo_random_matrix(24, 40, 1, 1.0);
+        let b_t = pseudo_random_matrix(16, 40, 2, 1.0);
+        let tensor = gemm_f16(
+            &F16Matrix::from_host(&a),
+            &F16Matrix::from_host(&b_t),
+        )
+        .unwrap();
+        let exact = reference_gemm(&a, &b_t).unwrap();
+        // Binary16 quantisation of the inputs bounds the error: relative
+        // 2^-11 per input value, accumulated over K=40 terms.
+        let tol = 40.0 * 2.0 * 2.0f32.powi(-11) * 2.0;
+        assert!(tensor.max_abs_diff(&exact) < tol, "diff = {}", tensor.max_abs_diff(&exact));
+    }
+
+    #[test]
+    fn f16_gemm_checks_shapes() {
+        let a = F16Matrix::from_host(&HostComplexMatrix::zeros(4, 8));
+        let b = F16Matrix::from_host(&HostComplexMatrix::zeros(4, 9));
+        assert!(gemm_f16(&a, &b).is_err());
+    }
+
+    #[test]
+    fn int1_gemm_matches_decoded_reference_with_padding() {
+        // K = 100 forces 156 bits of padding at granularity 256; the
+        // corrected kernel must agree exactly with the ±1 reference.
+        let a_host = pseudo_random_matrix(9, 100, 3, 1.0);
+        let b_host = pseudo_random_matrix(7, 100, 4, 1.0);
+        let a = Int1Matrix::from_host_padded(&a_host, 256);
+        let b = Int1Matrix::from_host_padded(&b_host, 256);
+        assert_eq!(a.k_padding(), 156);
+        let reference = reference_gemm(&a.to_host(), &b.to_host()).unwrap();
+        for op in [BitOp::Xor, BitOp::And] {
+            let result = gemm_int1(&a, &b, op).unwrap();
+            assert_eq!(result.rows(), 9);
+            assert_eq!(result.cols(), 7);
+            assert!(result.max_abs_diff(&reference) < 0.5, "op {op}");
+        }
+    }
+
+    #[test]
+    fn int1_xor_and_paths_are_bit_identical() {
+        let a_host = pseudo_random_matrix(12, 300, 5, 1.0);
+        let b_host = pseudo_random_matrix(10, 300, 6, 1.0);
+        let a = Int1Matrix::from_host_padded(&a_host, 128);
+        let b = Int1Matrix::from_host_padded(&b_host, 128);
+        let xor = gemm_int1(&a, &b, BitOp::Xor).unwrap();
+        let and = gemm_int1(&a, &b, BitOp::And).unwrap();
+        assert_eq!(xor, and);
+    }
+
+    #[test]
+    fn int1_values_have_expected_parity_and_bounds() {
+        let a_host = pseudo_random_matrix(6, 64, 7, 1.0);
+        let b_host = pseudo_random_matrix(6, 64, 8, 1.0);
+        let a = Int1Matrix::from_host(&a_host);
+        let b = Int1Matrix::from_host(&b_host);
+        let c = gemm_int1(&a, &b, BitOp::Xor).unwrap();
+        for i in 0..6 {
+            for j in 0..6 {
+                let v = c.get(i, j);
+                // Each component is a sum/difference of 2·64 ±1 terms:
+                // bounded by 128 and even.
+                assert!(v.re.abs() <= 128.0 && v.im.abs() <= 128.0);
+                assert_eq!(v.re as i32 % 2, 0);
+                assert_eq!(v.im as i32 % 2, 0);
+            }
+        }
+    }
+
+    #[test]
+    fn gemm_dispatch_rejects_mixed_precision() {
+        let host = HostComplexMatrix::zeros(4, 32);
+        let f = GemmInput::quantise_f16(&host);
+        let b = GemmInput::quantise_int1(&host);
+        assert!(matches!(
+            gemm_dispatch(&f, &b, BitOp::Xor),
+            Err(CcglibError::PrecisionMismatch { .. })
+        ));
+        assert!(gemm_dispatch(&f, &f, BitOp::Xor).is_ok());
+    }
+
+    #[test]
+    fn gemm_input_accessors() {
+        let host = HostComplexMatrix::zeros(4, 100);
+        let f = GemmInput::quantise_f16(&host);
+        assert_eq!(f.precision(), Precision::Float16);
+        assert_eq!(f.rows(), 4);
+        assert_eq!(f.k(), 100);
+        assert_eq!(f.device_bytes(), 4 * 100 * 4);
+        let i = GemmInput::quantise_int1(&host);
+        assert_eq!(i.precision(), Precision::Int1);
+        assert_eq!(i.k(), 100);
+        // Padded to 256 bits → 2 planes × 4 rows × 32 bytes.
+        assert_eq!(i.device_bytes(), 2 * 4 * 256 / 8);
+    }
+
+    #[test]
+    fn interleaved_input_matches_planar_input() {
+        let host = pseudo_random_matrix(8, 16, 11, 2.0);
+        let mut interleaved = Vec::new();
+        for r in 0..8 {
+            for c in 0..16 {
+                let v = host.get(r, c);
+                interleaved.push(v.re);
+                interleaved.push(v.im);
+            }
+        }
+        let from_planar = GemmInput::quantise_f16(&host);
+        let from_interleaved = GemmInput::quantise_f16_interleaved(8, 16, &interleaved);
+        let b = GemmInput::quantise_f16(&pseudo_random_matrix(4, 16, 12, 1.0));
+        let c1 = gemm_dispatch(&from_planar, &b, BitOp::Xor).unwrap();
+        let c2 = gemm_dispatch(&from_interleaved, &b, BitOp::Xor).unwrap();
+        assert_eq!(c1, c2);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+
+        #[test]
+        fn int1_gemm_equals_reference_for_random_shapes(
+            m in 1usize..8, n in 1usize..8, k in 1usize..150, seed in any::<u64>(),
+        ) {
+            let a_host = pseudo_random_matrix(m, k, seed, 1.0);
+            let b_host = pseudo_random_matrix(n, k, seed ^ 0xABCD, 1.0);
+            let a = Int1Matrix::from_host_padded(&a_host, 128);
+            let b = Int1Matrix::from_host_padded(&b_host, 128);
+            let reference = reference_gemm(&a.to_host(), &b.to_host()).unwrap();
+            let result = gemm_int1(&a, &b, BitOp::Xor).unwrap();
+            prop_assert!(result.max_abs_diff(&reference) < 0.5);
+        }
+
+        #[test]
+        fn f16_gemm_linear_in_scalar(
+            m in 1usize..6, n in 1usize..6, k in 1usize..32, seed in any::<u64>(),
+        ) {
+            // (2A)·B ≈ 2·(A·B) up to half-precision rounding.
+            let a_host = pseudo_random_matrix(m, k, seed, 1.0);
+            let b_host = pseudo_random_matrix(n, k, seed ^ 0x1111, 1.0);
+            let a2_host = HostComplexMatrix::from_fn(m, k, |r, c| a_host.get(r, c).scale(2.0));
+            let c1 = gemm_f16(&F16Matrix::from_host(&a_host), &F16Matrix::from_host(&b_host)).unwrap();
+            let c2 = gemm_f16(&F16Matrix::from_host(&a2_host), &F16Matrix::from_host(&b_host)).unwrap();
+            for i in 0..m {
+                for j in 0..n {
+                    let lhs = c2.get(i, j);
+                    let rhs = c1.get(i, j).scale(2.0);
+                    let tol = 0.02 * (1.0 + rhs.abs()) + 0.02 * k as f32;
+                    prop_assert!((lhs - rhs).abs() <= tol, "{lhs:?} vs {rhs:?}");
+                }
+            }
+        }
+    }
+}

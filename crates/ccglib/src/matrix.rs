@@ -1,0 +1,374 @@
+//! Host- and device-side complex matrix containers.
+//!
+//! ccglib distinguishes three representations:
+//!
+//! * [`HostComplexMatrix`] — the user-facing container: full-precision
+//!   complex values in the usual interleaved row-major layout.  This is
+//!   what application code produces (beam weights, receiver samples) and
+//!   consumes (beamformed output).
+//! * [`F16Matrix`] — the 16-bit device format: separate (planar) real and
+//!   imaginary planes of binary16 values, the layout the float16 tensor
+//!   core kernel consumes after the transpose kernel has split the
+//!   interleaved input.
+//! * [`Int1Matrix`] — the 1-bit device format: real and imaginary bit
+//!   planes packed 32 samples per word along the reduction dimension, the
+//!   output of the packing kernel.
+
+use crate::error::{CcglibError, Result};
+use serde::{Deserialize, Serialize};
+use tcbf_types::matrix::round_up;
+use tcbf_types::{f16, Complex, Complex32, PackedBits};
+
+/// A host-side complex matrix in row-major order.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct HostComplexMatrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<Complex32>,
+}
+
+impl HostComplexMatrix {
+    /// Creates a zero-filled matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        HostComplexMatrix { rows, cols, data: vec![Complex32::ZERO; rows * cols] }
+    }
+
+    /// Creates a matrix from a generator function over `(row, col)`.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> Complex32) -> Self {
+        let mut data = Vec::with_capacity(rows * cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                data.push(f(r, c));
+            }
+        }
+        HostComplexMatrix { rows, cols, data }
+    }
+
+    /// Creates a matrix from row-major data.
+    pub fn from_data(rows: usize, cols: usize, data: Vec<Complex32>) -> Result<Self> {
+        if data.len() != rows * cols {
+            return Err(CcglibError::ShapeMismatch {
+                expected: format!("{rows}x{cols} = {} elements", rows * cols),
+                actual: format!("{} elements", data.len()),
+            });
+        }
+        Ok(HostComplexMatrix { rows, cols, data })
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Element access.
+    #[inline]
+    pub fn get(&self, row: usize, col: usize) -> Complex32 {
+        self.data[row * self.cols + col]
+    }
+
+    /// Mutable element access.
+    #[inline]
+    pub fn set(&mut self, row: usize, col: usize, value: Complex32) {
+        self.data[row * self.cols + col] = value;
+    }
+
+    /// The underlying row-major data.
+    pub fn data(&self) -> &[Complex32] {
+        &self.data
+    }
+
+    /// Returns the transposed matrix (used to bring the `B` operand into
+    /// the `N×K` orientation the packed kernels expect).
+    pub fn transposed(&self) -> HostComplexMatrix {
+        HostComplexMatrix::from_fn(self.cols, self.rows, |r, c| self.get(c, r))
+    }
+
+    /// Maximum absolute difference to another matrix of the same shape.
+    pub fn max_abs_diff(&self, other: &HostComplexMatrix) -> f32 {
+        assert_eq!(self.rows, other.rows);
+        assert_eq!(self.cols, other.cols);
+        self.data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| (*a - *b).abs())
+            .fold(0.0f32, f32::max)
+    }
+
+    /// Frobenius norm of the matrix.
+    pub fn frobenius_norm(&self) -> f32 {
+        self.data.iter().map(|c| c.norm_sqr()).sum::<f32>().sqrt()
+    }
+}
+
+/// Planar binary16 device matrix: the input format of the float16 tensor
+/// core GEMM kernel.
+#[derive(Clone, Debug, PartialEq)]
+pub struct F16Matrix {
+    rows: usize,
+    cols: usize,
+    re: Vec<f16>,
+    im: Vec<f16>,
+}
+
+impl F16Matrix {
+    /// Quantises a host matrix to binary16, splitting it into planes.
+    pub fn from_host(host: &HostComplexMatrix) -> Self {
+        let n = host.rows() * host.cols();
+        let mut re = Vec::with_capacity(n);
+        let mut im = Vec::with_capacity(n);
+        for v in host.data() {
+            re.push(f16::from_f32(v.re));
+            im.push(f16::from_f32(v.im));
+        }
+        F16Matrix { rows: host.rows(), cols: host.cols(), re, im }
+    }
+
+    /// Builds a matrix directly from planes (used by the transpose kernel).
+    pub fn from_planes(rows: usize, cols: usize, re: Vec<f16>, im: Vec<f16>) -> Result<Self> {
+        if re.len() != rows * cols || im.len() != rows * cols {
+            return Err(CcglibError::ShapeMismatch {
+                expected: format!("{} scalars per plane", rows * cols),
+                actual: format!("re={}, im={}", re.len(), im.len()),
+            });
+        }
+        Ok(F16Matrix { rows, cols, re, im })
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+    /// Real plane, row-major.
+    pub fn re(&self) -> &[f16] {
+        &self.re
+    }
+    /// Imaginary plane, row-major.
+    pub fn im(&self) -> &[f16] {
+        &self.im
+    }
+
+    /// Element access, widening to single precision.
+    #[inline]
+    pub fn get(&self, row: usize, col: usize) -> Complex32 {
+        let idx = row * self.cols + col;
+        Complex::new(self.re[idx].to_f32(), self.im[idx].to_f32())
+    }
+
+    /// Converts back to a host matrix (exact: binary16 ⊂ binary32).
+    pub fn to_host(&self) -> HostComplexMatrix {
+        HostComplexMatrix::from_fn(self.rows, self.cols, |r, c| self.get(r, c))
+    }
+
+    /// Device-memory footprint in bytes (two planes of 2-byte scalars).
+    pub fn device_bytes(&self) -> u128 {
+        4 * (self.rows as u128) * (self.cols as u128)
+    }
+}
+
+/// Packed 1-bit device matrix: `rows` bit-rows of `k_bits` samples packed
+/// along the reduction dimension, one plane per complex component.
+///
+/// Both operands of the 1-bit GEMM use this orientation: `A` as `M×K` and
+/// `B` transposed to `N×K`, so each output element is a dot product of two
+/// bit-rows — exactly how the binary tensor-core fragments consume data.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Int1Matrix {
+    rows: usize,
+    /// Number of valid (unpadded) samples along the packed dimension.
+    k_bits: usize,
+    /// Number of samples after padding to the packing granularity.
+    k_padded: usize,
+    re: Vec<PackedBits>,
+    im: Vec<PackedBits>,
+}
+
+impl Int1Matrix {
+    /// Packing granularity in bits: 32 samples per word.
+    pub const WORD_BITS: usize = 32;
+
+    /// Quantises a host matrix (`rows × k`) to 1-bit by keeping component
+    /// signs, padding the packed dimension to a whole number of words with
+    /// binary 0 (decimal −1) as the paper prescribes.
+    pub fn from_host(host: &HostComplexMatrix) -> Self {
+        Self::from_host_padded(host, Self::WORD_BITS)
+    }
+
+    /// Quantises and pads the packed dimension up to a multiple of
+    /// `k_granularity` bits (e.g. the tensor-core fragment depth), so the
+    /// K<sub>pad</sub> correction of Eq. 5 can be exercised explicitly.
+    pub fn from_host_padded(host: &HostComplexMatrix, k_granularity: usize) -> Self {
+        let rows = host.rows();
+        let k_bits = host.cols();
+        let k_padded = round_up(k_bits.max(1), k_granularity.max(Self::WORD_BITS));
+        let mut re = Vec::with_capacity(rows);
+        let mut im = Vec::with_capacity(rows);
+        for r in 0..rows {
+            let mut re_bits = PackedBits::zeros(k_padded);
+            let mut im_bits = PackedBits::zeros(k_padded);
+            for c in 0..k_bits {
+                let v = host.get(r, c);
+                re_bits.set(c, v.re >= 0.0);
+                im_bits.set(c, v.im >= 0.0);
+            }
+            re.push(re_bits);
+            im.push(im_bits);
+        }
+        Int1Matrix { rows, k_bits, k_padded, re, im }
+    }
+
+    /// Number of bit-rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Valid samples per row (the logical `K`).
+    pub fn k_bits(&self) -> usize {
+        self.k_bits
+    }
+
+    /// Samples per row after padding.
+    pub fn k_padded(&self) -> usize {
+        self.k_padded
+    }
+
+    /// Amount of padding along the packed dimension (the `K_pad` of Eq. 5).
+    pub fn k_padding(&self) -> usize {
+        self.k_padded - self.k_bits
+    }
+
+    /// Real bit plane of one row.
+    pub fn re_row(&self, row: usize) -> &PackedBits {
+        &self.re[row]
+    }
+
+    /// Imaginary bit plane of one row.
+    pub fn im_row(&self, row: usize) -> &PackedBits {
+        &self.im[row]
+    }
+
+    /// Decodes back to ±1-valued complex numbers (only the valid samples).
+    pub fn to_host(&self) -> HostComplexMatrix {
+        HostComplexMatrix::from_fn(self.rows, self.k_bits, |r, c| {
+            Complex::new(
+                if self.re[r].get(c) { 1.0 } else { -1.0 },
+                if self.im[r].get(c) { 1.0 } else { -1.0 },
+            )
+        })
+    }
+
+    /// Device-memory footprint in bytes (two bit planes).
+    pub fn device_bytes(&self) -> u128 {
+        2 * (self.rows as u128) * (self.k_padded as u128) / 8
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn host_matrix_roundtrip_and_indexing() {
+        let m = HostComplexMatrix::from_fn(3, 4, |r, c| Complex::new(r as f32, c as f32));
+        assert_eq!(m.rows(), 3);
+        assert_eq!(m.cols(), 4);
+        assert_eq!(m.get(2, 3), Complex::new(2.0, 3.0));
+        let t = m.transposed();
+        assert_eq!(t.rows(), 4);
+        assert_eq!(t.get(3, 2), Complex::new(2.0, 3.0));
+        assert_eq!(m.transposed().transposed(), m);
+    }
+
+    #[test]
+    fn from_data_validates_length() {
+        assert!(HostComplexMatrix::from_data(2, 2, vec![Complex32::ZERO; 4]).is_ok());
+        assert!(HostComplexMatrix::from_data(2, 2, vec![Complex32::ZERO; 3]).is_err());
+    }
+
+    #[test]
+    fn f16_matrix_quantises_with_half_precision() {
+        let host = HostComplexMatrix::from_fn(4, 4, |r, c| {
+            Complex::new(1.0 / (1.0 + r as f32), -1.0 / (1.0 + c as f32))
+        });
+        let dev = F16Matrix::from_host(&host);
+        let back = dev.to_host();
+        assert!(host.max_abs_diff(&back) < 1e-3);
+        assert_eq!(dev.device_bytes(), 4 * 16);
+    }
+
+    #[test]
+    fn int1_matrix_packs_signs_and_pads() {
+        let host = HostComplexMatrix::from_fn(2, 40, |r, c| {
+            Complex::new(if (r + c) % 2 == 0 { 1.0 } else { -1.0 }, -0.5)
+        });
+        let dev = Int1Matrix::from_host_padded(&host, 128);
+        assert_eq!(dev.rows(), 2);
+        assert_eq!(dev.k_bits(), 40);
+        assert_eq!(dev.k_padded(), 128);
+        assert_eq!(dev.k_padding(), 88);
+        // Padding bits decode as −1 (binary 0).
+        assert!(!dev.re_row(0).get(100));
+        let back = dev.to_host();
+        assert_eq!(back.cols(), 40);
+        for r in 0..2 {
+            for c in 0..40 {
+                let expect = Complex::new(if (r + c) % 2 == 0 { 1.0 } else { -1.0 }, -1.0);
+                assert_eq!(back.get(r, c), expect);
+            }
+        }
+    }
+
+    #[test]
+    fn device_bytes_accounting() {
+        let host = HostComplexMatrix::zeros(8, 256);
+        let one_bit = Int1Matrix::from_host(&host);
+        // 8 rows × 256 bits × 2 planes / 8 bits-per-byte = 512 bytes.
+        assert_eq!(one_bit.device_bytes(), 512);
+        let f16m = F16Matrix::from_host(&host);
+        assert_eq!(f16m.device_bytes(), 8 * 256 * 4);
+    }
+
+    #[test]
+    fn frobenius_norm_and_diff() {
+        let a = HostComplexMatrix::from_fn(2, 2, |_, _| Complex::new(1.0, 0.0));
+        let b = HostComplexMatrix::from_fn(2, 2, |_, _| Complex::new(0.0, 0.0));
+        assert_eq!(a.frobenius_norm(), 2.0);
+        assert_eq!(a.max_abs_diff(&b), 1.0);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn int1_quantisation_is_idempotent(rows in 1usize..6, k in 1usize..80, seed in any::<u64>()) {
+            let mut state = seed | 1;
+            let mut next = move || {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                ((state >> 40) as f32 / 8388608.0) - 1.0
+            };
+            let host = HostComplexMatrix::from_fn(rows, k, |_, _| Complex::new(next(), next()));
+            let once = Int1Matrix::from_host(&host).to_host();
+            let twice = Int1Matrix::from_host(&once).to_host();
+            prop_assert_eq!(once, twice);
+        }
+
+        #[test]
+        fn f16_roundtrip_error_is_bounded(rows in 1usize..5, cols in 1usize..5, scale in 0.1f32..100.0) {
+            let host = HostComplexMatrix::from_fn(rows, cols, |r, c| {
+                Complex::new(scale * (r as f32 + 0.5), -scale * (c as f32 + 0.25))
+            });
+            let back = F16Matrix::from_host(&host).to_host();
+            let tol = scale * (rows + cols) as f32 * 2.0f32.powi(-10);
+            prop_assert!(host.max_abs_diff(&back) <= tol);
+        }
+    }
+}

@@ -1,0 +1,50 @@
+//! Software GPU substrate for the Tensor-Core Beamformer reproduction.
+//!
+//! The paper evaluates ccglib on seven NVIDIA and AMD GPUs.  This
+//! environment has no GPU, so — following the substitution rule documented
+//! in `DESIGN.md` — this crate provides the pieces of the GPU stack the
+//! library and its evaluation actually depend on:
+//!
+//! * [`arch`] / [`device`] — a catalog of the seven evaluated devices
+//!   (AD4000, A100, GH200, W7700, MI210, MI300X, MI300A) with their
+//!   architectural features (tensor-core fragment support, async copies,
+//!   XOR deprecation on Hopper, WMMA-vs-WGMMA interface efficiency),
+//!   clocks, peak throughputs, memory bandwidth and power envelope.
+//! * [`wmma`] — *functional* fragment-level matrix-multiply-accumulate:
+//!   `mma_sync` for half-precision fragments and `bmma_sync` for 1-bit
+//!   fragments with XOR or AND + popcount, executed bit-exactly on the CPU.
+//!   These are the primitives the ccglib kernels are written against.
+//! * [`exec`] — an analytic execution model: given a kernel profile
+//!   (operations, bytes moved, launch configuration, tuning parameters) it
+//!   predicts execution time the way a roofline-plus-occupancy model does.
+//!   All timing numbers reported by the benchmark harness come from this
+//!   model, calibrated against the paper's published peaks.
+//! * [`memory`] — shared-memory capacity and asynchronous-copy pipeline
+//!   modelling used by the execution model and by the kernel planner to
+//!   reject invalid tuning configurations.
+//! * [`power`] — a simple utilisation-based power model sampled by the
+//!   `pmt` crate to produce energy-efficiency numbers.
+//! * [`roofline`] — roofline ceilings and attainable-performance queries
+//!   used for Fig. 3.
+//!
+//! Functional correctness (the numbers in output matrices) never depends on
+//! the performance model; the two are deliberately separated so tests can
+//! validate them independently.
+
+#![deny(missing_docs)]
+
+pub mod arch;
+pub mod device;
+pub mod exec;
+pub mod memory;
+pub mod power;
+pub mod roofline;
+pub mod wmma;
+
+pub use arch::{Architecture, BitOp, Vendor};
+pub use device::{Device, DeviceSpec, Gpu};
+pub use exec::{ExecutionModel, KernelKind, KernelProfile, KernelTimings, LaunchConfig};
+pub use memory::{MemoryModel, SharedMemoryPlan};
+pub use power::{PowerModel, PowerSample};
+pub use roofline::{Roofline, RooflinePoint};
+pub use wmma::{BitFragmentShape, FragmentShape};

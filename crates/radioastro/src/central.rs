@@ -1,0 +1,236 @@
+//! The central (second-stage) beamformer.
+//!
+//! The central processor combines the beamlet streams of all stations.
+//! *Coherent* beamforming preserves phase: every tied-array beam is a
+//! weighted sum over stations, so forming `M` beams over `N` samples and
+//! `K` stations is the ccglib GEMM (with the product of polarisations and
+//! channels as the batch size).  *Incoherent* beamforming adds station
+//! powers instead: computationally cheap, wide field of view, no ccglib
+//! involvement.  The float32 [`ReferenceBeamformer`] stands in for the
+//! existing LOFAR GPU beamformer the paper compares against (with the
+//! weight *computation* excluded, as the paper does for fairness).
+
+use crate::station::StationBeamlets;
+use beamform::geometry::SPEED_OF_LIGHT;
+use ccglib::matrix::HostComplexMatrix;
+use ccglib::{reference_gemm, Gemm, GemmInput, Precision, RunReport};
+use gpu_sim::Device;
+use serde::{Deserialize, Serialize};
+use tcbf_types::{Complex, GemmShape};
+
+/// Mode of the central beamformer.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CentralMode {
+    /// Phase-preserving tied-array beamforming (runs on tensor cores).
+    Coherent,
+    /// Power addition across stations (no phase information retained).
+    Incoherent,
+}
+
+/// Output of the central beamformer.
+#[derive(Clone, Debug)]
+pub struct CentralOutput {
+    /// Beam power per (beam, sample): `M × N`, real valued.
+    pub power: Vec<Vec<f64>>,
+    /// Complex beamformed data (`M × N`) for the coherent mode.
+    pub complex_beams: Option<HostComplexMatrix>,
+    /// Performance report of the tensor-core GEMM (coherent mode only).
+    pub report: Option<RunReport>,
+}
+
+/// The central tensor-core beamformer: a thin LOFAR-specific wrapper
+/// around the 16-bit mode of ccglib.
+pub struct CentralBeamformer {
+    device: Device,
+    beam_azimuths: Vec<f64>,
+}
+
+impl CentralBeamformer {
+    /// Creates a central beamformer forming one tied-array beam per entry
+    /// of `beam_azimuths` (radians from the pointing centre).
+    pub fn new(device: &Device, beam_azimuths: Vec<f64>) -> Self {
+        assert!(!beam_azimuths.is_empty(), "at least one beam is required");
+        CentralBeamformer { device: device.clone(), beam_azimuths }
+    }
+
+    /// Number of tied-array beams (`M`).
+    pub fn num_beams(&self) -> usize {
+        self.beam_azimuths.len()
+    }
+
+    /// Station weights for all beams: `M × K`, the phase conjugate of each
+    /// station's geometric delay towards each beam direction.
+    pub fn weights(&self, beamlets: &StationBeamlets) -> HostComplexMatrix {
+        let k = beamlets.num_stations();
+        let positions = beamlets.station_positions_m();
+        let frequency = beamlets.frequency();
+        HostComplexMatrix::from_fn(self.num_beams(), k, |beam, station| {
+            let delay = positions[station] * self.beam_azimuths[beam].sin() / SPEED_OF_LIGHT;
+            let phi = std::f64::consts::TAU * frequency * delay;
+            Complex::from_polar(1.0 / k as f32, phi as f32)
+        })
+    }
+
+    /// Runs the central beamformer in the requested mode.
+    pub fn beamform(
+        &self,
+        beamlets: &StationBeamlets,
+        mode: CentralMode,
+    ) -> ccglib::Result<CentralOutput> {
+        match mode {
+            CentralMode::Incoherent => Ok(self.incoherent(beamlets)),
+            CentralMode::Coherent => self.coherent(beamlets),
+        }
+    }
+
+    fn incoherent(&self, beamlets: &StationBeamlets) -> CentralOutput {
+        // Incoherent beamforming discards phase: one wide beam whose power
+        // is the sum of station powers.  Every "beam" sees the same power.
+        let n = beamlets.num_samples();
+        let k = beamlets.num_stations();
+        let mut per_sample = vec![0.0f64; n];
+        for (sample, power) in per_sample.iter_mut().enumerate() {
+            for station in 0..k {
+                *power += f64::from(beamlets.matrix().get(station, sample).norm_sqr());
+            }
+            *power /= k as f64;
+        }
+        CentralOutput {
+            power: vec![per_sample; self.num_beams()],
+            complex_beams: None,
+            report: None,
+        }
+    }
+
+    fn coherent(&self, beamlets: &StationBeamlets) -> ccglib::Result<CentralOutput> {
+        let weights = self.weights(beamlets);
+        let shape = GemmShape::new(
+            self.num_beams(),
+            beamlets.num_samples(),
+            beamlets.num_stations(),
+        );
+        let gemm = Gemm::new(&self.device, shape, Precision::Float16)?;
+        let samples_t = beamlets.matrix().transposed();
+        let (beams, report) = gemm.run(
+            &GemmInput::quantise_f16(&weights),
+            &GemmInput::quantise_f16(&samples_t),
+        )?;
+        let power = (0..self.num_beams())
+            .map(|b| {
+                (0..beamlets.num_samples())
+                    .map(|s| f64::from(beams.get(b, s).norm_sqr()))
+                    .collect()
+            })
+            .collect();
+        Ok(CentralOutput { power, complex_beams: Some(beams), report: Some(report) })
+    }
+
+    /// Mean power of one beam over all samples.
+    pub fn mean_beam_power(output: &CentralOutput, beam: usize) -> f64 {
+        let series = &output.power[beam];
+        series.iter().sum::<f64>() / series.len() as f64
+    }
+}
+
+/// The float32 reference beamformer: the "current LOFAR beamformer kernel
+/// (without Tensor Cores) running in float32 precision" of Fig. 7.
+pub struct ReferenceBeamformer;
+
+impl ReferenceBeamformer {
+    /// Coherently beamforms in full float32 precision on the host — the
+    /// functional ground truth for the tensor-core output.
+    pub fn beamform(
+        weights: &HostComplexMatrix,
+        beamlets: &StationBeamlets,
+    ) -> ccglib::Result<HostComplexMatrix> {
+        reference_gemm(weights, &beamlets.matrix().transposed())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::station::SkySource;
+    use gpu_sim::Gpu;
+
+    const FREQ: f64 = 150e6;
+
+    fn beamlets_with_source(azimuth: f64, stations: usize) -> StationBeamlets {
+        StationBeamlets::synthesise(
+            stations,
+            32,
+            FREQ,
+            &[SkySource { azimuth, amplitude: 1.0 }],
+            0.0,
+            64,
+            0.05,
+            17,
+        )
+    }
+
+    fn beam_grid() -> Vec<f64> {
+        // Tied-array beams a few hundred micro-radians apart: the narrow
+        // beams a kilometre-scale array synthesises.
+        (0..7).map(|i| (i as f64 - 3.0) * 2e-4).collect()
+    }
+
+    #[test]
+    fn coherent_beamformer_localises_the_source() {
+        let beamlets = beamlets_with_source(2e-4, 24);
+        let bf = CentralBeamformer::new(&Gpu::A100.device(), beam_grid());
+        let output = bf.beamform(&beamlets, CentralMode::Coherent).unwrap();
+        let powers: Vec<f64> =
+            (0..bf.num_beams()).map(|b| CentralBeamformer::mean_beam_power(&output, b)).collect();
+        let best = powers.iter().enumerate().max_by(|a, b| a.1.total_cmp(b.1)).unwrap().0;
+        // Beam index 4 looks at +2e-4 rad.
+        assert_eq!(best, 4, "powers {powers:?}");
+        assert!(output.report.is_some());
+        assert!(output.complex_beams.is_some());
+    }
+
+    #[test]
+    fn coherent_matches_float32_reference() {
+        let beamlets = beamlets_with_source(0.0, 16);
+        let bf = CentralBeamformer::new(&Gpu::Gh200.device(), beam_grid());
+        let weights = bf.weights(&beamlets);
+        let tensor = bf.beamform(&beamlets, CentralMode::Coherent).unwrap();
+        let reference = ReferenceBeamformer::beamform(&weights, &beamlets).unwrap();
+        let diff = tensor.complex_beams.unwrap().max_abs_diff(&reference);
+        assert!(diff < 0.02, "difference {diff}");
+    }
+
+    #[test]
+    fn incoherent_beamformer_is_direction_insensitive_but_cheap() {
+        let beamlets = beamlets_with_source(3e-4, 24);
+        let bf = CentralBeamformer::new(&Gpu::A100.device(), beam_grid());
+        let output = bf.beamform(&beamlets, CentralMode::Incoherent).unwrap();
+        // Every beam has the same power: no localisation.
+        let p0 = CentralBeamformer::mean_beam_power(&output, 0);
+        let p6 = CentralBeamformer::mean_beam_power(&output, 6);
+        assert!((p0 - p6).abs() < 1e-9);
+        assert!(output.report.is_none());
+    }
+
+    #[test]
+    fn coherent_beam_is_narrower_with_more_stations() {
+        // Higher angular resolution with more stations: the power ratio
+        // between the on-source beam and a neighbouring beam grows.
+        let ratio = |stations: usize| -> f64 {
+            let beamlets = beamlets_with_source(0.0, stations);
+            let bf = CentralBeamformer::new(&Gpu::A100.device(), vec![0.0, 4e-4]);
+            let output = bf.beamform(&beamlets, CentralMode::Coherent).unwrap();
+            CentralBeamformer::mean_beam_power(&output, 0)
+                / CentralBeamformer::mean_beam_power(&output, 1)
+        };
+        assert!(ratio(32) > ratio(8));
+    }
+
+    #[test]
+    fn weights_have_unit_sum_magnitude() {
+        let beamlets = beamlets_with_source(0.0, 12);
+        let bf = CentralBeamformer::new(&Gpu::A100.device(), vec![0.0]);
+        let weights = bf.weights(&beamlets);
+        let sum: f32 = (0..12).map(|k| weights.get(0, k).abs()).sum();
+        assert!((sum - 1.0).abs() < 1e-4);
+    }
+}

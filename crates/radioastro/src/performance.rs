@@ -1,0 +1,200 @@
+//! The Fig. 7 performance sweep: LOFAR tensor-core beamformer throughput
+//! and energy efficiency versus the number of combined receivers.
+//!
+//! Configuration from the paper: 1024 beams, 1024 time samples, 8 to 512
+//! stations, batch size 256 (polarisations × channels); only the
+//! matrix-multiplication component is timed because the data are already
+//! GPU-resident.  The reference lines are the existing LOFAR float32
+//! beamformer kernel on the A100 and GH200, with the weight computation
+//! removed for a fair comparison.
+
+use ccglib::{reference, Gemm, Precision};
+use gpu_sim::{Device, ExecutionModel, PowerModel};
+use serde::{Deserialize, Serialize};
+use tcbf_types::GemmShape;
+
+/// Configuration of the LOFAR sweep.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LofarConfig {
+    /// Number of tied-array beams (`M`).
+    pub beams: usize,
+    /// Number of time samples per block (`N`).
+    pub samples: usize,
+    /// Batch size: polarisations × channels.
+    pub batch: usize,
+}
+
+impl LofarConfig {
+    /// The configuration used for Fig. 7.
+    pub fn paper() -> Self {
+        LofarConfig { beams: 1024, samples: 1024, batch: 256 }
+    }
+
+    /// The GEMM shape for a given number of stations.
+    pub fn shape(&self, stations: usize) -> GemmShape {
+        GemmShape::batched(self.batch, self.beams, self.samples, stations)
+    }
+
+    /// The typical LOFAR configuration combines 48 stations.
+    pub const TYPICAL_STATIONS: usize = 48;
+}
+
+/// One point of the Fig. 7 curves.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct SweepPoint {
+    /// Number of receivers (stations) combined.
+    pub receivers: usize,
+    /// Achieved throughput in TeraFLOP/s (the paper labels the float16
+    /// axis TFLOPs/s).
+    pub tflops: f64,
+    /// Energy efficiency in TeraFLOP/J.
+    pub tflops_per_joule: f64,
+}
+
+/// Runs the tensor-core sweep for one device over a list of receiver
+/// counts.
+pub fn lofar_sweep(device: &Device, config: &LofarConfig, receivers: &[usize]) -> Vec<SweepPoint> {
+    receivers
+        .iter()
+        .map(|&k| {
+            let gemm = Gemm::new(device, config.shape(k), Precision::Float16)
+                .expect("LOFAR shapes fit on every evaluated device");
+            let report = gemm.predict();
+            SweepPoint {
+                receivers: k,
+                tflops: report.achieved_tops,
+                tflops_per_joule: report.tops_per_joule,
+            }
+        })
+        .collect()
+}
+
+/// Runs the float32 reference beamformer sweep (the non-tensor-core LOFAR
+/// kernel) for one device.
+pub fn reference_sweep(device: &Device, config: &LofarConfig, receivers: &[usize]) -> Vec<SweepPoint> {
+    let spec = device.spec();
+    let exec = ExecutionModel::new(spec.clone());
+    let power = PowerModel::new(spec.clone());
+    receivers
+        .iter()
+        .map(|&k| {
+            let shape = config.shape(k);
+            let profile =
+                reference::reference_profile(spec, &shape, reference::DEFAULT_REFERENCE_EFFICIENCY);
+            let timings = exec.time(&profile);
+            let joules = power.energy_joules(profile.kind, &timings);
+            SweepPoint {
+                receivers: k,
+                tflops: timings.achieved_tops,
+                tflops_per_joule: shape.complex_ops() as f64 / joules / 1e12,
+            }
+        })
+        .collect()
+}
+
+/// The receiver counts swept in Fig. 7 (8 to 512 in steps of 8).
+pub fn paper_receiver_counts() -> Vec<usize> {
+    (8..=512).step_by(8).collect()
+}
+
+/// Speed-up of the tensor-core beamformer over the reference beamformer on
+/// the same device at a given receiver count.
+pub fn speedup_over_reference(device: &Device, config: &LofarConfig, receivers: usize) -> f64 {
+    let tc = lofar_sweep(device, config, &[receivers])[0];
+    let reference = reference_sweep(device, config, &[receivers])[0];
+    tc.tflops / reference.tflops
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_sim::Gpu;
+
+    #[test]
+    fn paper_config_shapes() {
+        let config = LofarConfig::paper();
+        let shape = config.shape(48);
+        assert_eq!(shape, GemmShape::batched(256, 1024, 1024, 48));
+        assert_eq!(paper_receiver_counts().len(), 64);
+        assert_eq!(paper_receiver_counts()[0], 8);
+        assert_eq!(*paper_receiver_counts().last().unwrap(), 512);
+    }
+
+    #[test]
+    fn throughput_grows_with_receivers() {
+        let config = LofarConfig::paper();
+        let points = lofar_sweep(&Gpu::A100.device(), &config, &[8, 64, 256, 512]);
+        assert_eq!(points.len(), 4);
+        assert!(points[0].tflops < points[1].tflops);
+        assert!(points[1].tflops < points[3].tflops);
+    }
+
+    #[test]
+    fn tcbf_beats_reference_except_for_tiny_receiver_counts() {
+        // Fig. 7 / conclusions: "Except for very small numbers of
+        // receivers, the TCBF outperforms the reference beamformer …  On
+        // the A100, the TCBF is up to 20 times faster and 10 times more
+        // energy efficient."
+        let config = LofarConfig::paper();
+        let device = Gpu::A100.device();
+        let receivers = [8usize, 48, 256, 512];
+        let tc = lofar_sweep(&device, &config, &receivers);
+        let reference = reference_sweep(&device, &config, &receivers);
+        // At 48 stations (the typical configuration) and above, the TCBF
+        // is several times faster.
+        for i in 1..receivers.len() {
+            assert!(
+                tc[i].tflops > 2.0 * reference[i].tflops,
+                "receivers {}: {} vs {}",
+                receivers[i],
+                tc[i].tflops,
+                reference[i].tflops
+            );
+            assert!(tc[i].tflops_per_joule > reference[i].tflops_per_joule);
+        }
+        // The maximum speed-up over the sweep reaches order 10-20x.
+        let max_speedup = receivers
+            .iter()
+            .map(|&k| speedup_over_reference(&device, &config, k))
+            .fold(0.0, f64::max);
+        assert!(max_speedup > 8.0, "max speedup {max_speedup}");
+        assert!(max_speedup < 100.0, "max speedup {max_speedup} implausibly high");
+    }
+
+    #[test]
+    fn mi300x_outperforms_gh200_on_this_application() {
+        // "The MI300X outperforms the GH200 on this application, achieving
+        // up to 50% higher performance" — but does not reach its own peak
+        // because 512 receivers is still too small a workload.
+        let config = LofarConfig::paper();
+        let receivers = [512usize];
+        let mi300x = lofar_sweep(&Gpu::Mi300x.device(), &config, &receivers)[0];
+        let gh200 = lofar_sweep(&Gpu::Gh200.device(), &config, &receivers)[0];
+        assert!(mi300x.tflops > gh200.tflops);
+        assert!(mi300x.tflops < 0.9 * 603.0, "MI300X should not reach its large-matrix throughput");
+    }
+
+    #[test]
+    fn sawtooth_from_receiver_padding() {
+        // "The sawtooth pattern stems from padding that happens when the
+        // number of receivers is not a multiple of the amount of work per
+        // GPU thread block": a receiver count just above a fragment
+        // boundary is less efficient than the boundary itself.
+        let config = LofarConfig::paper();
+        let device = Gpu::A100.device();
+        let at = |k: usize| lofar_sweep(&device, &config, &[k])[0].tflops;
+        assert!(at(256) > at(264) || at(128) > at(136));
+    }
+
+    #[test]
+    fn energy_efficiency_advantage_of_the_tcbf() {
+        // The radio-astronomical TCBF is several times more energy
+        // efficient than the reference beamformer.
+        let config = LofarConfig::paper();
+        let device = Gpu::A100.device();
+        let tc = lofar_sweep(&device, &config, &[512])[0];
+        let reference = reference_sweep(&device, &config, &[512])[0];
+        let gain = tc.tflops_per_joule / reference.tflops_per_joule;
+        assert!(gain > 4.0, "energy gain {gain}");
+    }
+}

@@ -1,0 +1,172 @@
+//! The Tensor-Core Beamformer (TCBF) — top-level facade.
+//!
+//! This crate ties the workspace together behind the API a downstream user
+//! would reach for first:
+//!
+//! * [`TensorCoreBeamformer`] — create a beamformer for a device, a weight
+//!   matrix and a precision, feed it blocks of receiver samples, get beams
+//!   plus performance/energy reports back;
+//! * re-exports of the building blocks (`ccglib`, the device catalog, the
+//!   tuner, the generic beamforming layer) for users who need lower-level
+//!   control;
+//! * [`version`] and [`supported_devices`] introspection helpers.
+//!
+//! The domain applications live in their own crates (`ultrasound`,
+//! `radioastro`) and are thin wrappers around the same pieces, exactly as
+//! the paper describes the layering.
+
+#![deny(missing_docs)]
+
+pub use beamform::{
+    ArrayGeometry, BeamformOutput, Beamformer, BeamformerConfig, PlaneWaveSource, SignalGenerator,
+    WeightMatrix,
+};
+pub use ccglib::{
+    benchmark, Gemm, GemmInput, ParameterSpace, Precision, RunReport, TuningParameters,
+};
+pub use gpu_sim::{Device, DeviceSpec, Gpu};
+pub use pmt::{EnergyMeasurement, PowerMeter};
+pub use tuner::{Objective, Strategy, TuneOutcome, Tuner};
+
+use ccglib::matrix::HostComplexMatrix;
+use tcbf_types::GemmShape;
+
+/// Library version (mirrors the crate version).
+pub fn version() -> &'static str {
+    env!("CARGO_PKG_VERSION")
+}
+
+/// The devices the library ships calibrated models and tuned defaults for.
+pub fn supported_devices() -> Vec<DeviceSpec> {
+    DeviceSpec::catalog()
+}
+
+/// The highest-level entry point: a beamformer bound to a device, a set of
+/// beam weights and a precision.
+///
+/// ```
+/// use tcbf::{Gpu, Precision, TensorCoreBeamformer};
+/// use ccglib::matrix::HostComplexMatrix;
+/// use tcbf_types::Complex;
+///
+/// // 8 beams from 32 receivers, 64 samples at a time, on a simulated A100.
+/// let weights = HostComplexMatrix::from_fn(8, 32, |b, r| {
+///     Complex::from_polar(1.0 / 32.0, (b * r) as f32 * 0.01)
+/// });
+/// let beamformer = TensorCoreBeamformer::new(Gpu::A100, weights, 64, Precision::Float16).unwrap();
+/// let samples = HostComplexMatrix::from_fn(32, 64, |r, s| Complex::new(r as f32 * 0.1, s as f32 * 0.05));
+/// let output = beamformer.beamform(&samples).unwrap();
+/// assert_eq!(output.beams.rows(), 8);
+/// assert_eq!(output.beams.cols(), 64);
+/// ```
+pub struct TensorCoreBeamformer {
+    inner: Beamformer,
+    gpu: Gpu,
+    precision: Precision,
+}
+
+impl TensorCoreBeamformer {
+    /// Creates a beamformer from a raw `M × K` weight matrix.
+    pub fn new(
+        gpu: Gpu,
+        weights: HostComplexMatrix,
+        samples_per_block: usize,
+        precision: Precision,
+    ) -> ccglib::Result<Self> {
+        let device = gpu.device();
+        let config = BeamformerConfig { precision, batch: 1, params: None };
+        let inner = Beamformer::new(
+            &device,
+            WeightMatrix::from_matrix(weights),
+            samples_per_block,
+            config,
+        )?;
+        Ok(TensorCoreBeamformer { inner, gpu, precision })
+    }
+
+    /// The device the beamformer runs on.
+    pub fn gpu(&self) -> Gpu {
+        self.gpu
+    }
+
+    /// The precision in use.
+    pub fn precision(&self) -> Precision {
+        self.precision
+    }
+
+    /// The GEMM shape one block maps to.
+    pub fn shape(&self) -> GemmShape {
+        self.inner.shape()
+    }
+
+    /// Beamforms one block of `K × N` receiver samples.
+    pub fn beamform(&self, samples: &HostComplexMatrix) -> ccglib::Result<BeamformOutput> {
+        self.inner.beamform(samples)
+    }
+
+    /// Predicted performance of one block without computing data.
+    pub fn predict(&self) -> RunReport {
+        self.inner.predict()
+    }
+
+    /// Auto-tunes the kernel for this beamformer's shape and returns the
+    /// tuning outcome (the library otherwise uses shipped defaults).
+    pub fn autotune(&self, strategy: Strategy, objective: Objective) -> Option<TuneOutcome> {
+        Tuner::new(self.gpu.device(), self.shape(), self.precision).tune(strategy, objective)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tcbf_types::Complex;
+
+    fn weights(beams: usize, receivers: usize) -> HostComplexMatrix {
+        HostComplexMatrix::from_fn(beams, receivers, |b, r| {
+            Complex::from_polar(1.0 / receivers as f32, (b * r) as f32 * 0.02)
+        })
+    }
+
+    #[test]
+    fn version_and_catalog() {
+        assert!(!version().is_empty());
+        assert_eq!(supported_devices().len(), 7);
+    }
+
+    #[test]
+    fn facade_beamforms_and_reports() {
+        let bf =
+            TensorCoreBeamformer::new(Gpu::Gh200, weights(16, 64), 32, Precision::Float16).unwrap();
+        assert_eq!(bf.gpu(), Gpu::Gh200);
+        assert_eq!(bf.shape(), GemmShape::new(16, 32, 64));
+        let samples = HostComplexMatrix::from_fn(64, 32, |r, s| {
+            Complex::new((r + s) as f32 * 0.01, (r as f32 - s as f32) * 0.01)
+        });
+        let output = bf.beamform(&samples).unwrap();
+        assert_eq!(output.beams.rows(), 16);
+        assert!(output.report.achieved_tops > 0.0);
+        let predicted = bf.predict();
+        assert!(predicted.predicted.elapsed_s > 0.0);
+    }
+
+    #[test]
+    fn facade_rejects_int1_on_amd() {
+        let result = TensorCoreBeamformer::new(Gpu::Mi300x, weights(4, 32), 16, Precision::Int1);
+        match result {
+            Err(err) => assert!(err.to_string().contains("not supported")),
+            Ok(_) => panic!("int1 must be rejected on AMD devices"),
+        }
+    }
+
+    #[test]
+    fn facade_autotune_returns_an_outcome() {
+        let bf =
+            TensorCoreBeamformer::new(Gpu::A100, weights(256, 128), 256, Precision::Float16)
+                .unwrap();
+        let outcome = bf
+            .autotune(Strategy::Random { samples: 6, seed: 1 }, Objective::Performance)
+            .unwrap();
+        assert_eq!(outcome.evaluated.len(), 6);
+        assert!(outcome.best.tops > 0.0);
+    }
+}

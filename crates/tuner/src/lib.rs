@@ -1,0 +1,397 @@
+//! Kernel auto-tuner — the Kernel Tuner analogue of Section IV-A.
+//!
+//! The GPU kernels of ccglib expose tunable parameters (work per thread
+//! block and per warp along `M` and `N`, and the number of pipeline
+//! buffers).  The optimal values depend on the device, the input sizes and
+//! the precision, so the paper tunes each kernel with Kernel Tuner,
+//! measuring both run time and — through PMT — energy.
+//!
+//! This crate re-creates that workflow against the simulated devices:
+//!
+//! * a [`Tuner`] owns the device, problem shape, precision and the
+//!   parameter search space;
+//! * every candidate configuration is *benchmarked* by building a ccglib
+//!   plan for it and asking the execution/power models for throughput and
+//!   energy efficiency, exactly the two observables Fig. 2 plots;
+//! * several [`Strategy`] options mirror Kernel Tuner's search strategies
+//!   (brute force, random sampling, greedy local search);
+//! * results serialise to JSON, as Kernel Tuner's cache files do.
+
+#![deny(missing_docs)]
+
+use ccglib::benchmark::{measure_with_params, ThroughputResult};
+use ccglib::{ParameterSpace, Precision, TuningParameters};
+use gpu_sim::{Device, Gpu};
+use rand::prelude::*;
+use rand::rngs::StdRng;
+use serde::{Deserialize, Serialize};
+use tcbf_types::GemmShape;
+
+/// What the tuner optimises for.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Objective {
+    /// Maximise throughput (TeraOps/s).
+    Performance,
+    /// Maximise energy efficiency (TeraOps/J).
+    EnergyEfficiency,
+}
+
+/// Search strategy over the parameter space.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Strategy {
+    /// Evaluate every valid configuration (what the paper does: "we need to
+    /// explore a vast search space").
+    Exhaustive,
+    /// Evaluate a random subset of the valid configurations.
+    Random {
+        /// Number of configurations to sample.
+        samples: usize,
+        /// RNG seed, so tuning runs are reproducible.
+        seed: u64,
+    },
+    /// Greedy neighbourhood search: start from the shipped default and move
+    /// to the best neighbour (one parameter changed one step) until no
+    /// neighbour improves.
+    GreedyLocalSearch {
+        /// Maximum number of moves.
+        max_steps: usize,
+    },
+}
+
+/// Measurement of one evaluated configuration.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct TuneResult {
+    /// The configuration.
+    pub params: TuningParameters,
+    /// Achieved throughput in TeraOps/s.
+    pub tops: f64,
+    /// Energy efficiency in TeraOps/J.
+    pub tops_per_joule: f64,
+    /// Predicted kernel time in seconds.
+    pub elapsed_s: f64,
+}
+
+impl TuneResult {
+    fn from_throughput(params: TuningParameters, r: &ThroughputResult) -> Self {
+        TuneResult {
+            params,
+            tops: r.tops,
+            tops_per_joule: r.tops_per_joule,
+            elapsed_s: r.elapsed_s,
+        }
+    }
+
+    /// The objective value of this result.
+    pub fn objective_value(&self, objective: Objective) -> f64 {
+        match objective {
+            Objective::Performance => self.tops,
+            Objective::EnergyEfficiency => self.tops_per_joule,
+        }
+    }
+}
+
+/// Outcome of a tuning run.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct TuneOutcome {
+    /// Device short name.
+    pub device: String,
+    /// Precision tuned for.
+    pub precision: String,
+    /// Problem shape tuned on.
+    pub shape: GemmShape,
+    /// The best configuration found under the requested objective.
+    pub best: TuneResult,
+    /// Every evaluated configuration (the points of the Fig. 2 scatter).
+    pub evaluated: Vec<TuneResult>,
+}
+
+impl TuneOutcome {
+    /// Serialises the outcome to JSON (the analogue of Kernel Tuner's cache
+    /// files).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("tuning outcome serialises")
+    }
+
+    /// Restores an outcome from JSON.
+    pub fn from_json(json: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(json)
+    }
+
+    /// The best configuration under a *different* objective than the one
+    /// tuned for (the paper observes that the fastest configuration is
+    /// typically also the most energy efficient).
+    pub fn best_under(&self, objective: Objective) -> Option<TuneResult> {
+        self.evaluated
+            .iter()
+            .copied()
+            .max_by(|a, b| a.objective_value(objective).total_cmp(&b.objective_value(objective)))
+    }
+}
+
+/// The auto-tuner for one (device, shape, precision) combination.
+#[derive(Clone)]
+pub struct Tuner {
+    device: Device,
+    shape: GemmShape,
+    precision: Precision,
+    space: ParameterSpace,
+}
+
+impl Tuner {
+    /// Creates a tuner over the paper's search space.
+    pub fn new(device: Device, shape: GemmShape, precision: Precision) -> Self {
+        Tuner { device, shape, precision, space: ParameterSpace::paper_space() }
+    }
+
+    /// Replaces the search space.
+    pub fn with_space(mut self, space: ParameterSpace) -> Self {
+        self.space = space;
+        self
+    }
+
+    /// The paper's tuning shape for a precision (Section IV-A): `8192³` for
+    /// float16, `32768×8192×524288` for 1-bit.
+    pub fn paper_tuning_shape(precision: Precision) -> GemmShape {
+        match precision {
+            Precision::Int1 => GemmShape::new(32_768, 8192, 524_288),
+            _ => GemmShape::new(8192, 8192, 8192),
+        }
+    }
+
+    /// Evaluates a single configuration, returning `None` if it is not
+    /// launchable on the device.
+    pub fn evaluate(&self, params: TuningParameters) -> Option<TuneResult> {
+        measure_with_params(&self.device, self.shape, self.precision, params)
+            .ok()
+            .map(|r| TuneResult::from_throughput(params, &r))
+    }
+
+    fn valid_configurations(&self) -> Vec<TuningParameters> {
+        self.space.valid_combinations(self.device.spec(), self.precision)
+    }
+
+    /// Runs the tuning process.
+    pub fn tune(&self, strategy: Strategy, objective: Objective) -> Option<TuneOutcome> {
+        let evaluated: Vec<TuneResult> = match strategy {
+            Strategy::Exhaustive => self
+                .valid_configurations()
+                .into_iter()
+                .filter_map(|p| self.evaluate(p))
+                .collect(),
+            Strategy::Random { samples, seed } => {
+                let mut rng = StdRng::seed_from_u64(seed);
+                let mut configs = self.valid_configurations();
+                configs.shuffle(&mut rng);
+                configs.truncate(samples.max(1));
+                configs.into_iter().filter_map(|p| self.evaluate(p)).collect()
+            }
+            Strategy::GreedyLocalSearch { max_steps } => self.greedy_search(max_steps, objective),
+        };
+        let best = evaluated
+            .iter()
+            .copied()
+            .max_by(|a, b| a.objective_value(objective).total_cmp(&b.objective_value(objective)))?;
+        Some(TuneOutcome {
+            device: self.device.gpu().name().to_string(),
+            precision: self.precision.to_string(),
+            shape: self.shape,
+            best,
+            evaluated,
+        })
+    }
+
+    fn neighbours(&self, params: TuningParameters) -> Vec<TuningParameters> {
+        let step = |values: &[usize], current: usize| -> Vec<usize> {
+            let idx = values.iter().position(|&v| v == current);
+            match idx {
+                Some(i) => {
+                    let mut out = Vec::new();
+                    if i > 0 {
+                        out.push(values[i - 1]);
+                    }
+                    if i + 1 < values.len() {
+                        out.push(values[i + 1]);
+                    }
+                    out
+                }
+                None => values.to_vec(),
+            }
+        };
+        let mut out = Vec::new();
+        for v in step(&self.space.m_per_block, params.m_per_block) {
+            out.push(TuningParameters { m_per_block: v, ..params });
+        }
+        for v in step(&self.space.m_per_warp, params.m_per_warp) {
+            out.push(TuningParameters { m_per_warp: v, ..params });
+        }
+        for v in step(&self.space.n_per_block, params.n_per_block) {
+            out.push(TuningParameters { n_per_block: v, ..params });
+        }
+        for v in step(&self.space.n_per_warp, params.n_per_warp) {
+            out.push(TuningParameters { n_per_warp: v, ..params });
+        }
+        for v in step(&self.space.buffers, params.buffers) {
+            out.push(TuningParameters { buffers: v, ..params });
+        }
+        out
+    }
+
+    fn greedy_search(&self, max_steps: usize, objective: Objective) -> Vec<TuneResult> {
+        let start = TuningParameters::default_for(self.device.gpu(), self.precision);
+        let mut evaluated = Vec::new();
+        let Some(mut current) = self.evaluate(start) else {
+            // The default may be invalid for exotic spaces; fall back to the
+            // first valid configuration.
+            let Some(first) = self.valid_configurations().into_iter().next() else {
+                return evaluated;
+            };
+            let Some(result) = self.evaluate(first) else {
+                return evaluated;
+            };
+            evaluated.push(result);
+            return evaluated;
+        };
+        evaluated.push(current);
+        for _ in 0..max_steps {
+            let mut improved = false;
+            for candidate in self.neighbours(current.params) {
+                if let Some(result) = self.evaluate(candidate) {
+                    evaluated.push(result);
+                    if result.objective_value(objective) > current.objective_value(objective) {
+                        current = result;
+                        improved = true;
+                    }
+                }
+            }
+            if !improved {
+                break;
+            }
+        }
+        evaluated
+    }
+}
+
+/// Tunes the float16 kernel on every device and the 1-bit kernel on the
+/// NVIDIA devices, exhaustively — the runs behind Fig. 2 and Table III.
+pub fn tune_all_devices(objective: Objective) -> Vec<TuneOutcome> {
+    let mut out = Vec::new();
+    for gpu in Gpu::ALL {
+        let device = gpu.device();
+        let tuner = Tuner::new(
+            device.clone(),
+            Tuner::paper_tuning_shape(Precision::Float16),
+            Precision::Float16,
+        );
+        if let Some(outcome) = tuner.tune(Strategy::Exhaustive, objective) {
+            out.push(outcome);
+        }
+        if device.spec().supports_int1() {
+            let tuner = Tuner::new(
+                device,
+                Tuner::paper_tuning_shape(Precision::Int1),
+                Precision::Int1,
+            );
+            if let Some(outcome) = tuner.tune(Strategy::Exhaustive, objective) {
+                out.push(outcome);
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_shape() -> GemmShape {
+        // Big enough to be compute bound, small enough to keep the test
+        // suite fast (only the analytic model runs, no functional GEMM).
+        GemmShape::new(4096, 4096, 4096)
+    }
+
+    #[test]
+    fn exhaustive_tuning_finds_a_best_configuration() {
+        let tuner = Tuner::new(Gpu::A100.device(), small_shape(), Precision::Float16);
+        let outcome = tuner.tune(Strategy::Exhaustive, Objective::Performance).unwrap();
+        assert!(!outcome.evaluated.is_empty());
+        assert!(outcome
+            .evaluated
+            .iter()
+            .all(|r| r.tops <= outcome.best.tops + 1e-9));
+        assert_eq!(outcome.device, "A100");
+        assert_eq!(outcome.precision, "float16");
+    }
+
+    #[test]
+    fn best_configuration_close_to_shipped_default() {
+        // The tuner's optimum should not beat the shipped default by much
+        // (the defaults are the Table III tuned values).
+        let device = Gpu::Gh200.device();
+        let tuner = Tuner::new(device.clone(), small_shape(), Precision::Float16);
+        let outcome = tuner.tune(Strategy::Exhaustive, Objective::Performance).unwrap();
+        let default = tuner
+            .evaluate(TuningParameters::default_for(Gpu::Gh200, Precision::Float16))
+            .unwrap();
+        assert!(outcome.best.tops <= default.tops * 1.10, "{} vs {}", outcome.best.tops, default.tops);
+    }
+
+    #[test]
+    fn random_strategy_is_reproducible_and_bounded() {
+        let tuner = Tuner::new(Gpu::Mi210.device(), small_shape(), Precision::Float16);
+        let a = tuner.tune(Strategy::Random { samples: 10, seed: 7 }, Objective::Performance).unwrap();
+        let b = tuner.tune(Strategy::Random { samples: 10, seed: 7 }, Objective::Performance).unwrap();
+        assert_eq!(a.evaluated.len(), 10);
+        assert_eq!(a.best.params, b.best.params);
+        let exhaustive = tuner.tune(Strategy::Exhaustive, Objective::Performance).unwrap();
+        assert!(a.best.tops <= exhaustive.best.tops + 1e-9);
+    }
+
+    #[test]
+    fn greedy_search_converges_and_evaluates_few_configs() {
+        let tuner = Tuner::new(Gpu::Ad4000.device(), small_shape(), Precision::Float16);
+        let exhaustive = tuner.tune(Strategy::Exhaustive, Objective::Performance).unwrap();
+        let greedy = tuner
+            .tune(Strategy::GreedyLocalSearch { max_steps: 8 }, Objective::Performance)
+            .unwrap();
+        assert!(greedy.evaluated.len() < exhaustive.evaluated.len());
+        // Local search should get within 15% of the global optimum.
+        assert!(greedy.best.tops >= 0.85 * exhaustive.best.tops);
+    }
+
+    #[test]
+    fn energy_objective_typically_agrees_with_performance() {
+        // "Typically, the most performant combination of parameters is also
+        // the most energy efficient solution."
+        let tuner = Tuner::new(Gpu::A100.device(), small_shape(), Precision::Float16);
+        let by_perf = tuner.tune(Strategy::Exhaustive, Objective::Performance).unwrap();
+        let best_energy = by_perf.best_under(Objective::EnergyEfficiency).unwrap();
+        assert!(by_perf.best.tops_per_joule >= 0.9 * best_energy.tops_per_joule);
+    }
+
+    #[test]
+    fn int1_tuning_runs_on_nvidia_only() {
+        let shape = GemmShape::new(8192, 4096, 65_536);
+        let nv = Tuner::new(Gpu::A100.device(), shape, Precision::Int1);
+        assert!(nv.tune(Strategy::Random { samples: 5, seed: 1 }, Objective::Performance).is_some());
+        let amd = Tuner::new(Gpu::Mi300x.device(), shape, Precision::Int1);
+        assert!(amd.tune(Strategy::Exhaustive, Objective::Performance).is_none());
+    }
+
+    #[test]
+    fn outcome_serialises_to_json_and_back() {
+        let tuner = Tuner::new(Gpu::W7700.device(), small_shape(), Precision::Float16);
+        let outcome = tuner
+            .tune(Strategy::Random { samples: 4, seed: 3 }, Objective::EnergyEfficiency)
+            .unwrap();
+        let json = outcome.to_json();
+        let restored = TuneOutcome::from_json(&json).unwrap();
+        // Floats may lose their last digit through the JSON text form, so
+        // compare the structure rather than bit-exact values.
+        assert_eq!(outcome.device, restored.device);
+        assert_eq!(outcome.precision, restored.precision);
+        assert_eq!(outcome.best.params, restored.best.params);
+        assert_eq!(outcome.evaluated.len(), restored.evaluated.len());
+        assert!((outcome.best.tops - restored.best.tops).abs() < 1e-6);
+        assert!(json.contains("m_per_block"));
+    }
+}

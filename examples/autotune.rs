@@ -1,0 +1,61 @@
+//! Auto-tuning example: explore the kernel parameter space on two devices,
+//! compare search strategies, and show that the shipped defaults are close
+//! to the tuned optimum (Section IV-A / Fig. 2 / Table III).
+//!
+//! Run with: `cargo run --release --example autotune`
+
+use tcbf::{Gpu, Objective, Precision, Strategy, Tuner, TuningParameters};
+use tcbf_types::GemmShape;
+
+fn main() {
+    let shape = GemmShape::new(8192, 8192, 8192);
+    for gpu in [Gpu::A100, Gpu::Mi300x] {
+        println!("=== {gpu}: tuning the float16 kernel on {shape} ===");
+        let tuner = Tuner::new(gpu.device(), shape, Precision::Float16);
+
+        let exhaustive = tuner.tune(Strategy::Exhaustive, Objective::Performance).unwrap();
+        println!(
+            "exhaustive search : {} configurations, best {:.0} TOPs/s / {:.2} TOPs/J with {}",
+            exhaustive.evaluated.len(),
+            exhaustive.best.tops,
+            exhaustive.best.tops_per_joule,
+            exhaustive.best.params
+        );
+
+        let random = tuner
+            .tune(Strategy::Random { samples: 20, seed: 1 }, Objective::Performance)
+            .unwrap();
+        println!(
+            "random (20 samples): best {:.0} TOPs/s with {}",
+            random.best.tops, random.best.params
+        );
+
+        let greedy = tuner
+            .tune(Strategy::GreedyLocalSearch { max_steps: 10 }, Objective::Performance)
+            .unwrap();
+        println!(
+            "greedy local search: {} evaluations, best {:.0} TOPs/s with {}",
+            greedy.evaluated.len(),
+            greedy.best.tops,
+            greedy.best.params
+        );
+
+        let default = TuningParameters::default_for(gpu, Precision::Float16);
+        let default_result = tuner.evaluate(default).unwrap();
+        println!(
+            "shipped default    : {:.0} TOPs/s with {} ({}% of tuned optimum)",
+            default_result.tops,
+            default,
+            (100.0 * default_result.tops / exhaustive.best.tops).round()
+        );
+
+        // The paper notes the fastest configuration is typically also the
+        // most energy-efficient one.
+        let best_energy = exhaustive.best_under(Objective::EnergyEfficiency).unwrap();
+        println!(
+            "most energy-efficient configuration: {} ({:.2} TOPs/J)",
+            best_energy.params, best_energy.tops_per_joule
+        );
+        println!();
+    }
+}

@@ -1,0 +1,38 @@
+//! Roofline example: print the memory/compute ceilings of every supported
+//! device and place the paper's four evaluation shapes on them (Fig. 3).
+//!
+//! Run with: `cargo run --release --example roofline`
+
+use ccglib::benchmark::roofline_points;
+use tcbf::{supported_devices, Gpu};
+
+fn main() {
+    println!("Supported devices: {}", supported_devices().len());
+    for gpu in Gpu::ALL {
+        let device = gpu.device();
+        let roofline = device.roofline();
+        println!();
+        println!(
+            "=== {} — {:.0} GB/s device memory ===",
+            device,
+            roofline.mem_bandwidth_gbs
+        );
+        for ceiling in &roofline.ceilings {
+            println!(
+                "  ceiling {:>15}: {:>6.0} TOPs/s (memory-bound below AI {:>6.1} op/byte)",
+                ceiling.label,
+                ceiling.peak_tops,
+                roofline.ridge_point(&ceiling.label).unwrap_or(0.0)
+            );
+        }
+        for (label, ai, tops) in roofline_points(&device).expect("roofline points") {
+            let ceiling = if label.starts_with("int1") { "int1 tensor" } else { "float16 tensor" };
+            let limit = roofline.attainable_tops(ceiling, ai).unwrap_or(0.0);
+            println!(
+                "  point  {label:>15}: AI {ai:>7.1}  achieved {tops:>6.0} TOPs/s  ({:.0}% of the {:.0} TOPs/s roofline limit)",
+                100.0 * tops / limit.max(1e-9),
+                limit
+            );
+        }
+    }
+}

@@ -1,0 +1,1 @@
+//! Workspace umbrella crate for examples and integration tests.

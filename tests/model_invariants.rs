@@ -1,0 +1,92 @@
+//! Property-style integration tests over the calibrated performance and
+//! energy models: invariants that must hold for *any* problem shape on
+//! *any* device, independent of the specific figures they feed.
+
+use ccglib::benchmark::measure;
+use ccglib::{Gemm, Precision};
+use gpu_sim::Gpu;
+use proptest::prelude::*;
+use tcbf_types::GemmShape;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Throughput never exceeds the device's measured tensor-core peak and
+    /// energy efficiency is positive and bounded by peak / idle power.
+    #[test]
+    fn throughput_and_efficiency_are_physically_bounded(
+        m in 64usize..4096,
+        n in 64usize..4096,
+        k in 64usize..4096,
+        gpu_idx in 0usize..7,
+    ) {
+        let gpu = Gpu::ALL[gpu_idx];
+        let spec = gpu.spec();
+        let r = measure(&gpu.device(), GemmShape::new(m, n, k), Precision::Float16).unwrap();
+        prop_assert!(r.tops > 0.0);
+        prop_assert!(r.tops <= spec.f16_tensor_measured * 1.001, "{gpu}: {} TOPs/s", r.tops);
+        prop_assert!(r.tops_per_joule > 0.0);
+        let max_efficiency = spec.f16_tensor_measured / spec.idle_watts;
+        prop_assert!(r.tops_per_joule <= max_efficiency);
+        prop_assert!(r.elapsed_s > 0.0);
+    }
+
+    /// Doubling the batch size doubles the work and never *reduces* the
+    /// modelled throughput (more parallelism can only help occupancy).
+    #[test]
+    fn batching_never_reduces_throughput(
+        m in 128usize..1024,
+        n in 128usize..1024,
+        k in 64usize..512,
+        gpu_idx in 0usize..7,
+    ) {
+        let gpu = Gpu::ALL[gpu_idx];
+        let single = measure(&gpu.device(), GemmShape::new(m, n, k), Precision::Float16).unwrap();
+        let batched =
+            measure(&gpu.device(), GemmShape::batched(8, m, n, k), Precision::Float16).unwrap();
+        prop_assert!(batched.tops + 1e-6 >= single.tops,
+            "{gpu}: batch 8 gives {} vs {}", batched.tops, single.tops);
+    }
+
+    /// 1-bit mode is never slower than float16 for the same shape on the
+    /// NVIDIA devices (it exists purely because it is faster), and the
+    /// reference float32 path is never faster than the tensor-core path
+    /// for compute-bound shapes.
+    #[test]
+    fn precision_ordering_holds(
+        m in 1024usize..4096,
+        n in 1024usize..4096,
+        gpu_idx in 0usize..3,
+    ) {
+        let gpu = Gpu::NVIDIA[gpu_idx];
+        let k = 8192usize;
+        let shape = GemmShape::new(m, n, k);
+        let f16 = measure(&gpu.device(), shape, Precision::Float16).unwrap();
+        let int1 = measure(&gpu.device(), shape, Precision::Int1).unwrap();
+        let f32r = measure(&gpu.device(), shape, Precision::Float32Reference).unwrap();
+        prop_assert!(int1.tops > f16.tops, "{gpu}: int1 {} vs f16 {}", int1.tops, f16.tops);
+        prop_assert!(f16.tops > f32r.tops, "{gpu}: f16 {} vs f32 {}", f16.tops, f32r.tops);
+    }
+
+    /// The energy model is consistent: joules reported through the handle's
+    /// meter equal average power times elapsed time.
+    #[test]
+    fn energy_equals_power_times_time(
+        m in 256usize..2048,
+        gpu_idx in 0usize..7,
+    ) {
+        let gpu = Gpu::ALL[gpu_idx];
+        let gemm =
+            Gemm::new(&gpu.device(), GemmShape::new(m, m, m), Precision::Float16).unwrap();
+        let report = gemm.predict();
+        let implied_power = report.energy.joules / report.predicted.elapsed_s;
+        let spec = gpu.spec();
+        prop_assert!(implied_power >= spec.idle_watts * 0.99);
+        // Workstation boards briefly boost above their nominal board power
+        // limit (Table I note a), so the bound is the larger of the TDP and
+        // the calibrated full-load GEMM power.
+        let power_cap = spec.tdp_watts.max(spec.gemm_power_f16_watts);
+        prop_assert!(implied_power <= power_cap * 1.01);
+        prop_assert!((report.energy.seconds - report.predicted.elapsed_s).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,158 @@
+//! Integration tests that check the headline quantitative claims of the
+//! paper against the calibrated models — the same numbers the bench
+//! binaries print, asserted with tolerances.
+
+use ccglib::benchmark::measure;
+use ccglib::Precision;
+use gpu_sim::Gpu;
+use radioastro::performance::{lofar_sweep, reference_sweep, LofarConfig};
+use tcbf_types::GemmShape;
+use ultrasound::{offline_comparison, FrameRateModel, REAL_TIME_FPS};
+
+#[test]
+fn abstract_claim_600_tops_on_mi300x_in_float16() {
+    // "In the 16-bit mode, it achieves over 600 TeraOps/s on an AMD MI300X
+    // GPU, while approaching 1 TeraOp/J."
+    let r = measure(&Gpu::Mi300x.device(), GemmShape::new(8192, 8192, 8192), Precision::Float16)
+        .unwrap();
+    assert!(r.tops > 600.0, "MI300X float16: {} TOPs/s", r.tops);
+    assert!(r.tops_per_joule > 0.7 && r.tops_per_joule < 1.1, "{} TOPs/J", r.tops_per_joule);
+}
+
+#[test]
+fn abstract_claim_3_petaops_and_10_topsj_on_a100_in_1bit() {
+    // "In the 1-bit mode, it breaks the 3 PetaOps/s barrier and achieves
+    // over 10 TeraOps/J on an NVIDIA A100 GPU."
+    let r = measure(
+        &Gpu::A100.device(),
+        GemmShape::new(32_768, 8192, 524_288),
+        Precision::Int1,
+    )
+    .unwrap();
+    assert!(r.tops > 3000.0, "A100 int1: {} TOPs/s", r.tops);
+    assert!(r.tops_per_joule > 10.0, "A100 int1: {} TOPs/J", r.tops_per_joule);
+}
+
+#[test]
+fn tensor_cores_beat_regular_cores_by_a_wide_margin_everywhere() {
+    // "the library outperforms traditional beamforming on regular GPU cores
+    // by a wide margin"
+    let shape = GemmShape::new(8192, 8192, 8192);
+    for gpu in Gpu::ALL {
+        let tensor = measure(&gpu.device(), shape, Precision::Float16).unwrap();
+        let regular = measure(&gpu.device(), shape, Precision::Float32Reference).unwrap();
+        // The workstation parts (AD4000, W7700) have comparatively strong
+        // FP32 pipelines, so their margin is around 2x; the server parts
+        // are 3x or more (cf. the float32 ceilings in Fig. 3).
+        let margin = match gpu {
+            Gpu::Ad4000 | Gpu::W7700 => 1.8,
+            _ => 3.0,
+        };
+        assert!(
+            tensor.tops > margin * regular.tops,
+            "{gpu}: tensor {} vs regular {}",
+            tensor.tops,
+            regular.tops
+        );
+    }
+}
+
+#[test]
+fn table3_float16_throughput_within_ten_percent() {
+    let expected = [
+        (Gpu::Ad4000, 93.0),
+        (Gpu::A100, 173.0),
+        (Gpu::Gh200, 335.0),
+        (Gpu::W7700, 45.0),
+        (Gpu::Mi210, 147.0),
+        (Gpu::Mi300x, 603.0),
+        (Gpu::Mi300a, 518.0),
+    ];
+    for (gpu, tops) in expected {
+        let r = measure(&gpu.device(), GemmShape::new(8192, 8192, 8192), Precision::Float16)
+            .unwrap();
+        let error = (r.tops - tops).abs() / tops;
+        assert!(error < 0.10, "{gpu}: measured {} vs paper {tops} ({:.0}% off)", r.tops, error * 100.0);
+    }
+}
+
+#[test]
+fn table3_int1_throughput_within_fifteen_percent() {
+    let expected = [(Gpu::Ad4000, 1400.0), (Gpu::A100, 3080.0), (Gpu::Gh200, 3780.0)];
+    for (gpu, tops) in expected {
+        let r = measure(
+            &gpu.device(),
+            GemmShape::new(32_768, 8192, 524_288),
+            Precision::Int1,
+        )
+        .unwrap();
+        let error = (r.tops - tops).abs() / tops;
+        assert!(error < 0.15, "{gpu}: measured {} vs paper {tops}", r.tops);
+    }
+}
+
+#[test]
+fn ultrasound_realtime_claims() {
+    // Fig. 5 and Section V-A: three orthogonal planes are real-time on all
+    // three NVIDIA GPUs; the full volume is not; the GH200 handles most of
+    // it; the offline dataset beats the Octave baseline by orders of
+    // magnitude.
+    for gpu in [Gpu::Ad4000, Gpu::A100, Gpu::Gh200] {
+        let model = FrameRateModel::paper(&gpu.device());
+        assert!(model.frames_per_second(3 * 128 * 128) > REAL_TIME_FPS, "{gpu} planes");
+        assert!(model.frames_per_second(128 * 128 * 128) < REAL_TIME_FPS, "{gpu} full volume");
+    }
+    let comparison = offline_comparison(&Gpu::A100.device());
+    assert!(comparison.tcbf_seconds < 8.0);
+    assert!(comparison.speedup > 100.0);
+}
+
+#[test]
+fn lofar_speedup_and_energy_claims() {
+    // "On the A100, the TCBF is up to 20 times faster and 10 times more
+    // energy efficient than the reference beamformer.  For the typical
+    // LOFAR configuration of 48 stations, the TCBF is still several times
+    // faster."
+    let config = LofarConfig::paper();
+    let device = Gpu::A100.device();
+    let counts: Vec<usize> = (8..=512).step_by(24).collect();
+    let tc = lofar_sweep(&device, &config, &counts);
+    let reference = reference_sweep(&device, &config, &counts);
+    let speedups: Vec<f64> =
+        tc.iter().zip(&reference).map(|(t, r)| t.tflops / r.tflops).collect();
+    let max_speedup = speedups.iter().cloned().fold(0.0, f64::max);
+    assert!(max_speedup > 5.0, "max speedup {max_speedup}");
+
+    let idx48 = counts.iter().position(|&k| k >= 48).unwrap();
+    assert!(speedups[idx48] > 2.0, "48-station speedup {}", speedups[idx48]);
+
+    let energy_gain = tc.last().unwrap().tflops_per_joule / reference.last().unwrap().tflops_per_joule;
+    assert!(energy_gain > 4.0, "energy gain {energy_gain}");
+}
+
+#[test]
+fn mi300x_wins_big_gemm_gh200_wins_1bit() {
+    // Table III: "In float16, the MI300X is both the fastest and most
+    // energy-efficient GPU.  The GH200 is the fastest in int1, although the
+    // A100 is more energy efficient."
+    let f16_shape = GemmShape::new(8192, 8192, 8192);
+    let f16: Vec<(Gpu, f64)> = Gpu::ALL
+        .iter()
+        .map(|&g| (g, measure(&g.device(), f16_shape, Precision::Float16).unwrap().tops))
+        .collect();
+    let fastest = f16.iter().max_by(|a, b| a.1.total_cmp(&b.1)).unwrap().0;
+    assert_eq!(fastest, Gpu::Mi300x);
+
+    let int1_shape = GemmShape::new(32_768, 8192, 524_288);
+    let int1: Vec<(Gpu, f64, f64)> = Gpu::NVIDIA
+        .iter()
+        .map(|&g| {
+            let r = measure(&g.device(), int1_shape, Precision::Int1).unwrap();
+            (g, r.tops, r.tops_per_joule)
+        })
+        .collect();
+    let fastest_int1 = int1.iter().max_by(|a, b| a.1.total_cmp(&b.1)).unwrap().0;
+    assert_eq!(fastest_int1, Gpu::Gh200);
+    let most_efficient_int1 = int1.iter().max_by(|a, b| a.2.total_cmp(&b.2)).unwrap().0;
+    assert_eq!(most_efficient_int1, Gpu::A100);
+}
