@@ -34,12 +34,20 @@ impl BeamformerConfig {
     /// Default configuration: 16-bit precision, single batch, tuned
     /// defaults.
     pub fn float16() -> Self {
-        BeamformerConfig { precision: Precision::Float16, batch: 1, params: None }
+        BeamformerConfig {
+            precision: Precision::Float16,
+            batch: 1,
+            params: None,
+        }
     }
 
     /// 1-bit configuration.
     pub fn int1() -> Self {
-        BeamformerConfig { precision: Precision::Int1, batch: 1, params: None }
+        BeamformerConfig {
+            precision: Precision::Int1,
+            batch: 1,
+            params: None,
+        }
     }
 }
 
@@ -115,7 +123,8 @@ impl Beamformer {
     /// functional execution; batched shapes are supported through
     /// [`Beamformer::predict`].
     pub fn beamform(&self, samples: &HostComplexMatrix) -> ccglib::Result<BeamformOutput> {
-        if samples.rows() != self.weights.num_receivers() || samples.cols() != self.samples_per_block
+        if samples.rows() != self.weights.num_receivers()
+            || samples.cols() != self.samples_per_block
         {
             return Err(ccglib::CcglibError::ShapeMismatch {
                 expected: format!(
@@ -155,7 +164,8 @@ impl Beamformer {
             for sample in 0..n {
                 let mut acc = Complex32::ZERO;
                 for receiver in 0..k {
-                    acc += self.weights.matrix().get(beam, receiver) * samples.get(receiver, sample);
+                    acc +=
+                        self.weights.matrix().get(beam, receiver) * samples.get(receiver, sample);
                 }
                 out.set(beam, sample, acc);
             }
@@ -169,7 +179,10 @@ impl Beamformer {
     /// with the number of receivers.
     pub fn beam_power(output: &HostComplexMatrix, beam: usize) -> f64 {
         let n = output.cols();
-        (0..n).map(|s| f64::from(output.get(beam, s).norm_sqr())).sum::<f64>() / n as f64
+        (0..n)
+            .map(|s| f64::from(output.get(beam, s).norm_sqr()))
+            .sum::<f64>()
+            / n as f64
     }
 }
 
@@ -197,8 +210,14 @@ mod tests {
         let beamformer =
             Beamformer::new(&device(), weights, 16, BeamformerConfig::float16()).unwrap();
         let mut generator = SignalGenerator::new(geom, FREQ, 1e5, 0.05, 3);
-        let samples = generator
-            .sensor_samples(&[PlaneWaveSource { azimuth: 0.1, amplitude: 1.0, baseband_frequency: 0.0 }], 16);
+        let samples = generator.sensor_samples(
+            &[PlaneWaveSource {
+                azimuth: 0.1,
+                amplitude: 1.0,
+                baseband_frequency: 0.0,
+            }],
+            16,
+        );
         let output = beamformer.beamform(&samples).unwrap();
         let reference = beamformer.delay_and_sum_reference(&samples);
         assert!(output.beams.max_abs_diff(&reference) < 0.05);
@@ -214,10 +233,18 @@ mod tests {
             Beamformer::new(&device(), weights, 32, BeamformerConfig::float16()).unwrap();
         // Source exactly at the 7th beam (azimuth 0.2).
         let mut generator = SignalGenerator::new(geom, FREQ, 1e5, 0.01, 11);
-        let samples = generator
-            .sensor_samples(&[PlaneWaveSource { azimuth: 0.2, amplitude: 1.0, baseband_frequency: 0.0 }], 32);
+        let samples = generator.sensor_samples(
+            &[PlaneWaveSource {
+                azimuth: 0.2,
+                amplitude: 1.0,
+                baseband_frequency: 0.0,
+            }],
+            32,
+        );
         let output = beamformer.beamform(&samples).unwrap();
-        let powers: Vec<f64> = (0..9).map(|b| Beamformer::beam_power(&output.beams, b)).collect();
+        let powers: Vec<f64> = (0..9)
+            .map(|b| Beamformer::beam_power(&output.beams, b))
+            .collect();
         let best = powers
             .iter()
             .enumerate()
@@ -239,20 +266,26 @@ mod tests {
         let geom = array(64);
         let azimuths = [-0.3, 0.0, 0.3];
         let weights = WeightMatrix::steering(&geom, FREQ, &azimuths, false);
-        let beamformer = Beamformer::new(
-            &Gpu::Gh200.device(),
-            weights,
-            64,
-            BeamformerConfig::int1(),
-        )
-        .unwrap();
+        let beamformer =
+            Beamformer::new(&Gpu::Gh200.device(), weights, 64, BeamformerConfig::int1()).unwrap();
         let mut generator = SignalGenerator::new(geom, FREQ, 1e5, 0.3, 5);
-        let samples = generator
-            .sensor_samples(&[PlaneWaveSource { azimuth: 0.3, amplitude: 1.0, baseband_frequency: 3000.0 }], 64);
+        let samples = generator.sensor_samples(
+            &[PlaneWaveSource {
+                azimuth: 0.3,
+                amplitude: 1.0,
+                baseband_frequency: 3000.0,
+            }],
+            64,
+        );
         let output = beamformer.beamform(&samples).unwrap();
         assert_eq!(output.report.bit_op, Some(gpu_sim::BitOp::And));
-        let powers: Vec<f64> = (0..3).map(|b| Beamformer::beam_power(&output.beams, b)).collect();
-        assert!(powers[2] > powers[0] && powers[2] > powers[1], "powers: {powers:?}");
+        let powers: Vec<f64> = (0..3)
+            .map(|b| Beamformer::beam_power(&output.beams, b))
+            .collect();
+        assert!(
+            powers[2] > powers[0] && powers[2] > powers[1],
+            "powers: {powers:?}"
+        );
     }
 
     #[test]
@@ -274,7 +307,11 @@ mod tests {
         // handles it.
         let geom = array(8);
         let weights = WeightMatrix::from_matrix(HostComplexMatrix::zeros(1024, 512));
-        let config = BeamformerConfig { precision: Precision::Float16, batch: 256, params: None };
+        let config = BeamformerConfig {
+            precision: Precision::Float16,
+            batch: 256,
+            params: None,
+        };
         let beamformer = Beamformer::new(&device(), weights, 1024, config).unwrap();
         assert_eq!(beamformer.shape(), GemmShape::batched(256, 1024, 1024, 512));
         let report = beamformer.predict();
@@ -293,8 +330,14 @@ mod tests {
             let beamformer =
                 Beamformer::new(&device(), weights, 64, BeamformerConfig::float16()).unwrap();
             let mut generator = SignalGenerator::new(geom, FREQ, 1e5, 1.0, 13);
-            let samples = generator
-                .sensor_samples(&[PlaneWaveSource { azimuth: 0.0, amplitude: 1.0, baseband_frequency: 0.0 }], 64);
+            let samples = generator.sensor_samples(
+                &[PlaneWaveSource {
+                    azimuth: 0.0,
+                    amplitude: 1.0,
+                    baseband_frequency: 0.0,
+                }],
+                64,
+            );
             let output = beamformer.beamform(&samples).unwrap();
             let on = Beamformer::beam_power(&output.beams, 0);
             let off = Beamformer::beam_power(&output.beams, 1);

@@ -31,7 +31,10 @@ impl ArrayGeometry {
     pub fn new(positions: Vec<[f64; 3]>, wave_speed: f64) -> Self {
         assert!(wave_speed > 0.0, "wave speed must be positive");
         assert!(!positions.is_empty(), "an array needs at least one sensor");
-        ArrayGeometry { positions, wave_speed }
+        ArrayGeometry {
+            positions,
+            wave_speed,
+        }
     }
 
     /// A uniform linear array of `n` sensors spaced `spacing` metres apart
@@ -108,8 +111,8 @@ impl ArrayGeometry {
         let mut max = 0.0f64;
         for (i, a) in self.positions.iter().enumerate() {
             for b in &self.positions[i + 1..] {
-                let d = ((a[0] - b[0]).powi(2) + (a[1] - b[1]).powi(2) + (a[2] - b[2]).powi(2))
-                    .sqrt();
+                let d =
+                    ((a[0] - b[0]).powi(2) + (a[1] - b[1]).powi(2) + (a[2] - b[2]).powi(2)).sqrt();
                 max = max.max(d);
             }
         }

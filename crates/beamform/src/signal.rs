@@ -121,8 +121,8 @@ impl SignalGenerator {
                 .collect();
             for sensor in 0..k {
                 let mut v = Complex32::ZERO;
-                for (src_idx, envelope) in envelopes.iter().enumerate() {
-                    v += *envelope * phases[src_idx][sensor];
+                for (envelope, phase_row) in envelopes.iter().zip(&phases) {
+                    v += *envelope * phase_row[sensor];
                 }
                 v += self.noise();
                 data.set(sensor, n, v);
@@ -156,7 +156,11 @@ mod tests {
     #[test]
     fn noiseless_broadside_source_is_in_phase_on_all_sensors() {
         let mut generator = SignalGenerator::new(test_array(), 150e6, 1e5, 0.0, 1);
-        let source = PlaneWaveSource { azimuth: 0.0, amplitude: 1.0, baseband_frequency: 0.0 };
+        let source = PlaneWaveSource {
+            azimuth: 0.0,
+            amplitude: 1.0,
+            baseband_frequency: 0.0,
+        };
         let samples = generator.sensor_samples(&[source], 4);
         for n in 0..4 {
             for k in 0..16 {
@@ -169,7 +173,11 @@ mod tests {
     #[test]
     fn off_axis_source_produces_phase_gradient() {
         let mut generator = SignalGenerator::new(test_array(), 150e6, 1e5, 0.0, 1);
-        let source = PlaneWaveSource { azimuth: 0.3, amplitude: 1.0, baseband_frequency: 0.0 };
+        let source = PlaneWaveSource {
+            azimuth: 0.3,
+            amplitude: 1.0,
+            baseband_frequency: 0.0,
+        };
         let samples = generator.sensor_samples(&[source], 1);
         // Magnitude constant, phase varying across sensors.
         let mut distinct_phases = 0;
@@ -194,23 +202,40 @@ mod tests {
             }
         }
         let mean_power = power / (16.0 * 256.0);
-        assert!((mean_power - 4.0).abs() < 0.5, "mean noise power {mean_power}");
+        assert!(
+            (mean_power - 4.0).abs() < 0.5,
+            "mean noise power {mean_power}"
+        );
     }
 
     #[test]
     fn generation_is_reproducible_for_equal_seeds() {
-        let source = PlaneWaveSource { azimuth: 0.1, amplitude: 1.0, baseband_frequency: 100.0 };
+        let source = PlaneWaveSource {
+            azimuth: 0.1,
+            amplitude: 1.0,
+            baseband_frequency: 100.0,
+        };
         let mut a = SignalGenerator::new(test_array(), 150e6, 1e5, 1.0, 7);
         let mut b = SignalGenerator::new(test_array(), 150e6, 1e5, 1.0, 7);
-        assert_eq!(a.sensor_samples(&[source], 8), b.sensor_samples(&[source], 8));
+        assert_eq!(
+            a.sensor_samples(&[source], 8),
+            b.sensor_samples(&[source], 8)
+        );
         let mut c = SignalGenerator::new(test_array(), 150e6, 1e5, 1.0, 8);
-        assert_ne!(a.sensor_samples(&[source], 8), c.sensor_samples(&[source], 8));
+        assert_ne!(
+            a.sensor_samples(&[source], 8),
+            c.sensor_samples(&[source], 8)
+        );
     }
 
     #[test]
     fn input_snr_accounting() {
         let generator = SignalGenerator::new(test_array(), 150e6, 1e5, 0.5, 1);
-        let source = PlaneWaveSource { azimuth: 0.0, amplitude: 1.0, baseband_frequency: 0.0 };
+        let source = PlaneWaveSource {
+            azimuth: 0.0,
+            amplitude: 1.0,
+            baseband_frequency: 0.0,
+        };
         assert!((generator.input_snr(&[source]) - 4.0).abs() < 1e-12);
         let silent = SignalGenerator::new(test_array(), 150e6, 1e5, 0.0, 1);
         assert!(silent.input_snr(&[source]).is_infinite());

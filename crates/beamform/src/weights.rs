@@ -50,12 +50,17 @@ impl WeightMatrix {
         let k = geometry.num_sensors();
         let mut weights = HostComplexMatrix::zeros(azimuths.len(), k);
         for (m, &az) in azimuths.iter().enumerate() {
-            for (kk, w) in steering_vector(geometry, frequency, az, normalise).into_iter().enumerate()
+            for (kk, w) in steering_vector(geometry, frequency, az, normalise)
+                .into_iter()
+                .enumerate()
             {
                 weights.set(m, kk, w);
             }
         }
-        WeightMatrix { weights, azimuths: azimuths.to_vec() }
+        WeightMatrix {
+            weights,
+            azimuths: azimuths.to_vec(),
+        }
     }
 
     /// A uniform fan of `num_beams` beams between `min_azimuth` and
@@ -73,8 +78,7 @@ impl WeightMatrix {
         } else {
             (0..num_beams)
                 .map(|i| {
-                    min_azimuth
-                        + (max_azimuth - min_azimuth) * i as f64 / (num_beams as f64 - 1.0)
+                    min_azimuth + (max_azimuth - min_azimuth) * i as f64 / (num_beams as f64 - 1.0)
                 })
                 .collect()
         };
@@ -85,7 +89,10 @@ impl WeightMatrix {
     /// weights) with unknown look directions.
     pub fn from_matrix(weights: HostComplexMatrix) -> Self {
         let beams = weights.rows();
-        WeightMatrix { weights, azimuths: vec![f64::NAN; beams] }
+        WeightMatrix {
+            weights,
+            azimuths: vec![f64::NAN; beams],
+        }
     }
 
     /// Number of beams (`M`).
@@ -123,8 +130,8 @@ impl WeightMatrix {
             .map(|v| v.conj())
             .collect::<Vec<_>>();
         let mut sum = Complex32::ZERO;
-        for k in 0..self.num_receivers() {
-            sum += self.weights.get(beam, k) * arrival[k];
+        for (k, &arrival_k) in arrival.iter().enumerate().take(self.num_receivers()) {
+            sum += self.weights.get(beam, k) * arrival_k;
         }
         f64::from(sum.norm_sqr())
     }

@@ -40,7 +40,10 @@ fn bench_ultrasound(c: &mut Criterion) {
 }
 
 fn bench_lofar(c: &mut Criterion) {
-    let sources = [SkySource { azimuth: 2e-4, amplitude: 1.0 }];
+    let sources = [SkySource {
+        azimuth: 2e-4,
+        amplitude: 1.0,
+    }];
     let beamlets = StationBeamlets::synthesise(24, 16, 150e6, &sources, 0.0, 64, 0.05, 3);
     let beams: Vec<f64> = (0..16).map(|i| (i as f64 - 8.0) * 1e-4).collect();
     let bf = CentralBeamformer::new(&Gpu::Gh200.device(), beams);
@@ -52,10 +55,16 @@ fn bench_lofar(c: &mut Criterion) {
         })
     });
     group.bench_function("central_coherent", |bench| {
-        bench.iter(|| bf.beamform(black_box(&beamlets), CentralMode::Coherent).unwrap())
+        bench.iter(|| {
+            bf.beamform(black_box(&beamlets), CentralMode::Coherent)
+                .unwrap()
+        })
     });
     group.bench_function("central_incoherent", |bench| {
-        bench.iter(|| bf.beamform(black_box(&beamlets), CentralMode::Incoherent).unwrap())
+        bench.iter(|| {
+            bf.beamform(black_box(&beamlets), CentralMode::Incoherent)
+                .unwrap()
+        })
     });
     group.finish();
 }

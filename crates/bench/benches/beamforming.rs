@@ -20,7 +20,9 @@ fn bench_weights(c: &mut Criterion) {
         group.bench_with_input(
             BenchmarkId::new("uniform_fan_64_beams", receivers),
             &receivers,
-            |bench, _| bench.iter(|| WeightMatrix::uniform_fan(black_box(&geom), FREQ, 64, -0.5, 0.5)),
+            |bench, _| {
+                bench.iter(|| WeightMatrix::uniform_fan(black_box(&geom), FREQ, 64, -0.5, 0.5))
+            },
         );
     }
     group.finish();
@@ -35,12 +37,21 @@ fn bench_beamform(c: &mut Criterion) {
         let samples = {
             let mut generator = SignalGenerator::new(geom.clone(), FREQ, 1e5, 0.1, 1);
             generator.sensor_samples(
-                &[PlaneWaveSource { azimuth: 0.1, amplitude: 1.0, baseband_frequency: 0.0 }],
+                &[PlaneWaveSource {
+                    azimuth: 0.1,
+                    amplitude: 1.0,
+                    baseband_frequency: 0.0,
+                }],
                 64,
             )
         };
-        let tc =
-            Beamformer::new(&Gpu::A100.device(), weights, 64, BeamformerConfig::float16()).unwrap();
+        let tc = Beamformer::new(
+            &Gpu::A100.device(),
+            weights,
+            64,
+            BeamformerConfig::float16(),
+        )
+        .unwrap();
         group.bench_with_input(
             BenchmarkId::new("tensor_core_f16", receivers),
             &receivers,

@@ -12,7 +12,9 @@ use tcbf_types::Complex;
 fn matrix(rows: usize, cols: usize, seed: u64) -> HostComplexMatrix {
     let mut state = seed | 1;
     let mut next = move || {
-        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         ((state >> 41) as f32 / 4194304.0) - 1.0
     };
     HostComplexMatrix::from_fn(rows, cols, |_, _| Complex::new(next(), next()))
@@ -39,9 +41,11 @@ fn bench_gemm(c: &mut Criterion) {
             bench.iter(|| gemm::gemm_int1(black_box(&a1), black_box(&b1), BitOp::And).unwrap())
         });
 
-        group.bench_with_input(BenchmarkId::new("float32_reference", size), &size, |bench, _| {
-            bench.iter(|| reference_gemm(black_box(&a), black_box(&b_t)).unwrap())
-        });
+        group.bench_with_input(
+            BenchmarkId::new("float32_reference", size),
+            &size,
+            |bench, _| bench.iter(|| reference_gemm(black_box(&a), black_box(&b_t)).unwrap()),
+        );
     }
     group.finish();
 }

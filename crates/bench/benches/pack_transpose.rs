@@ -30,9 +30,13 @@ fn bench_transpose(c: &mut Criterion) {
     for &n in &[128usize, 512] {
         let interleaved: Vec<f32> = (0..n * n * 2).map(|i| i as f32 * 1e-4).collect();
         group.throughput(Throughput::Elements((n * n) as u64));
-        group.bench_with_input(BenchmarkId::new("interleaved_to_planar", n), &n, |bench, _| {
-            bench.iter(|| transpose::interleaved_to_planar(n, n, black_box(&interleaved)))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("interleaved_to_planar", n),
+            &n,
+            |bench, _| {
+                bench.iter(|| transpose::interleaved_to_planar(n, n, black_box(&interleaved)))
+            },
+        );
         let host = HostComplexMatrix::from_fn(n, n, |r, c| Complex::new(r as f32, c as f32));
         group.bench_with_input(BenchmarkId::new("matrix_transpose", n), &n, |bench, _| {
             bench.iter(|| transpose::transpose(black_box(&host)))

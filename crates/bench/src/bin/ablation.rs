@@ -19,7 +19,10 @@ fn main() {
     let mut rows = Vec::new();
     for gpu in Gpu::NVIDIA {
         let spec = gpu.spec();
-        let mut row = vec![gpu.name().to_string(), BitOp::preferred_for(spec.arch).to_string()];
+        let mut row = vec![
+            gpu.name().to_string(),
+            BitOp::preferred_for(spec.arch).to_string(),
+        ];
         for fragment in [BitFragmentShape::M8N8K128, BitFragmentShape::M16N8K256] {
             for op in [BitOp::Xor, BitOp::And] {
                 let useful = spec.int1_useful_peak_tops(fragment, op).unwrap_or(0.0);
@@ -39,7 +42,9 @@ fn main() {
         ],
         &rows,
     );
-    println!("(useful TOPs/s after accounting for the AND formulation's doubled instruction count)");
+    println!(
+        "(useful TOPs/s after accounting for the AND formulation's doubled instruction count)"
+    );
 
     // --- Pipeline buffer count --------------------------------------------
     header("Ablation 2 — asynchronous-copy pipeline depth (float16, 8192^3)");
@@ -68,12 +73,22 @@ fn main() {
         let spec = gpu.spec();
         let exec = ExecutionModel::new(spec.clone());
         for (label, shape) in [
-            ("LOFAR 1024x1024x512 (batch 256)", GemmShape::batched(256, 1024, 1024, 512)),
+            (
+                "LOFAR 1024x1024x512 (batch 256)",
+                GemmShape::batched(256, 1024, 1024, 512),
+            ),
             ("square 8192^3", GemmShape::new(8192, 8192, 8192)),
         ] {
-            let gemm_s = measure(&gpu.device(), shape, Precision::Float16).unwrap().elapsed_s;
+            let gemm_s = measure(&gpu.device(), shape, Precision::Float16)
+                .unwrap()
+                .elapsed_s;
             let transpose_s = exec
-                .time(&transpose::transpose_profile(&spec, shape.k, shape.n * shape.batch, 16))
+                .time(&transpose::transpose_profile(
+                    &spec,
+                    shape.k,
+                    shape.n * shape.batch,
+                    16,
+                ))
                 .elapsed_s;
             rows.push(vec![
                 gpu.name().to_string(),
@@ -84,18 +99,31 @@ fn main() {
             ]);
         }
     }
-    print_table(&["GPU", "shape", "GEMM ms", "transpose ms", "overhead"], &rows);
-    println!("(an interleaved-input kernel, listed as future work in the paper, would remove this cost)");
+    print_table(
+        &["GPU", "shape", "GEMM ms", "transpose ms", "overhead"],
+        &rows,
+    );
+    println!(
+        "(an interleaved-input kernel, listed as future work in the paper, would remove this cost)"
+    );
 
     // --- Padding -----------------------------------------------------------
     header("Ablation 4 — padding overhead for ragged sizes (float16, A100)");
     let device = Gpu::A100.device();
     let mut rows = Vec::new();
     for (aligned, ragged) in [(4096usize, 4100usize), (8192, 8200)] {
-        let a = measure(&device, GemmShape::new(aligned, aligned, aligned), Precision::Float16)
-            .unwrap();
-        let r = measure(&device, GemmShape::new(ragged, ragged, ragged), Precision::Float16)
-            .unwrap();
+        let a = measure(
+            &device,
+            GemmShape::new(aligned, aligned, aligned),
+            Precision::Float16,
+        )
+        .unwrap();
+        let r = measure(
+            &device,
+            GemmShape::new(ragged, ragged, ragged),
+            Precision::Float16,
+        )
+        .unwrap();
         rows.push(vec![
             format!("{aligned} vs {ragged}"),
             format!("{:.0}", a.tops),

@@ -4,10 +4,10 @@
 //!
 //! Pass `--json` to also dump the full point clouds as JSON.
 
-use tcbf_bench::{header, print_table};
-use tuner::{Objective, Strategy, Tuner};
 use ccglib::Precision;
 use gpu_sim::Gpu;
+use tcbf_bench::{header, print_table};
+use tuner::{Objective, Strategy, Tuner};
 
 fn main() {
     let json = std::env::args().any(|a| a == "--json");
@@ -19,12 +19,20 @@ fn main() {
             precisions.push(Precision::Int1);
         }
         for precision in precisions {
-            let tuner = Tuner::new(gpu.device(), Tuner::paper_tuning_shape(precision), precision);
+            let tuner = Tuner::new(
+                gpu.device(),
+                Tuner::paper_tuning_shape(precision),
+                precision,
+            );
             let Some(outcome) = tuner.tune(Strategy::Exhaustive, Objective::Performance) else {
                 continue;
             };
             let evaluated = outcome.evaluated.len();
-            let min_tops = outcome.evaluated.iter().map(|r| r.tops).fold(f64::INFINITY, f64::min);
+            let min_tops = outcome
+                .evaluated
+                .iter()
+                .map(|r| r.tops)
+                .fold(f64::INFINITY, f64::min);
             let best_energy = outcome
                 .best_under(Objective::EnergyEfficiency)
                 .map(|r| r.tops_per_joule)
@@ -55,6 +63,7 @@ fn main() {
     }
     if json {
         println!();
-        println!("{}", serde_json::to_string(&outcomes).unwrap());
+        let rendered: Vec<String> = outcomes.iter().map(|o| o.to_json()).collect();
+        println!("[{}]", rendered.join(",\n"));
     }
 }

@@ -12,7 +12,10 @@ fn main() {
         let device = gpu.device();
         let roofline = device.roofline();
         println!();
-        println!("{gpu} (memory bandwidth {:.0} GB/s)", roofline.mem_bandwidth_gbs);
+        println!(
+            "{gpu} (memory bandwidth {:.0} GB/s)",
+            roofline.mem_bandwidth_gbs
+        );
         let ceiling_rows: Vec<Vec<String>> = roofline
             .ceilings
             .iter()
@@ -24,13 +27,20 @@ fn main() {
                 ]
             })
             .collect();
-        print_table(&["ceiling", "peak TOPs/s", "ridge AI (op/B)"], &ceiling_rows);
+        print_table(
+            &["ceiling", "peak TOPs/s", "ridge AI (op/B)"],
+            &ceiling_rows,
+        );
 
         let points = roofline_points(&device).expect("roofline points");
         let point_rows: Vec<Vec<String>> = points
             .iter()
             .map(|(label, ai, tops)| {
-                let ceiling = if label.starts_with("int1") { "int1 tensor" } else { "float16 tensor" };
+                let ceiling = if label.starts_with("int1") {
+                    "int1 tensor"
+                } else {
+                    "float16 tensor"
+                };
                 let attainable = roofline.attainable_tops(ceiling, *ai).unwrap_or(0.0);
                 vec![
                     label.clone(),
@@ -42,7 +52,13 @@ fn main() {
             })
             .collect();
         print_table(
-            &["point", "AI (op/B)", "achieved TOPs/s", "roofline limit", "% of limit"],
+            &[
+                "point",
+                "AI (op/B)",
+                "achieved TOPs/s",
+                "roofline limit",
+                "% of limit",
+            ],
             &point_rows,
         );
     }

@@ -22,7 +22,9 @@ fn main() {
         rows.push(row);
     }
     print_table(
-        &["size", "AD4000", "A100", "GH200", "W7700", "MI210", "MI300X", "MI300A"],
+        &[
+            "size", "AD4000", "A100", "GH200", "W7700", "MI210", "MI300X", "MI300A",
+        ],
         &rows,
     );
 

@@ -13,7 +13,10 @@ fn main() {
     println!();
 
     let gpus = [Gpu::Gh200, Gpu::A100, Gpu::Ad4000];
-    let models: Vec<FrameRateModel> = gpus.iter().map(|g| FrameRateModel::paper(&g.device())).collect();
+    let models: Vec<FrameRateModel> = gpus
+        .iter()
+        .map(|g| FrameRateModel::paper(&g.device()))
+        .collect();
     let sweeps: Vec<_> = models.iter().map(|m| m.sweep(128, 10)).collect();
 
     let mut rows = Vec::new();

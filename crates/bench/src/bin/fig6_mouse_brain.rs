@@ -16,7 +16,9 @@ use ultrasound::{
 };
 
 fn main() {
-    header("Fig. 6 — maximum-intensity projections of the beamformed flow volume (synthetic phantom)");
+    header(
+        "Fig. 6 — maximum-intensity projections of the beamformed flow volume (synthetic phantom)",
+    );
     // Reduced-size functional reconstruction (the paper's sub-volume is
     // 36x30x30 voxels with K = 524288; here both are scaled down so the
     // functional path runs quickly on the CPU substrate).
@@ -31,7 +33,9 @@ fn main() {
         ReconstructionPrecision::Int1,
         DopplerMode::MeanRemoval,
     );
-    let volume = reconstructor.reconstruct(&model, &measurements, dims).expect("reconstruction");
+    let volume = reconstructor
+        .reconstruct(&model, &measurements, dims)
+        .expect("reconstruction");
 
     for (axis, name) in [(0usize, "sagittal"), (1, "coronal"), (2, "axial")] {
         let (img, w, h) = volume.max_intensity_projection(axis);

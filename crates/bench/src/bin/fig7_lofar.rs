@@ -24,7 +24,12 @@ fn main() {
 
     let sweeps: Vec<(String, Vec<radioastro::SweepPoint>)> = Gpu::ALL
         .iter()
-        .map(|gpu| (gpu.name().to_string(), lofar_sweep(&gpu.device(), &config, &receivers)))
+        .map(|gpu| {
+            (
+                gpu.name().to_string(),
+                lofar_sweep(&gpu.device(), &config, &receivers),
+            )
+        })
         .chain([
             (
                 "Ref A100".to_string(),
@@ -45,7 +50,10 @@ fn main() {
     for (i, &k) in receivers.iter().enumerate() {
         let mut row = vec![k.to_string()];
         for (_, sweep) in &sweeps {
-            row.push(format!("{:.0}/{:.2}", sweep[i].tflops, sweep[i].tflops_per_joule));
+            row.push(format!(
+                "{:.0}/{:.2}",
+                sweep[i].tflops, sweep[i].tflops_per_joule
+            ));
         }
         rows.push(row);
     }

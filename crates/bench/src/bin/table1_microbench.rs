@@ -9,7 +9,15 @@ fn main() {
     header("Table I — tensor-core micro-benchmarks (measured / theoretical TOPs/s)");
     let table = table1();
     let columns = [
-        "Input/output", "Fragment", "AD4000", "A100", "GH200", "W7700", "MI210", "MI300X", "MI300A",
+        "Input/output",
+        "Fragment",
+        "AD4000",
+        "A100",
+        "GH200",
+        "W7700",
+        "MI210",
+        "MI300X",
+        "MI300A",
     ];
     let rows: Vec<Vec<String>> = table
         .iter()

@@ -37,7 +37,10 @@ fn main() {
     print_table(&["A", "B", "A*B", "A(bin)", "B(bin)", "A xor B"], &rows);
     let popc: u32 = (0..4).map(|k| u32::from(a.get(k) != b.get(k))).sum();
     println!();
-    println!("sum(A*B)            = {}", a_dec.iter().zip(&b_dec).map(|(x, y)| x * y).sum::<i32>());
+    println!(
+        "sum(A*B)            = {}",
+        a_dec.iter().zip(&b_dec).map(|(x, y)| x * y).sum::<i32>()
+    );
     println!("popc(A xor B)       = {popc}");
     println!("K - 2 popc(A xor B) = {}", a.dot_xor(&b));
     println!("AND formulation     = {}", a.dot_and(&b));

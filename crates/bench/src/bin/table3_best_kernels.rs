@@ -9,7 +9,15 @@ use tuner::{Objective, Strategy, Tuner};
 fn main() {
     header("Table III — best kernel per GPU (exhaustively tuned)");
     let columns = [
-        "GPU", "Precision", "TOPs/s", "TOPs/J", "M/block", "M/warp", "N/block", "N/warp", "Buffers",
+        "GPU",
+        "Precision",
+        "TOPs/s",
+        "TOPs/J",
+        "M/block",
+        "M/warp",
+        "N/block",
+        "N/warp",
+        "Buffers",
     ];
     let mut rows = Vec::new();
     for precision in [Precision::Float16, Precision::Int1] {
@@ -17,7 +25,11 @@ fn main() {
             if precision == Precision::Int1 && !gpu.spec().supports_int1() {
                 continue;
             }
-            let tuner = Tuner::new(gpu.device(), Tuner::paper_tuning_shape(precision), precision);
+            let tuner = Tuner::new(
+                gpu.device(),
+                Tuner::paper_tuning_shape(precision),
+                precision,
+            );
             let Some(outcome) = tuner.tune(Strategy::Exhaustive, Objective::Performance) else {
                 continue;
             };
@@ -37,7 +49,11 @@ fn main() {
     }
     print_table(&columns, &rows);
     println!();
-    println!("Paper values for comparison (Table III): AD4000 93/0.7, A100 173/0.8, GH200 335/0.8,");
-    println!("W7700 45/0.3, MI210 147/1.3, MI300X 603/0.9, MI300A 518/0.8 (float16 TOPs/s / TOPs/J);");
+    println!(
+        "Paper values for comparison (Table III): AD4000 93/0.7, A100 173/0.8, GH200 335/0.8,"
+    );
+    println!(
+        "W7700 45/0.3, MI210 147/1.3, MI300X 603/0.9, MI300A 518/0.8 (float16 TOPs/s / TOPs/J);"
+    );
     println!("AD4000 1400/10.7, A100 3080/12.3, GH200 3780/6.0 (int1).");
 }

@@ -44,7 +44,14 @@ pub fn print_table(columns: &[&str], rows: &[Vec<String>]) {
     };
     let head: Vec<String> = columns.iter().map(|c| c.to_string()).collect();
     println!("{}", fmt_row(&head));
-    println!("{}", widths.iter().map(|w| "-".repeat(*w)).collect::<Vec<_>>().join("  "));
+    println!(
+        "{}",
+        widths
+            .iter()
+            .map(|w| "-".repeat(*w))
+            .collect::<Vec<_>>()
+            .join("  ")
+    );
     for row in rows {
         println!("{}", fmt_row(row));
     }
@@ -73,7 +80,7 @@ mod tests {
 
     #[test]
     fn fmt_opt_handles_missing_values() {
-        assert_eq!(fmt_opt(Some(3.14159), 2), "3.14");
+        assert_eq!(fmt_opt(Some(1.23456), 2), "1.23");
         assert_eq!(fmt_opt(None, 2), "—");
     }
 
@@ -89,6 +96,9 @@ mod tests {
 
     #[test]
     fn print_table_does_not_panic_on_ragged_rows() {
-        print_table(&["a", "b"], &[vec!["1".into()], vec!["22".into(), "333".into()]]);
+        print_table(
+            &["a", "b"],
+            &[vec!["1".into()], vec!["22".into(), "333".into()]],
+        );
     }
 }

@@ -30,7 +30,11 @@ pub struct ThroughputResult {
 }
 
 /// Measures one shape with the shipped default parameters.
-pub fn measure(device: &Device, shape: GemmShape, precision: Precision) -> Result<ThroughputResult> {
+pub fn measure(
+    device: &Device,
+    shape: GemmShape,
+    precision: Precision,
+) -> Result<ThroughputResult> {
     let gemm = Gemm::new(device, shape, precision)?;
     Ok(result_from(&gemm, shape, precision))
 }
@@ -86,7 +90,13 @@ pub fn sweep_int1(
         .collect();
     let k: Result<Vec<_>> = k_sizes
         .iter()
-        .map(|&kk| measure(device, GemmShape::new(fixed_mn, fixed_mn, kk), Precision::Int1))
+        .map(|&kk| {
+            measure(
+                device,
+                GemmShape::new(fixed_mn, fixed_mn, kk),
+                Precision::Int1,
+            )
+        })
         .collect();
     Ok((mn?, k?))
 }
@@ -97,7 +107,11 @@ pub fn roofline_points(device: &Device) -> Result<Vec<(String, f64, f64)>> {
     use gpu_sim::roofline::eval_shapes;
     let mut points = Vec::new();
     for (label, shape, precision) in [
-        ("float16 small", eval_shapes::f16_small(), Precision::Float16),
+        (
+            "float16 small",
+            eval_shapes::f16_small(),
+            Precision::Float16,
+        ),
         ("float16 big", eval_shapes::f16_big(), Precision::Float16),
         ("int1 small", eval_shapes::int1_small(), Precision::Int1),
         ("int1 big", eval_shapes::int1_big(), Precision::Int1),
@@ -119,8 +133,7 @@ mod tests {
     #[test]
     fn sweep_shows_ramp_then_plateau() {
         let device = Gpu::Mi300x.device();
-        let results =
-            sweep_square(&device, Precision::Float16, &[256, 1024, 4096, 8192]).unwrap();
+        let results = sweep_square(&device, Precision::Float16, &[256, 1024, 4096, 8192]).unwrap();
         assert_eq!(results.len(), 4);
         // Performance grows with size…
         assert!(results[0].tops < results[1].tops);
@@ -133,7 +146,12 @@ mod tests {
     fn energy_efficiency_tracks_performance() {
         let device = Gpu::A100.device();
         let small = measure(&device, GemmShape::new(512, 512, 512), Precision::Float16).unwrap();
-        let big = measure(&device, GemmShape::new(8192, 8192, 8192), Precision::Float16).unwrap();
+        let big = measure(
+            &device,
+            GemmShape::new(8192, 8192, 8192),
+            Precision::Float16,
+        )
+        .unwrap();
         assert!(big.tops_per_joule > small.tops_per_joule);
         // Table III: 0.8 TOPs/J.
         assert!((big.tops_per_joule - 0.8).abs() < 0.2);
@@ -142,7 +160,8 @@ mod tests {
     #[test]
     fn int1_sweep_produces_both_series() {
         let device = Gpu::A100.device();
-        let (mn, k) = sweep_int1(&device, &[1024, 8192], 524_288, &[65_536, 524_288], 8192).unwrap();
+        let (mn, k) =
+            sweep_int1(&device, &[1024, 8192], 524_288, &[65_536, 524_288], 8192).unwrap();
         assert_eq!(mn.len(), 2);
         assert_eq!(k.len(), 2);
         assert!(mn[1].tops > mn[0].tops);

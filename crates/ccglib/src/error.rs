@@ -92,7 +92,10 @@ mod tests {
         };
         assert!(e.to_string().contains("100"));
 
-        let e = CcglibError::ShapeMismatch { expected: "64x32".into(), actual: "32x64".into() };
+        let e = CcglibError::ShapeMismatch {
+            expected: "64x32".into(),
+            actual: "32x64".into(),
+        };
         assert!(format!("{e}").contains("expected 64x32"));
     }
 }

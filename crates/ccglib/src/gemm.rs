@@ -55,13 +55,20 @@ impl GemmInput {
     /// (the layout applications naturally produce); the split into planes
     /// is what the paper's transpose kernel does.
     pub fn quantise_f16_interleaved(rows: usize, cols: usize, interleaved: &[f32]) -> Self {
-        GemmInput::F16(crate::transpose::interleaved_to_planar(rows, cols, interleaved))
+        GemmInput::F16(crate::transpose::interleaved_to_planar(
+            rows,
+            cols,
+            interleaved,
+        ))
     }
 
     /// Quantises a host matrix to packed 1-bit planes with the default
     /// padding granularity.
     pub fn quantise_int1(host: &HostComplexMatrix) -> Self {
-        GemmInput::Int1(Int1Matrix::from_host_padded(host, Self::DEFAULT_INT1_K_GRANULARITY))
+        GemmInput::Int1(Int1Matrix::from_host_padded(
+            host,
+            Self::DEFAULT_INT1_K_GRANULARITY,
+        ))
     }
 
     /// Quantises to 1-bit with an explicit padding granularity.
@@ -157,7 +164,11 @@ pub fn gemm_f16(a: &F16Matrix, b_t: &F16Matrix) -> Result<ComplexOutput> {
 pub fn gemm_int1(a: &Int1Matrix, b_t: &Int1Matrix, op: BitOp) -> Result<ComplexOutput> {
     if a.k_bits() != b_t.k_bits() || a.k_padded() != b_t.k_padded() {
         return Err(CcglibError::ShapeMismatch {
-            expected: format!("A and B to share K (A has K={}/{} padded)", a.k_bits(), a.k_padded()),
+            expected: format!(
+                "A and B to share K (A has K={}/{} padded)",
+                a.k_bits(),
+                a.k_padded()
+            ),
             actual: format!("B has K={}/{} padded", b_t.k_bits(), b_t.k_padded()),
         });
     }
@@ -226,7 +237,9 @@ mod tests {
     fn pseudo_random_matrix(rows: usize, cols: usize, seed: u64, scale: f32) -> HostComplexMatrix {
         let mut state = seed | 1;
         let mut next = move || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             (((state >> 40) & 0xFFFF) as f32 / 32768.0 - 1.0) * scale
         };
         HostComplexMatrix::from_fn(rows, cols, |_, _| Complex::new(next(), next()))
@@ -236,16 +249,16 @@ mod tests {
     fn f16_gemm_matches_reference_within_half_precision() {
         let a = pseudo_random_matrix(24, 40, 1, 1.0);
         let b_t = pseudo_random_matrix(16, 40, 2, 1.0);
-        let tensor = gemm_f16(
-            &F16Matrix::from_host(&a),
-            &F16Matrix::from_host(&b_t),
-        )
-        .unwrap();
+        let tensor = gemm_f16(&F16Matrix::from_host(&a), &F16Matrix::from_host(&b_t)).unwrap();
         let exact = reference_gemm(&a, &b_t).unwrap();
         // Binary16 quantisation of the inputs bounds the error: relative
         // 2^-11 per input value, accumulated over K=40 terms.
         let tol = 40.0 * 2.0 * 2.0f32.powi(-11) * 2.0;
-        assert!(tensor.max_abs_diff(&exact) < tol, "diff = {}", tensor.max_abs_diff(&exact));
+        assert!(
+            tensor.max_abs_diff(&exact) < tol,
+            "diff = {}",
+            tensor.max_abs_diff(&exact)
+        );
     }
 
     #[test]

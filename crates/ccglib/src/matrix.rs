@@ -30,7 +30,11 @@ pub struct HostComplexMatrix {
 impl HostComplexMatrix {
     /// Creates a zero-filled matrix.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        HostComplexMatrix { rows, cols, data: vec![Complex32::ZERO; rows * cols] }
+        HostComplexMatrix {
+            rows,
+            cols,
+            data: vec![Complex32::ZERO; rows * cols],
+        }
     }
 
     /// Creates a matrix from a generator function over `(row, col)`.
@@ -125,7 +129,12 @@ impl F16Matrix {
             re.push(f16::from_f32(v.re));
             im.push(f16::from_f32(v.im));
         }
-        F16Matrix { rows: host.rows(), cols: host.cols(), re, im }
+        F16Matrix {
+            rows: host.rows(),
+            cols: host.cols(),
+            re,
+            im,
+        }
     }
 
     /// Builds a matrix directly from planes (used by the transpose kernel).
@@ -222,7 +231,13 @@ impl Int1Matrix {
             re.push(re_bits);
             im.push(im_bits);
         }
-        Int1Matrix { rows, k_bits, k_padded, re, im }
+        Int1Matrix {
+            rows,
+            k_bits,
+            k_padded,
+            re,
+            im,
+        }
     }
 
     /// Number of bit-rows.

@@ -39,7 +39,13 @@ impl TuningParameters {
         n_per_warp: usize,
         buffers: usize,
     ) -> Self {
-        TuningParameters { m_per_block, m_per_warp, n_per_block, n_per_warp, buffers }
+        TuningParameters {
+            m_per_block,
+            m_per_warp,
+            n_per_block,
+            n_per_warp,
+            buffers,
+        }
     }
 
     /// The K-depth of one shared-memory stage for a precision: two
@@ -92,7 +98,9 @@ impl TuningParameters {
                 self.m_per_warp, self.n_per_warp, self.m_per_block, self.n_per_block
             ));
         }
-        if self.m_per_block % self.m_per_warp != 0 || self.n_per_block % self.n_per_warp != 0 {
+        if !self.m_per_block.is_multiple_of(self.m_per_warp)
+            || !self.n_per_block.is_multiple_of(self.n_per_warp)
+        {
             return invalid("block tile must be a multiple of the warp tile".to_string());
         }
         if self.buffers == 0 {
@@ -250,11 +258,27 @@ mod tests {
     #[test]
     fn defaults_match_table3() {
         let p = TuningParameters::default_for(Gpu::Gh200, Precision::Float16);
-        assert_eq!((p.m_per_block, p.m_per_warp, p.n_per_block, p.n_per_warp, p.buffers),
-                   (128, 64, 64, 32, 2));
+        assert_eq!(
+            (
+                p.m_per_block,
+                p.m_per_warp,
+                p.n_per_block,
+                p.n_per_warp,
+                p.buffers
+            ),
+            (128, 64, 64, 32, 2)
+        );
         let p = TuningParameters::default_for(Gpu::A100, Precision::Int1);
-        assert_eq!((p.m_per_block, p.m_per_warp, p.n_per_block, p.n_per_warp, p.buffers),
-                   (128, 32, 64, 64, 4));
+        assert_eq!(
+            (
+                p.m_per_block,
+                p.m_per_warp,
+                p.n_per_block,
+                p.n_per_warp,
+                p.buffers
+            ),
+            (128, 32, 64, 64, 4)
+        );
         let p = TuningParameters::default_for(Gpu::Mi300x, Precision::Float16);
         assert_eq!((p.m_per_block, p.n_per_block), (128, 128));
         // MI300X and MI300A share optimal parameters, as the paper notes.
@@ -269,10 +293,16 @@ mod tests {
         for gpu in Gpu::ALL {
             let spec = gpu.spec();
             let p16 = TuningParameters::default_for(gpu, Precision::Float16);
-            assert!(p16.validate(&spec, Precision::Float16).is_ok(), "{gpu} f16: {p16}");
+            assert!(
+                p16.validate(&spec, Precision::Float16).is_ok(),
+                "{gpu} f16: {p16}"
+            );
             if spec.supports_int1() {
                 let p1 = TuningParameters::default_for(gpu, Precision::Int1);
-                assert!(p1.validate(&spec, Precision::Int1).is_ok(), "{gpu} int1: {p1}");
+                assert!(
+                    p1.validate(&spec, Precision::Int1).is_ok(),
+                    "{gpu} int1: {p1}"
+                );
             }
         }
     }
@@ -324,10 +354,16 @@ mod tests {
         for gpu in Gpu::ALL {
             let valid = space.valid_combinations(&gpu.spec(), Precision::Float16);
             assert!(!valid.is_empty(), "{gpu} has no valid configurations");
-            assert!(valid.len() < space.len(), "{gpu} accepted every configuration");
+            assert!(
+                valid.len() < space.len(),
+                "{gpu} accepted every configuration"
+            );
             // The shipped default must be inside the searched space.
             let default = TuningParameters::default_for(gpu, Precision::Float16);
-            assert!(valid.contains(&default), "{gpu} default {default} not in space");
+            assert!(
+                valid.contains(&default),
+                "{gpu} default {default} not in space"
+            );
         }
     }
 

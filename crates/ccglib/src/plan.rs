@@ -121,11 +121,22 @@ impl GemmPlan {
             }
         }
         let bit_op = BitOp::preferred_for(spec.arch);
-        let bit_fragment =
-            if spec.supports_int1() { Some(BitFragmentShape::M16N8K256) } else { None };
+        let bit_fragment = if spec.supports_int1() {
+            Some(BitFragmentShape::M16N8K256)
+        } else {
+            None
+        };
         let config_efficiency =
             Self::calibrated_efficiency(&spec, precision, &params, &shape, bit_op);
-        Ok(GemmPlan { spec, shape, precision, params, bit_op, bit_fragment, config_efficiency })
+        Ok(GemmPlan {
+            spec,
+            shape,
+            precision,
+            params,
+            bit_op,
+            bit_fragment,
+            config_efficiency,
+        })
     }
 
     /// Total device-memory footprint of the operands and the output.
@@ -162,8 +173,8 @@ impl GemmPlan {
         let padding = tile.efficiency(shape);
 
         // 2. Warp-level pipelining: independent fragment accumulators per warp.
-        let frags_per_warp = ((params.m_per_warp / frag_m).max(1)
-            * (params.n_per_warp / frag_n).max(1)) as f64;
+        let frags_per_warp =
+            ((params.m_per_warp / frag_m).max(1) * (params.n_per_warp / frag_n).max(1)) as f64;
         let warp_pipeline = (frags_per_warp / 4.0).min(1.0);
 
         // 3. Block-level latency hiding: warps per block.
@@ -215,7 +226,9 @@ impl GemmPlan {
     ) -> f64 {
         let target = match precision {
             Precision::Float16 => spec.gemm_efficiency_f16,
-            Precision::Int1 => spec.gemm_efficiency_int1.unwrap_or(spec.gemm_efficiency_f16),
+            Precision::Int1 => spec
+                .gemm_efficiency_int1
+                .unwrap_or(spec.gemm_efficiency_f16),
             Precision::Float32Reference => reference::DEFAULT_REFERENCE_EFFICIENCY,
         };
         let raw = Self::raw_efficiency(spec, precision, params, shape);
@@ -421,26 +434,41 @@ mod tests {
     fn oversized_problems_are_rejected() {
         let dev = device(Gpu::W7700);
         // 1e6 × 1e6 f16 output alone is ~8 TB.
-        let err =
-            GemmPlan::new(&dev, GemmShape::new(1_000_000, 1_000_000, 64), Precision::Float16)
-                .unwrap_err();
+        let err = GemmPlan::new(
+            &dev,
+            GemmShape::new(1_000_000, 1_000_000, 64),
+            Precision::Float16,
+        )
+        .unwrap_err();
         assert!(matches!(err, CcglibError::OutOfDeviceMemory { .. }));
     }
 
     #[test]
     fn bit_op_selection_follows_architecture() {
-        let ampere = GemmPlan::new(&device(Gpu::A100), GemmShape::new(64, 64, 256), Precision::Int1)
-            .unwrap();
+        let ampere = GemmPlan::new(
+            &device(Gpu::A100),
+            GemmShape::new(64, 64, 256),
+            Precision::Int1,
+        )
+        .unwrap();
         assert_eq!(ampere.bit_op(), BitOp::Xor);
-        let hopper = GemmPlan::new(&device(Gpu::Gh200), GemmShape::new(64, 64, 256), Precision::Int1)
-            .unwrap();
+        let hopper = GemmPlan::new(
+            &device(Gpu::Gh200),
+            GemmShape::new(64, 64, 256),
+            Precision::Int1,
+        )
+        .unwrap();
         assert_eq!(hopper.bit_op(), BitOp::And);
         assert_eq!(hopper.bit_fragment(), Some(BitFragmentShape::M16N8K256));
     }
 
     #[test]
     fn calibration_shape_reaches_table3_throughput() {
-        for (gpu, expect_tops) in [(Gpu::A100, 173.0), (Gpu::Gh200, 335.0), (Gpu::Mi300x, 603.0)] {
+        for (gpu, expect_tops) in [
+            (Gpu::A100, 173.0),
+            (Gpu::Gh200, 335.0),
+            (Gpu::Mi300x, 603.0),
+        ] {
             let dev = device(gpu);
             let gemm =
                 Gemm::new(&dev, GemmPlan::f16_calibration_shape(), Precision::Float16).unwrap();
@@ -455,7 +483,11 @@ mod tests {
 
     #[test]
     fn int1_calibration_reaches_table3_throughput() {
-        for (gpu, expect_tops) in [(Gpu::Ad4000, 1400.0), (Gpu::A100, 3080.0), (Gpu::Gh200, 3780.0)] {
+        for (gpu, expect_tops) in [
+            (Gpu::Ad4000, 1400.0),
+            (Gpu::A100, 3080.0),
+            (Gpu::Gh200, 3780.0),
+        ] {
             let dev = device(gpu);
             let gemm =
                 Gemm::new(&dev, GemmPlan::int1_calibration_shape(), Precision::Int1).unwrap();
@@ -486,7 +518,11 @@ mod tests {
             .count();
         // Allow a few ties/better configs (the model is not a perfect match
         // for the hardware) but the default must be in the top quartile.
-        assert!(better * 4 < space.len(), "default beaten by {better}/{}", space.len());
+        assert!(
+            better * 4 < space.len(),
+            "default beaten by {better}/{}",
+            space.len()
+        );
     }
 
     #[test]
@@ -509,8 +545,12 @@ mod tests {
         let dev = device(Gpu::A100);
         let shape = GemmShape::new(16, 8, 64);
         let gemm = Gemm::new(&dev, shape, Precision::Float16).unwrap();
-        let a = HostComplexMatrix::from_fn(16, 64, |r, c| Complex::new(r as f32 * 0.1, c as f32 * 0.01));
-        let b_t = HostComplexMatrix::from_fn(8, 64, |r, c| Complex::new(0.5 - r as f32 * 0.05, c as f32 * 0.02));
+        let a = HostComplexMatrix::from_fn(16, 64, |r, c| {
+            Complex::new(r as f32 * 0.1, c as f32 * 0.01)
+        });
+        let b_t = HostComplexMatrix::from_fn(8, 64, |r, c| {
+            Complex::new(0.5 - r as f32 * 0.05, c as f32 * 0.02)
+        });
         let (out, report) = gemm
             .run(&GemmInput::quantise_f16(&a), &GemmInput::quantise_f16(&b_t))
             .unwrap();
@@ -529,7 +569,10 @@ mod tests {
             .is_err());
         // Wrong precision is rejected.
         assert!(gemm
-            .run(&GemmInput::quantise_f16(&a), &GemmInput::quantise_int1(&b_t))
+            .run(
+                &GemmInput::quantise_f16(&a),
+                &GemmInput::quantise_int1(&b_t)
+            )
             .is_err());
     }
 
@@ -545,7 +588,10 @@ mod tests {
             Complex::new(((r * 2 + c) % 7) as f32 - 3.0, (c % 2) as f32 - 0.5)
         });
         let (out, report) = gemm
-            .run(&GemmInput::quantise_int1(&a), &GemmInput::quantise_int1(&b_t))
+            .run(
+                &GemmInput::quantise_int1(&a),
+                &GemmInput::quantise_int1(&b_t),
+            )
             .unwrap();
         assert_eq!(report.bit_op, Some(BitOp::And));
         // Result must match the ±1 reference.

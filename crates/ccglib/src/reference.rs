@@ -58,12 +58,8 @@ pub fn reference_profile(spec: &DeviceSpec, shape: &GemmShape, efficiency: f64) 
     let memory = MemoryModel::new(spec.clone());
     // The reference implementations tile much less aggressively; model a
     // modest 64×64 block tile.
-    let global_bytes = shape.batch as f64 * memory.gemm_global_bytes(
-        &GemmShape::new(shape.m, shape.n, shape.k),
-        64,
-        64,
-        32,
-    );
+    let global_bytes = shape.batch as f64
+        * memory.gemm_global_bytes(&GemmShape::new(shape.m, shape.n, shape.k), 64, 64, 32);
     let blocks = shape.batch * shape.m.div_ceil(64) * shape.n.div_ceil(64);
     KernelProfile {
         kind: KernelKind::GemmF32,
@@ -129,7 +125,10 @@ mod tests {
     fn shape_mismatch_is_reported() {
         let a = HostComplexMatrix::zeros(2, 3);
         let b_t = HostComplexMatrix::zeros(2, 4);
-        assert!(matches!(reference_gemm(&a, &b_t), Err(CcglibError::ShapeMismatch { .. })));
+        assert!(matches!(
+            reference_gemm(&a, &b_t),
+            Err(CcglibError::ShapeMismatch { .. })
+        ));
     }
 
     #[test]

@@ -23,7 +23,11 @@ use tcbf_types::{f16, Complex32};
 /// pairs) into a planar binary16 device matrix — the "transpose" the paper
 /// describes between the host layout and the tensor-core layout.
 pub fn interleaved_to_planar(rows: usize, cols: usize, interleaved: &[f32]) -> F16Matrix {
-    assert_eq!(interleaved.len(), rows * cols * 2, "interleaved buffer has wrong length");
+    assert_eq!(
+        interleaved.len(),
+        rows * cols * 2,
+        "interleaved buffer has wrong length"
+    );
     let mut re = Vec::with_capacity(rows * cols);
     let mut im = Vec::with_capacity(rows * cols);
     for e in 0..rows * cols {
@@ -152,7 +156,8 @@ mod tests {
 
     #[test]
     fn exact_tiling_needs_no_padding() {
-        let m = HostComplexMatrix::from_fn(4, 4, |r, c| Complex::new(1.0 + (r * 4 + c) as f32, 0.0));
+        let m =
+            HostComplexMatrix::from_fn(4, 4, |r, c| Complex::new(1.0 + (r * 4 + c) as f32, 0.0));
         let tiled = tile_elements(&m, 2, 2);
         assert_eq!(tiled.len(), 16);
         assert!(tiled.iter().all(|c| *c != Complex32::ZERO));

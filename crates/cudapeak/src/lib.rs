@@ -101,7 +101,9 @@ fn exercise_fragments(case: BenchmarkCase) -> usize {
             for _ in 0..4 {
                 wmma::mma_sync(shape, &a, &b, &mut acc);
             }
-            assert!(acc.iter().all(|&v| (v - 4.0 * shape.k() as f32 * 0.5).abs() < 1e-3));
+            assert!(acc
+                .iter()
+                .all(|&v| (v - 4.0 * shape.k() as f32 * 0.5).abs() < 1e-3));
             4 * shape.m() * shape.n() * shape.k()
         }
         BenchmarkCase::Int1 { fragment, op } => {
@@ -127,9 +129,10 @@ fn exercise_fragments(case: BenchmarkCase) -> usize {
 /// precision on AMD GPUs).
 pub fn run_case(spec: &DeviceSpec, case: BenchmarkCase) -> Option<PeakResult> {
     let (measured, theoretical) = match case {
-        BenchmarkCase::Float16 => {
-            (Some(spec.f16_tensor_measured), Some(spec.f16_tensor_theoretical))
-        }
+        BenchmarkCase::Float16 => (
+            Some(spec.f16_tensor_measured),
+            Some(spec.f16_tensor_theoretical),
+        ),
         BenchmarkCase::Int1 { fragment, op } => {
             let peaks = spec.int1.as_ref()?;
             (Some(peaks.measured(fragment, op)), Some(peaks.theoretical))
@@ -148,7 +151,10 @@ pub fn run_case(spec: &DeviceSpec, case: BenchmarkCase) -> Option<PeakResult> {
 
 /// Runs every Table I case on one device, skipping unsupported ones.
 pub fn run_device(spec: &DeviceSpec) -> Vec<PeakResult> {
-    BenchmarkCase::table1_cases().into_iter().filter_map(|c| run_case(spec, c)).collect()
+    BenchmarkCase::table1_cases()
+        .into_iter()
+        .filter_map(|c| run_case(spec, c))
+        .collect()
 }
 
 /// Regenerates the full Table I: one entry per (case, device), with `None`
@@ -157,7 +163,10 @@ pub fn table1() -> Vec<(BenchmarkCase, Vec<Option<PeakResult>>)> {
     BenchmarkCase::table1_cases()
         .into_iter()
         .map(|case| {
-            let row = Gpu::ALL.iter().map(|gpu| run_case(&gpu.spec(), case)).collect();
+            let row = Gpu::ALL
+                .iter()
+                .map(|gpu| run_case(&gpu.spec(), case))
+                .collect();
             (case, row)
         })
         .collect()
@@ -190,7 +199,10 @@ mod tests {
         assert_eq!(f16.theoretical_tops, Some(312.0));
         let large_xor = run_case(
             &a100,
-            BenchmarkCase::Int1 { fragment: BitFragmentShape::M16N8K256, op: BitOp::Xor },
+            BenchmarkCase::Int1 {
+                fragment: BitFragmentShape::M16N8K256,
+                op: BitOp::Xor,
+            },
         )
         .unwrap();
         assert_eq!(large_xor.measured_tops, Some(4942.0));
@@ -202,7 +214,10 @@ mod tests {
         let mi300 = Gpu::Mi300x.spec();
         assert!(run_case(
             &mi300,
-            BenchmarkCase::Int1 { fragment: BitFragmentShape::M8N8K128, op: BitOp::Xor }
+            BenchmarkCase::Int1 {
+                fragment: BitFragmentShape::M8N8K128,
+                op: BitOp::Xor
+            }
         )
         .is_none());
         assert_eq!(run_device(&mi300).len(), 1);
@@ -229,12 +244,18 @@ mod tests {
             for op in [BitOp::Xor, BitOp::And] {
                 let small = run_case(
                     &spec,
-                    BenchmarkCase::Int1 { fragment: BitFragmentShape::M8N8K128, op },
+                    BenchmarkCase::Int1 {
+                        fragment: BitFragmentShape::M8N8K128,
+                        op,
+                    },
                 )
                 .unwrap();
                 let large = run_case(
                     &spec,
-                    BenchmarkCase::Int1 { fragment: BitFragmentShape::M16N8K256, op },
+                    BenchmarkCase::Int1 {
+                        fragment: BitFragmentShape::M16N8K256,
+                        op,
+                    },
                 )
                 .unwrap();
                 assert!(large.measured_tops >= small.measured_tops, "{gpu} {op}");
@@ -247,24 +268,36 @@ mod tests {
         let gh = Gpu::Gh200.spec();
         let xor = run_case(
             &gh,
-            BenchmarkCase::Int1 { fragment: BitFragmentShape::M16N8K256, op: BitOp::Xor },
+            BenchmarkCase::Int1 {
+                fragment: BitFragmentShape::M16N8K256,
+                op: BitOp::Xor,
+            },
         )
         .unwrap();
         let and = run_case(
             &gh,
-            BenchmarkCase::Int1 { fragment: BitFragmentShape::M16N8K256, op: BitOp::And },
+            BenchmarkCase::Int1 {
+                fragment: BitFragmentShape::M16N8K256,
+                op: BitOp::And,
+            },
         )
         .unwrap();
         assert!(and.measured_tops.unwrap() > 4.0 * xor.measured_tops.unwrap());
         let a100 = Gpu::A100.spec();
         let xor = run_case(
             &a100,
-            BenchmarkCase::Int1 { fragment: BitFragmentShape::M16N8K256, op: BitOp::Xor },
+            BenchmarkCase::Int1 {
+                fragment: BitFragmentShape::M16N8K256,
+                op: BitOp::Xor,
+            },
         )
         .unwrap();
         let and = run_case(
             &a100,
-            BenchmarkCase::Int1 { fragment: BitFragmentShape::M16N8K256, op: BitOp::And },
+            BenchmarkCase::Int1 {
+                fragment: BitFragmentShape::M16N8K256,
+                op: BitOp::And,
+            },
         )
         .unwrap();
         assert_eq!(xor.measured_tops, and.measured_tops);
@@ -274,7 +307,10 @@ mod tests {
     fn labels_for_report_formatting() {
         assert_eq!(BenchmarkCase::Float16.type_label(), "float16 / float32");
         assert_eq!(BenchmarkCase::Float16.fragment_label(), "16x16x16");
-        let c = BenchmarkCase::Int1 { fragment: BitFragmentShape::M16N8K256, op: BitOp::And };
+        let c = BenchmarkCase::Int1 {
+            fragment: BitFragmentShape::M16N8K256,
+            op: BitOp::And,
+        };
         assert_eq!(c.type_label(), "int1 / int32 (AND)");
         assert_eq!(c.fragment_label(), "16x8x256");
     }

@@ -204,10 +204,18 @@ mod tests {
 
     #[test]
     fn int1_is_nvidia_only() {
-        for arch in [Architecture::Ampere, Architecture::Ada, Architecture::Hopper] {
+        for arch in [
+            Architecture::Ampere,
+            Architecture::Ada,
+            Architecture::Hopper,
+        ] {
             assert!(arch.supports_int1());
         }
-        for arch in [Architecture::Rdna3, Architecture::Cdna2, Architecture::Cdna3] {
+        for arch in [
+            Architecture::Rdna3,
+            Architecture::Cdna2,
+            Architecture::Cdna3,
+        ] {
             assert!(!arch.supports_int1());
             assert!(!arch.supports_large_bit_fragment());
         }

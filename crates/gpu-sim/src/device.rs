@@ -109,7 +109,10 @@ impl Int1Peaks {
 
     /// The best measured 1-bit throughput across fragments and operands.
     pub fn best(&self) -> f64 {
-        self.small_xor.max(self.small_and).max(self.large_xor).max(self.large_and)
+        self.small_xor
+            .max(self.small_and)
+            .max(self.large_xor)
+            .max(self.large_and)
     }
 }
 
@@ -511,7 +514,10 @@ mod tests {
         let catalog = DeviceSpec::catalog();
         assert_eq!(catalog.len(), 7);
         let names: Vec<_> = catalog.iter().map(|d| d.gpu.name()).collect();
-        assert_eq!(names, vec!["AD4000", "A100", "GH200", "W7700", "MI210", "MI300X", "MI300A"]);
+        assert_eq!(
+            names,
+            vec!["AD4000", "A100", "GH200", "W7700", "MI210", "MI300X", "MI300A"]
+        );
     }
 
     #[test]
@@ -544,22 +550,38 @@ mod tests {
         );
         let gh = Gpu::Gh200.spec();
         // On Hopper AND is much faster than XOR for both fragments.
-        assert!(gh.int1_peak_tops(BitFragmentShape::M8N8K128, BitOp::And).unwrap()
-            > 3.0 * gh.int1_peak_tops(BitFragmentShape::M8N8K128, BitOp::Xor).unwrap());
-        assert_eq!(Gpu::W7700.spec().int1_peak_tops(BitFragmentShape::M8N8K128, BitOp::Xor), None);
+        assert!(
+            gh.int1_peak_tops(BitFragmentShape::M8N8K128, BitOp::And)
+                .unwrap()
+                > 3.0
+                    * gh.int1_peak_tops(BitFragmentShape::M8N8K128, BitOp::Xor)
+                        .unwrap()
+        );
+        assert_eq!(
+            Gpu::W7700
+                .spec()
+                .int1_peak_tops(BitFragmentShape::M8N8K128, BitOp::Xor),
+            None
+        );
     }
 
     #[test]
     fn useful_peak_accounts_for_and_instruction_doubling() {
         let gh = Gpu::Gh200.spec();
-        let instr = gh.int1_peak_tops(BitFragmentShape::M16N8K256, BitOp::And).unwrap();
-        let useful = gh.int1_useful_peak_tops(BitFragmentShape::M16N8K256, BitOp::And).unwrap();
+        let instr = gh
+            .int1_peak_tops(BitFragmentShape::M16N8K256, BitOp::And)
+            .unwrap();
+        let useful = gh
+            .int1_useful_peak_tops(BitFragmentShape::M16N8K256, BitOp::And)
+            .unwrap();
         assert_eq!(useful, instr / 2.0);
         // On Ampere XOR needs no doubling.
         let a100 = Gpu::A100.spec();
         assert_eq!(
-            a100.int1_useful_peak_tops(BitFragmentShape::M16N8K256, BitOp::Xor).unwrap(),
-            a100.int1_peak_tops(BitFragmentShape::M16N8K256, BitOp::Xor).unwrap()
+            a100.int1_useful_peak_tops(BitFragmentShape::M16N8K256, BitOp::Xor)
+                .unwrap(),
+            a100.int1_peak_tops(BitFragmentShape::M16N8K256, BitOp::Xor)
+                .unwrap()
         );
     }
 
@@ -569,7 +591,9 @@ mod tests {
         for gpu in Gpu::NVIDIA {
             let spec = gpu.spec();
             let op = BitOp::preferred_for(spec.arch);
-            let large = spec.int1_useful_peak_tops(BitFragmentShape::M16N8K256, op).unwrap();
+            let large = spec
+                .int1_useful_peak_tops(BitFragmentShape::M16N8K256, op)
+                .unwrap();
             assert_eq!(spec.int1_best_useful_peak_tops().unwrap(), large);
         }
     }
@@ -587,7 +611,11 @@ mod tests {
         // The whole premise of the paper: tensor cores beat the normal
         // cores by a wide margin.
         for spec in DeviceSpec::catalog() {
-            assert!(spec.f16_peak_tops() > 2.0 * spec.fp32_peak_tops(), "{}", spec.name);
+            assert!(
+                spec.f16_peak_tops() > 2.0 * spec.fp32_peak_tops(),
+                "{}",
+                spec.name
+            );
         }
     }
 

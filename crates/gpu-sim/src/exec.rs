@@ -52,7 +52,10 @@ impl KernelKind {
     /// Whether this kernel kind performs arithmetic on a compute ceiling
     /// (as opposed to being a pure data-movement kernel).
     pub fn is_compute(&self) -> bool {
-        matches!(self, KernelKind::GemmF16 | KernelKind::GemmInt1 | KernelKind::GemmF32)
+        matches!(
+            self,
+            KernelKind::GemmF16 | KernelKind::GemmInt1 | KernelKind::GemmF32
+        )
     }
 }
 
@@ -68,7 +71,10 @@ pub struct LaunchConfig {
 impl LaunchConfig {
     /// Creates a launch configuration.
     pub fn new(blocks: usize, threads_per_block: usize) -> Self {
-        LaunchConfig { blocks, threads_per_block }
+        LaunchConfig {
+            blocks,
+            threads_per_block,
+        }
     }
 
     /// Total number of threads in the launch.
@@ -183,7 +189,11 @@ impl ExecutionModel {
         let blocks = launch.blocks as f64;
         let full_waves = (blocks / cus).floor();
         let has_tail = blocks > full_waves * cus;
-        let effective_waves = if has_tail { full_waves + 0.5 } else { full_waves };
+        let effective_waves = if has_tail {
+            full_waves + 0.5
+        } else {
+            full_waves
+        };
         (blocks / (effective_waves * cus)).min(1.0)
     }
 
@@ -208,14 +218,26 @@ impl ExecutionModel {
         // two plus the launch overhead.
         let busy = compute_time_s.max(memory_time_s);
         let elapsed_s = busy + LAUNCH_OVERHEAD_S;
-        let achieved_tops = if elapsed_s > 0.0 { profile.useful_ops / elapsed_s / 1e12 } else { 0.0 };
+        let achieved_tops = if elapsed_s > 0.0 {
+            profile.useful_ops / elapsed_s / 1e12
+        } else {
+            0.0
+        };
 
         KernelTimings {
             compute_time_s,
             memory_time_s,
             elapsed_s,
-            compute_utilization: if elapsed_s > 0.0 { compute_time_s / elapsed_s } else { 0.0 },
-            memory_utilization: if elapsed_s > 0.0 { memory_time_s / elapsed_s } else { 0.0 },
+            compute_utilization: if elapsed_s > 0.0 {
+                compute_time_s / elapsed_s
+            } else {
+                0.0
+            },
+            memory_utilization: if elapsed_s > 0.0 {
+                memory_time_s / elapsed_s
+            } else {
+                0.0
+            },
             achieved_tops,
         }
     }
@@ -258,7 +280,11 @@ mod tests {
         let t = model.time(&profile);
         assert!(!t.is_memory_bound());
         // Achieved throughput within 5% of the Table III value (173 TOPs/s).
-        assert!((t.achieved_tops - 173.0).abs() / 173.0 < 0.05, "{}", t.achieved_tops);
+        assert!(
+            (t.achieved_tops - 173.0).abs() / 173.0 < 0.05,
+            "{}",
+            t.achieved_tops
+        );
     }
 
     #[test]
@@ -316,8 +342,11 @@ mod tests {
         let spec = Gpu::A100.spec();
         let model = ExecutionModel::new(spec.clone());
         let bytes = 8e9;
-        let profile =
-            KernelProfile::data_movement(KernelKind::Transpose, bytes, LaunchConfig::new(2048, 256));
+        let profile = KernelProfile::data_movement(
+            KernelKind::Transpose,
+            bytes,
+            LaunchConfig::new(2048, 256),
+        );
         let t = model.time(&profile);
         let expected = bytes / (spec.mem_bandwidth_gbs * 1e9 * 0.85) + LAUNCH_OVERHEAD_S;
         assert!((t.elapsed_s - expected).abs() / expected < 1e-9);

@@ -47,7 +47,11 @@ impl SharedMemoryPlan {
         let bits_per_element = 2 * input_bits_per_component;
         let a_stage_bytes = (m_block * k_slice * bits_per_element).div_ceil(8);
         let b_stage_bytes = (n_block * k_slice * bits_per_element).div_ceil(8);
-        SharedMemoryPlan { a_stage_bytes, b_stage_bytes, stages }
+        SharedMemoryPlan {
+            a_stage_bytes,
+            b_stage_bytes,
+            stages,
+        }
     }
 
     /// Total shared-memory bytes required by the block.
@@ -103,8 +107,12 @@ impl MemoryModel {
     ) -> f64 {
         let bytes_per_input = 2.0 * input_bits_per_component as f64 / 8.0;
         let wave_extent = (self.spec.compute_units as f64).sqrt();
-        let m_reuse = ((m_block as f64 * wave_extent) as usize).max(m_block).min(shape.m.max(1));
-        let n_reuse = ((n_block as f64 * wave_extent) as usize).max(n_block).min(shape.n.max(1));
+        let m_reuse = ((m_block as f64 * wave_extent) as usize)
+            .max(m_block)
+            .min(shape.m.max(1));
+        let n_reuse = ((n_block as f64 * wave_extent) as usize)
+            .max(n_block)
+            .min(shape.n.max(1));
         let n_tiles = shape.n.div_ceil(n_reuse) as f64;
         let m_tiles = shape.m.div_ceil(m_reuse) as f64;
         let batch = shape.batch as f64;

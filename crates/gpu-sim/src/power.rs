@@ -69,7 +69,10 @@ impl PowerModel {
     /// (compute or memory); a kernel that keeps the device only half busy
     /// draws roughly half the dynamic power.
     pub fn average_watts(&self, kind: KernelKind, timings: &KernelTimings) -> f64 {
-        let activity = timings.compute_utilization.max(timings.memory_utilization).clamp(0.0, 1.0);
+        let activity = timings
+            .compute_utilization
+            .max(timings.memory_utilization)
+            .clamp(0.0, 1.0);
         let full = self.full_load_watts(kind);
         self.spec.idle_watts + (full - self.spec.idle_watts) * activity
     }
@@ -100,7 +103,10 @@ impl PowerModel {
         let watts = self.average_watts(kind, timings);
         let count = (timings.elapsed_s / interval_s).ceil().max(1.0) as usize;
         (0..=count)
-            .map(|i| PowerSample { timestamp_s: i as f64 * interval_s, watts })
+            .map(|i| PowerSample {
+                timestamp_s: i as f64 * interval_s,
+                watts,
+            })
             .collect()
     }
 }
@@ -144,7 +150,10 @@ mod tests {
             memory_utilization: 0.0,
             achieved_tops: 0.0,
         };
-        assert_eq!(model.average_watts(KernelKind::GemmF16, &idle), model.idle_watts());
+        assert_eq!(
+            model.average_watts(KernelKind::GemmF16, &idle),
+            model.idle_watts()
+        );
         let busy = full_util_timings();
         assert_eq!(model.average_watts(KernelKind::GemmF16, &busy), 419.0);
     }

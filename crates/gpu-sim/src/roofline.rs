@@ -53,9 +53,15 @@ impl Roofline {
             peak_tops: spec.f16_peak_tops(),
         }];
         if let Some(peak) = spec.int1_best_useful_peak_tops() {
-            ceilings.push(Ceiling { label: "int1 tensor".to_string(), peak_tops: peak });
+            ceilings.push(Ceiling {
+                label: "int1 tensor".to_string(),
+                peak_tops: peak,
+            });
         }
-        ceilings.push(Ceiling { label: "float32".to_string(), peak_tops: spec.fp32_peak_tops() });
+        ceilings.push(Ceiling {
+            label: "float32".to_string(),
+            peak_tops: spec.fp32_peak_tops(),
+        });
         ceilings.sort_by(|a, b| b.peak_tops.total_cmp(&a.peak_tops));
         Roofline {
             device: spec.gpu.name().to_string(),
@@ -186,10 +192,14 @@ mod tests {
         let roofline = Roofline::for_device(&Gpu::Gh200.spec());
         let ridge = roofline.ridge_point("float16 tensor").unwrap();
         // Below the ridge: limited by memory.
-        let low = roofline.attainable_tops("float16 tensor", ridge / 10.0).unwrap();
+        let low = roofline
+            .attainable_tops("float16 tensor", ridge / 10.0)
+            .unwrap();
         assert!(low < 646.0 * 0.2);
         // Above the ridge: limited by compute.
-        let high = roofline.attainable_tops("float16 tensor", ridge * 10.0).unwrap();
+        let high = roofline
+            .attainable_tops("float16 tensor", ridge * 10.0)
+            .unwrap();
         assert_eq!(high, 646.0);
         assert_eq!(roofline.attainable_tops("no such ceiling", 1.0), None);
     }

@@ -280,8 +280,12 @@ mod tests {
         // K − 2·popc(A⊕B) must equal the decoded ±1 dot product.
         let shape = BitFragmentShape::M16N8K256;
         let kw = shape.k_words();
-        let a: Vec<u32> = (0..shape.m() * kw).map(|i| (i as u32).wrapping_mul(0x9E37_79B9)).collect();
-        let b: Vec<u32> = (0..shape.n() * kw).map(|i| (i as u32).wrapping_mul(0x85EB_CA6B) ^ 0xDEAD).collect();
+        let a: Vec<u32> = (0..shape.m() * kw)
+            .map(|i| (i as u32).wrapping_mul(0x9E37_79B9))
+            .collect();
+        let b: Vec<u32> = (0..shape.n() * kw)
+            .map(|i| (i as u32).wrapping_mul(0x85EB_CA6B) ^ 0xDEAD)
+            .collect();
         let mut popc = vec![0i32; shape.m() * shape.n()];
         bmma_sync(shape, BitOp::Xor, &a, &b, &mut popc);
         let reference = bmma_reference_signed(shape, &a, &b);
@@ -295,8 +299,12 @@ mod tests {
         // 2·(popc(A∧B) + popc(Ā∧B̄)) − K must equal the ±1 dot product.
         let shape = BitFragmentShape::M8N8K128;
         let kw = shape.k_words();
-        let a: Vec<u32> = (0..shape.m() * kw).map(|i| (i as u32).wrapping_mul(0x1234_5678) ^ 0xF0F0).collect();
-        let b: Vec<u32> = (0..shape.n() * kw).map(|i| (i as u32).wrapping_mul(0x0BAD_F00D)).collect();
+        let a: Vec<u32> = (0..shape.m() * kw)
+            .map(|i| (i as u32).wrapping_mul(0x1234_5678) ^ 0xF0F0)
+            .collect();
+        let b: Vec<u32> = (0..shape.n() * kw)
+            .map(|i| (i as u32).wrapping_mul(0x0BAD_F00D))
+            .collect();
         let not_a: Vec<u32> = a.iter().map(|&w| !w).collect();
         let not_b: Vec<u32> = b.iter().map(|&w| !w).collect();
         let mut popc = vec![0i32; shape.m() * shape.n()];
@@ -312,7 +320,12 @@ mod tests {
     #[should_panic(expected = "A fragment has wrong size")]
     fn wrong_fragment_size_panics() {
         let mut acc = vec![0.0f32; 256];
-        mma_sync(FragmentShape::M16N16K16, &[f16::ONE; 8], &[f16::ONE; 256], &mut acc);
+        mma_sync(
+            FragmentShape::M16N16K16,
+            &[f16::ONE; 8],
+            &[f16::ONE; 256],
+            &mut acc,
+        );
     }
 
     proptest! {

@@ -90,7 +90,10 @@ impl DevicePowerSensor {
             gpu_sim::Vendor::Nvidia => "nvml",
             gpu_sim::Vendor::Amd => "rocm-smi",
         };
-        DevicePowerSensor { model: PowerModel::new(spec.clone()), backend }
+        DevicePowerSensor {
+            model: PowerModel::new(spec.clone()),
+            backend,
+        }
     }
 }
 
@@ -158,7 +161,10 @@ pub struct PowerMeter {
 impl PowerMeter {
     /// Creates a meter from a sensor.
     pub fn new(sensor: Arc<dyn PowerSensor>) -> Self {
-        PowerMeter { sensor, inner: Arc::new(Mutex::new(MeterInner::default())) }
+        PowerMeter {
+            sensor,
+            inner: Arc::new(Mutex::new(MeterInner::default())),
+        }
     }
 
     /// Creates a meter for a simulated device, choosing the NVML or
@@ -175,7 +181,10 @@ impl PowerMeter {
     /// Reads the cumulative meter state (the PMT `read()` analogue).
     pub fn read(&self) -> MeterState {
         let inner = self.inner.lock();
-        MeterState { timestamp_s: inner.virtual_time_s, joules: inner.joules }
+        MeterState {
+            timestamp_s: inner.virtual_time_s,
+            joules: inner.joules,
+        }
     }
 
     /// Records the execution of one simulated kernel: advances the virtual
@@ -188,8 +197,14 @@ impl PowerMeter {
         inner.virtual_time_s += timings.elapsed_s;
         inner.joules += joules;
         let t = inner.virtual_time_s;
-        inner.trace.push(PowerSample { timestamp_s: t, watts });
-        EnergyMeasurement { seconds: timings.elapsed_s, joules }
+        inner.trace.push(PowerSample {
+            timestamp_s: t,
+            watts,
+        });
+        EnergyMeasurement {
+            seconds: timings.elapsed_s,
+            joules,
+        }
     }
 
     /// Records an idle period (host-side work between kernels).
@@ -200,7 +215,10 @@ impl PowerMeter {
         inner.virtual_time_s += seconds;
         inner.joules += watts * seconds;
         let t = inner.virtual_time_s;
-        inner.trace.push(PowerSample { timestamp_s: t, watts });
+        inner.trace.push(PowerSample {
+            timestamp_s: t,
+            watts,
+        });
     }
 
     /// Measures the region between two previously read states.
@@ -251,7 +269,10 @@ mod tests {
     #[test]
     fn backend_selection_follows_vendor() {
         assert_eq!(PowerMeter::for_device(&Gpu::A100.spec()).backend(), "nvml");
-        assert_eq!(PowerMeter::for_device(&Gpu::Mi300x.spec()).backend(), "rocm-smi");
+        assert_eq!(
+            PowerMeter::for_device(&Gpu::Mi300x.spec()).backend(),
+            "rocm-smi"
+        );
     }
 
     #[test]

@@ -50,7 +50,10 @@ impl CentralBeamformer {
     /// of `beam_azimuths` (radians from the pointing centre).
     pub fn new(device: &Device, beam_azimuths: Vec<f64>) -> Self {
         assert!(!beam_azimuths.is_empty(), "at least one beam is required");
-        CentralBeamformer { device: device.clone(), beam_azimuths }
+        CentralBeamformer {
+            device: device.clone(),
+            beam_azimuths,
+        }
     }
 
     /// Number of tied-array beams (`M`).
@@ -122,7 +125,11 @@ impl CentralBeamformer {
                     .collect()
             })
             .collect();
-        Ok(CentralOutput { power, complex_beams: Some(beams), report: Some(report) })
+        Ok(CentralOutput {
+            power,
+            complex_beams: Some(beams),
+            report: Some(report),
+        })
     }
 
     /// Mean power of one beam over all samples.
@@ -160,7 +167,10 @@ mod tests {
             stations,
             32,
             FREQ,
-            &[SkySource { azimuth, amplitude: 1.0 }],
+            &[SkySource {
+                azimuth,
+                amplitude: 1.0,
+            }],
             0.0,
             64,
             0.05,
@@ -179,9 +189,15 @@ mod tests {
         let beamlets = beamlets_with_source(2e-4, 24);
         let bf = CentralBeamformer::new(&Gpu::A100.device(), beam_grid());
         let output = bf.beamform(&beamlets, CentralMode::Coherent).unwrap();
-        let powers: Vec<f64> =
-            (0..bf.num_beams()).map(|b| CentralBeamformer::mean_beam_power(&output, b)).collect();
-        let best = powers.iter().enumerate().max_by(|a, b| a.1.total_cmp(b.1)).unwrap().0;
+        let powers: Vec<f64> = (0..bf.num_beams())
+            .map(|b| CentralBeamformer::mean_beam_power(&output, b))
+            .collect();
+        let best = powers
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.total_cmp(b.1))
+            .unwrap()
+            .0;
         // Beam index 4 looks at +2e-4 rad.
         assert_eq!(best, 4, "powers {powers:?}");
         assert!(output.report.is_some());

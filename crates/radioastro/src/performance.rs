@@ -27,7 +27,11 @@ pub struct LofarConfig {
 impl LofarConfig {
     /// The configuration used for Fig. 7.
     pub fn paper() -> Self {
-        LofarConfig { beams: 1024, samples: 1024, batch: 256 }
+        LofarConfig {
+            beams: 1024,
+            samples: 1024,
+            batch: 256,
+        }
     }
 
     /// The GEMM shape for a given number of stations.
@@ -71,7 +75,11 @@ pub fn lofar_sweep(device: &Device, config: &LofarConfig, receivers: &[usize]) -
 
 /// Runs the float32 reference beamformer sweep (the non-tensor-core LOFAR
 /// kernel) for one device.
-pub fn reference_sweep(device: &Device, config: &LofarConfig, receivers: &[usize]) -> Vec<SweepPoint> {
+pub fn reference_sweep(
+    device: &Device,
+    config: &LofarConfig,
+    receivers: &[usize],
+) -> Vec<SweepPoint> {
     let spec = device.spec();
     let exec = ExecutionModel::new(spec.clone());
     let power = PowerModel::new(spec.clone());
@@ -158,7 +166,10 @@ mod tests {
             .map(|&k| speedup_over_reference(&device, &config, k))
             .fold(0.0, f64::max);
         assert!(max_speedup > 8.0, "max speedup {max_speedup}");
-        assert!(max_speedup < 100.0, "max speedup {max_speedup} implausibly high");
+        assert!(
+            max_speedup < 100.0,
+            "max speedup {max_speedup} implausibly high"
+        );
     }
 
     #[test]
@@ -171,7 +182,10 @@ mod tests {
         let mi300x = lofar_sweep(&Gpu::Mi300x.device(), &config, &receivers)[0];
         let gh200 = lofar_sweep(&Gpu::Gh200.device(), &config, &receivers)[0];
         assert!(mi300x.tflops > gh200.tflops);
-        assert!(mi300x.tflops < 0.9 * 603.0, "MI300X should not reach its large-matrix throughput");
+        assert!(
+            mi300x.tflops < 0.9 * 603.0,
+            "MI300X should not reach its large-matrix throughput"
+        );
     }
 
     #[test]

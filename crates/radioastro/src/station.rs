@@ -141,6 +141,7 @@ pub struct StationBeamlets {
 impl StationBeamlets {
     /// Generates synthetic beamlets for a regularly spaced array of
     /// `num_stations` stations observing the given sources.
+    #[allow(clippy::too_many_arguments)] // mirrors the observation-setup parameter list of the paper's Fig. 7 runs
     pub fn synthesise(
         num_stations: usize,
         antennas_per_station: usize,
@@ -155,7 +156,14 @@ impl StationBeamlets {
         let spacing = 1000.0; // 1 km between stations: a compact LOFAR core.
         let centre = (num_stations as f64 - 1.0) / 2.0;
         let stations: Vec<Station> = (0..num_stations)
-            .map(|i| Station::new(i, (i as f64 - centre) * spacing, antennas_per_station, frequency))
+            .map(|i| {
+                Station::new(
+                    i,
+                    (i as f64 - centre) * spacing,
+                    antennas_per_station,
+                    frequency,
+                )
+            })
             .collect();
         let mut data = HostComplexMatrix::zeros(num_stations, num_samples);
         for (s_idx, station) in stations.iter().enumerate() {
@@ -215,8 +223,14 @@ mod tests {
     #[test]
     fn station_beam_suppresses_off_pointing_sources() {
         let station = Station::new(0, 0.0, 96, FREQ);
-        let on_source = vec![SkySource { azimuth: 0.0, amplitude: 1.0 }];
-        let off_source = vec![SkySource { azimuth: 0.4, amplitude: 1.0 }];
+        let on_source = vec![SkySource {
+            azimuth: 0.0,
+            amplitude: 1.0,
+        }];
+        let off_source = vec![SkySource {
+            azimuth: 0.4,
+            amplitude: 1.0,
+        }];
         let power = |sources: &[SkySource]| -> f64 {
             station
                 .beamform_station(sources, 0.0, 32, 0.0, 1)
@@ -232,7 +246,10 @@ mod tests {
 
     #[test]
     fn beamlets_have_station_by_sample_shape() {
-        let sources = [SkySource { azimuth: 0.01, amplitude: 1.0 }];
+        let sources = [SkySource {
+            azimuth: 0.01,
+            amplitude: 1.0,
+        }];
         let beamlets = StationBeamlets::synthesise(12, 16, FREQ, &sources, 0.0, 24, 0.1, 5);
         assert_eq!(beamlets.num_stations(), 12);
         assert_eq!(beamlets.num_samples(), 24);
@@ -245,7 +262,10 @@ mod tests {
 
     #[test]
     fn synthesis_is_reproducible() {
-        let sources = [SkySource { azimuth: 0.02, amplitude: 2.0 }];
+        let sources = [SkySource {
+            azimuth: 0.02,
+            amplitude: 2.0,
+        }];
         let a = StationBeamlets::synthesise(4, 8, FREQ, &sources, 0.0, 16, 0.2, 9);
         let b = StationBeamlets::synthesise(4, 8, FREQ, &sources, 0.0, 16, 0.2, 9);
         assert_eq!(a, b);
@@ -256,7 +276,10 @@ mod tests {
         // A source away from the pointing centre produces different phases
         // at different stations — the information the coherent central
         // beamformer exploits.
-        let sources = [SkySource { azimuth: 1e-4, amplitude: 1.0 }];
+        let sources = [SkySource {
+            azimuth: 1e-4,
+            amplitude: 1.0,
+        }];
         let beamlets = StationBeamlets::synthesise(8, 32, FREQ, &sources, 0.0, 4, 0.0, 3);
         let first = beamlets.matrix().get(0, 0);
         let last = beamlets.matrix().get(7, 0);

@@ -355,7 +355,7 @@ mod tests {
             order: MatrixOrder::ColMajor,
             layout: ComplexLayout::Planar,
         };
-        assert_eq!(d.element_index(2, 1), 1 * 3 + 2);
+        assert_eq!(d.element_index(2, 1), 3 + 2);
     }
 
     proptest! {

@@ -45,17 +45,29 @@ impl OneBitComplex {
     /// The value `1 + i` (binary 11).
     pub const ONE_PLUS_I: OneBitComplex = OneBitComplex { re: true, im: true };
     /// The value `1 - i` (binary 10).
-    pub const ONE_MINUS_I: OneBitComplex = OneBitComplex { re: true, im: false };
+    pub const ONE_MINUS_I: OneBitComplex = OneBitComplex {
+        re: true,
+        im: false,
+    };
     /// The value `-1 + i` (binary 01).
-    pub const NEG_ONE_PLUS_I: OneBitComplex = OneBitComplex { re: false, im: true };
+    pub const NEG_ONE_PLUS_I: OneBitComplex = OneBitComplex {
+        re: false,
+        im: true,
+    };
     /// The value `-1 - i` (binary 00).
-    pub const NEG_ONE_MINUS_I: OneBitComplex = OneBitComplex { re: false, im: false };
+    pub const NEG_ONE_MINUS_I: OneBitComplex = OneBitComplex {
+        re: false,
+        im: false,
+    };
 
     /// Builds a sample from the signs of the two components
     /// (`true` = non-negative = +1).
     #[inline]
     pub const fn from_signs(re_positive: bool, im_positive: bool) -> Self {
-        OneBitComplex { re: re_positive, im: im_positive }
+        OneBitComplex {
+            re: re_positive,
+            im: im_positive,
+        }
     }
 
     /// Quantises an arbitrary complex value by keeping only the component
@@ -118,7 +130,10 @@ impl PackedBits {
     /// Creates a packed plane with `len` samples, all initialised to binary
     /// 0 (decimal −1), the padding value used by the paper.
     pub fn zeros(len: usize) -> Self {
-        PackedBits { words: vec![0u32; len.div_ceil(32)], len }
+        PackedBits {
+            words: vec![0u32; len.div_ceil(32)],
+            len,
+        }
     }
 
     /// Packs a slice of sign bits (`true` = +1).
@@ -172,14 +187,22 @@ impl PackedBits {
     /// Reads the sample at `index`.
     #[inline]
     pub fn get(&self, index: usize) -> bool {
-        assert!(index < self.len, "bit index {index} out of range {}", self.len);
+        assert!(
+            index < self.len,
+            "bit index {index} out of range {}",
+            self.len
+        );
         (self.words[index / 32] >> (index % 32)) & 1 == 1
     }
 
     /// Writes the sample at `index`.
     #[inline]
     pub fn set(&mut self, index: usize, value: bool) {
-        assert!(index < self.len, "bit index {index} out of range {}", self.len);
+        assert!(
+            index < self.len,
+            "bit index {index} out of range {}",
+            self.len
+        );
         let word = &mut self.words[index / 32];
         let mask = 1u32 << (index % 32);
         if value {
@@ -191,7 +214,9 @@ impl PackedBits {
 
     /// Unpacks to a vector of ±1 values.
     pub fn unpack(&self) -> Vec<f32> {
-        (0..self.len).map(|i| OneBitComplex::decode_bit(self.get(i))).collect()
+        (0..self.len)
+            .map(|i| OneBitComplex::decode_bit(self.get(i)))
+            .collect()
     }
 
     /// Extends the plane with padding (binary 0 = decimal −1) up to
@@ -209,7 +234,11 @@ impl PackedBits {
         let mut total = 0u32;
         for (w, &word) in self.words.iter().enumerate() {
             let valid_in_word = (self.len - w * 32).min(32);
-            let mask = if valid_in_word == 32 { u32::MAX } else { (1u32 << valid_in_word) - 1 };
+            let mask = if valid_in_word == 32 {
+                u32::MAX
+            } else {
+                (1u32 << valid_in_word) - 1
+            };
             total += (word & mask).count_ones();
         }
         total
@@ -223,7 +252,11 @@ impl PackedBits {
         let mut popc = 0i32;
         for (i, (&a, &b)) in self.words.iter().zip(&other.words).enumerate() {
             let valid_in_word = (self.len - i * 32).min(32);
-            let mask = if valid_in_word == 32 { u32::MAX } else { (1u32 << valid_in_word) - 1 };
+            let mask = if valid_in_word == 32 {
+                u32::MAX
+            } else {
+                (1u32 << valid_in_word) - 1
+            };
             popc += ((a ^ b) & mask).count_ones() as i32;
         }
         k - 2 * popc
@@ -239,7 +272,11 @@ impl PackedBits {
         let mut popc = 0i32;
         for (i, (&a, &b)) in self.words.iter().zip(&other.words).enumerate() {
             let valid_in_word = (self.len - i * 32).min(32);
-            let mask = if valid_in_word == 32 { u32::MAX } else { (1u32 << valid_in_word) - 1 };
+            let mask = if valid_in_word == 32 {
+                u32::MAX
+            } else {
+                (1u32 << valid_in_word) - 1
+            };
             popc += ((a & b) & mask).count_ones() as i32;
             popc += ((!a & !b) & mask).count_ones() as i32;
         }

@@ -74,14 +74,22 @@ impl TensorCoreBeamformer {
         precision: Precision,
     ) -> ccglib::Result<Self> {
         let device = gpu.device();
-        let config = BeamformerConfig { precision, batch: 1, params: None };
+        let config = BeamformerConfig {
+            precision,
+            batch: 1,
+            params: None,
+        };
         let inner = Beamformer::new(
             &device,
             WeightMatrix::from_matrix(weights),
             samples_per_block,
             config,
         )?;
-        Ok(TensorCoreBeamformer { inner, gpu, precision })
+        Ok(TensorCoreBeamformer {
+            inner,
+            gpu,
+            precision,
+        })
     }
 
     /// The device the beamformer runs on.
@@ -160,11 +168,16 @@ mod tests {
 
     #[test]
     fn facade_autotune_returns_an_outcome() {
-        let bf =
-            TensorCoreBeamformer::new(Gpu::A100, weights(256, 128), 256, Precision::Float16)
-                .unwrap();
+        let bf = TensorCoreBeamformer::new(Gpu::A100, weights(256, 128), 256, Precision::Float16)
+            .unwrap();
         let outcome = bf
-            .autotune(Strategy::Random { samples: 6, seed: 1 }, Objective::Performance)
+            .autotune(
+                Strategy::Random {
+                    samples: 6,
+                    seed: 1,
+                },
+                Objective::Performance,
+            )
             .unwrap();
         assert_eq!(outcome.evaluated.len(), 6);
         assert!(outcome.best.tops > 0.0);

@@ -109,22 +109,22 @@ impl TuneOutcome {
     /// Serialises the outcome to JSON (the analogue of Kernel Tuner's cache
     /// files).
     pub fn to_json(&self) -> String {
-        serde_json::to_string_pretty(self).expect("tuning outcome serialises")
+        json::write_outcome(self)
     }
 
     /// Restores an outcome from JSON.
-    pub fn from_json(json: &str) -> Result<Self, serde_json::Error> {
-        serde_json::from_str(json)
+    pub fn from_json(text: &str) -> Result<Self, json::JsonError> {
+        json::read_outcome(text)
     }
 
     /// The best configuration under a *different* objective than the one
     /// tuned for (the paper observes that the fastest configuration is
     /// typically also the most energy efficient).
     pub fn best_under(&self, objective: Objective) -> Option<TuneResult> {
-        self.evaluated
-            .iter()
-            .copied()
-            .max_by(|a, b| a.objective_value(objective).total_cmp(&b.objective_value(objective)))
+        self.evaluated.iter().copied().max_by(|a, b| {
+            a.objective_value(objective)
+                .total_cmp(&b.objective_value(objective))
+        })
     }
 }
 
@@ -140,7 +140,12 @@ pub struct Tuner {
 impl Tuner {
     /// Creates a tuner over the paper's search space.
     pub fn new(device: Device, shape: GemmShape, precision: Precision) -> Self {
-        Tuner { device, shape, precision, space: ParameterSpace::paper_space() }
+        Tuner {
+            device,
+            shape,
+            precision,
+            space: ParameterSpace::paper_space(),
+        }
     }
 
     /// Replaces the search space.
@@ -167,7 +172,8 @@ impl Tuner {
     }
 
     fn valid_configurations(&self) -> Vec<TuningParameters> {
-        self.space.valid_combinations(self.device.spec(), self.precision)
+        self.space
+            .valid_combinations(self.device.spec(), self.precision)
     }
 
     /// Runs the tuning process.
@@ -183,14 +189,17 @@ impl Tuner {
                 let mut configs = self.valid_configurations();
                 configs.shuffle(&mut rng);
                 configs.truncate(samples.max(1));
-                configs.into_iter().filter_map(|p| self.evaluate(p)).collect()
+                configs
+                    .into_iter()
+                    .filter_map(|p| self.evaluate(p))
+                    .collect()
             }
             Strategy::GreedyLocalSearch { max_steps } => self.greedy_search(max_steps, objective),
         };
-        let best = evaluated
-            .iter()
-            .copied()
-            .max_by(|a, b| a.objective_value(objective).total_cmp(&b.objective_value(objective)))?;
+        let best = evaluated.iter().copied().max_by(|a, b| {
+            a.objective_value(objective)
+                .total_cmp(&b.objective_value(objective))
+        })?;
         Some(TuneOutcome {
             device: self.device.gpu().name().to_string(),
             precision: self.precision.to_string(),
@@ -219,19 +228,34 @@ impl Tuner {
         };
         let mut out = Vec::new();
         for v in step(&self.space.m_per_block, params.m_per_block) {
-            out.push(TuningParameters { m_per_block: v, ..params });
+            out.push(TuningParameters {
+                m_per_block: v,
+                ..params
+            });
         }
         for v in step(&self.space.m_per_warp, params.m_per_warp) {
-            out.push(TuningParameters { m_per_warp: v, ..params });
+            out.push(TuningParameters {
+                m_per_warp: v,
+                ..params
+            });
         }
         for v in step(&self.space.n_per_block, params.n_per_block) {
-            out.push(TuningParameters { n_per_block: v, ..params });
+            out.push(TuningParameters {
+                n_per_block: v,
+                ..params
+            });
         }
         for v in step(&self.space.n_per_warp, params.n_per_warp) {
-            out.push(TuningParameters { n_per_warp: v, ..params });
+            out.push(TuningParameters {
+                n_per_warp: v,
+                ..params
+            });
         }
         for v in step(&self.space.buffers, params.buffers) {
-            out.push(TuningParameters { buffers: v, ..params });
+            out.push(TuningParameters {
+                buffers: v,
+                ..params
+            });
         }
         out
     }
@@ -299,6 +323,369 @@ pub fn tune_all_devices(objective: Objective) -> Vec<TuneOutcome> {
     out
 }
 
+pub mod json {
+    //! Hand-rolled JSON round-trip for [`TuneOutcome`].
+    //!
+    //! The build environment has no crates.io access, so instead of
+    //! `serde_json` the cache-file format is written and parsed directly.
+    //! The schema is flat and fixed (strings, numbers, two object shapes,
+    //! one array), which a small recursive-descent parser covers fully.
+
+    use super::{TuneOutcome, TuneResult};
+    use ccglib::TuningParameters;
+    use tcbf_types::GemmShape;
+
+    /// Error produced when a tuning-cache JSON document cannot be parsed.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct JsonError(String);
+
+    impl std::fmt::Display for JsonError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            write!(f, "invalid tuning JSON: {}", self.0)
+        }
+    }
+
+    impl std::error::Error for JsonError {}
+
+    /// JSON string literal with standard escaping (quotes, backslashes,
+    /// control characters); other characters — including non-ASCII — are
+    /// emitted verbatim, which JSON permits in UTF-8 documents.
+    fn write_string(s: &str) -> String {
+        let mut out = String::with_capacity(s.len() + 2);
+        out.push('"');
+        for c in s.chars() {
+            match c {
+                '"' => out.push_str("\\\""),
+                '\\' => out.push_str("\\\\"),
+                '\n' => out.push_str("\\n"),
+                '\t' => out.push_str("\\t"),
+                '\r' => out.push_str("\\r"),
+                c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+                c => out.push(c),
+            }
+        }
+        out.push('"');
+        out
+    }
+
+    /// JSON number; non-finite values (which JSON cannot represent) are
+    /// written as `null` and read back as NaN, matching serde_json.
+    fn write_f64(v: f64) -> String {
+        if v.is_finite() {
+            format!("{v:?}")
+        } else {
+            "null".to_string()
+        }
+    }
+
+    fn write_params(p: &TuningParameters) -> String {
+        format!(
+            "{{\"m_per_block\": {}, \"m_per_warp\": {}, \"n_per_block\": {}, \"n_per_warp\": {}, \"buffers\": {}}}",
+            p.m_per_block, p.m_per_warp, p.n_per_block, p.n_per_warp, p.buffers
+        )
+    }
+
+    fn write_result(r: &TuneResult, indent: &str) -> String {
+        format!(
+            "{indent}{{\n{indent}  \"params\": {},\n{indent}  \"tops\": {},\n{indent}  \"tops_per_joule\": {},\n{indent}  \"elapsed_s\": {}\n{indent}}}",
+            write_params(&r.params),
+            write_f64(r.tops),
+            write_f64(r.tops_per_joule),
+            write_f64(r.elapsed_s)
+        )
+    }
+
+    pub(super) fn write_outcome(o: &TuneOutcome) -> String {
+        let evaluated: Vec<String> = o
+            .evaluated
+            .iter()
+            .map(|r| write_result(r, "    "))
+            .collect();
+        format!(
+            "{{\n  \"device\": {},\n  \"precision\": {},\n  \"shape\": {{\"batch\": {}, \"m\": {}, \"n\": {}, \"k\": {}}},\n  \"best\":\n{},\n  \"evaluated\": [\n{}\n  ]\n}}",
+            write_string(&o.device),
+            write_string(&o.precision),
+            o.shape.batch,
+            o.shape.m,
+            o.shape.n,
+            o.shape.k,
+            write_result(&o.best, "  "),
+            evaluated.join(",\n")
+        )
+    }
+
+    // ---- parsing ----------------------------------------------------------
+
+    #[derive(Debug, Clone, PartialEq)]
+    enum Value {
+        String(String),
+        Number(f64),
+        Array(Vec<Value>),
+        Object(Vec<(String, Value)>),
+    }
+
+    struct Parser<'a> {
+        bytes: &'a [u8],
+        pos: usize,
+    }
+
+    impl<'a> Parser<'a> {
+        fn new(text: &'a str) -> Self {
+            Parser {
+                bytes: text.as_bytes(),
+                pos: 0,
+            }
+        }
+
+        fn err<T>(&self, msg: &str) -> Result<T, JsonError> {
+            Err(JsonError(format!("{msg} at byte {}", self.pos)))
+        }
+
+        fn skip_ws(&mut self) {
+            while self.pos < self.bytes.len() && self.bytes[self.pos].is_ascii_whitespace() {
+                self.pos += 1;
+            }
+        }
+
+        fn peek(&mut self) -> Option<u8> {
+            self.skip_ws();
+            self.bytes.get(self.pos).copied()
+        }
+
+        fn expect(&mut self, byte: u8) -> Result<(), JsonError> {
+            if self.peek() == Some(byte) {
+                self.pos += 1;
+                Ok(())
+            } else {
+                self.err(&format!("expected '{}'", byte as char))
+            }
+        }
+
+        fn value(&mut self) -> Result<Value, JsonError> {
+            match self.peek() {
+                Some(b'n') => {
+                    if self.bytes[self.pos..].starts_with(b"null") {
+                        self.pos += 4;
+                        Ok(Value::Number(f64::NAN))
+                    } else {
+                        self.err("expected 'null'")
+                    }
+                }
+                Some(b'"') => self.string().map(Value::String),
+                Some(b'{') => self.object(),
+                Some(b'[') => self.array(),
+                Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+                _ => self.err("expected a JSON value"),
+            }
+        }
+
+        fn string(&mut self) -> Result<String, JsonError> {
+            self.expect(b'"')?;
+            // Accumulate raw bytes and validate as UTF-8 once at the end,
+            // so multi-byte characters survive intact.
+            let mut raw: Vec<u8> = Vec::new();
+            loop {
+                let Some(&c) = self.bytes.get(self.pos) else {
+                    return self.err("unterminated string");
+                };
+                self.pos += 1;
+                match c {
+                    b'"' => {
+                        return String::from_utf8(raw)
+                            .map_err(|_| JsonError("string is not valid UTF-8".into()));
+                    }
+                    b'\\' => {
+                        let Some(&esc) = self.bytes.get(self.pos) else {
+                            return self.err("unterminated escape");
+                        };
+                        self.pos += 1;
+                        match esc {
+                            b'"' => raw.push(b'"'),
+                            b'\\' => raw.push(b'\\'),
+                            b'/' => raw.push(b'/'),
+                            b'n' => raw.push(b'\n'),
+                            b't' => raw.push(b'\t'),
+                            b'r' => raw.push(b'\r'),
+                            b'u' => {
+                                let ch = self.unicode_escape()?;
+                                let mut buf = [0u8; 4];
+                                raw.extend_from_slice(ch.encode_utf8(&mut buf).as_bytes());
+                            }
+                            _ => return self.err("unsupported escape"),
+                        }
+                    }
+                    _ => raw.push(c),
+                }
+            }
+        }
+
+        /// Decodes the four hex digits after `\u`, combining UTF-16
+        /// surrogate pairs (`😀`) into one scalar value.
+        fn unicode_escape(&mut self) -> Result<char, JsonError> {
+            let first = self.hex4()?;
+            let code = if (0xD800..0xDC00).contains(&first) {
+                // High surrogate: a `\uXXXX` low surrogate must follow.
+                if self.bytes.get(self.pos) == Some(&b'\\')
+                    && self.bytes.get(self.pos + 1) == Some(&b'u')
+                {
+                    self.pos += 2;
+                    let second = self.hex4()?;
+                    if !(0xDC00..0xE000).contains(&second) {
+                        return self.err("invalid low surrogate");
+                    }
+                    0x10000 + ((first - 0xD800) << 10) + (second - 0xDC00)
+                } else {
+                    return self.err("unpaired surrogate");
+                }
+            } else {
+                first
+            };
+            char::from_u32(code).ok_or_else(|| JsonError(format!("invalid scalar U+{code:04X}")))
+        }
+
+        fn hex4(&mut self) -> Result<u32, JsonError> {
+            let Some(digits) = self.bytes.get(self.pos..self.pos + 4) else {
+                return self.err("truncated \\u escape");
+            };
+            let text = std::str::from_utf8(digits)
+                .ok()
+                .filter(|t| t.chars().all(|c| c.is_ascii_hexdigit()));
+            let Some(text) = text else {
+                return self.err("non-hex \\u escape");
+            };
+            self.pos += 4;
+            Ok(u32::from_str_radix(text, 16).expect("validated hex digits"))
+        }
+
+        fn number(&mut self) -> Result<Value, JsonError> {
+            self.skip_ws();
+            let start = self.pos;
+            while self.bytes.get(self.pos).is_some_and(|c| {
+                c.is_ascii_digit() || matches!(c, b'-' | b'+' | b'.' | b'e' | b'E')
+            }) {
+                self.pos += 1;
+            }
+            let text = std::str::from_utf8(&self.bytes[start..self.pos])
+                .map_err(|_| JsonError("non-UTF8 number".into()))?;
+            text.parse::<f64>()
+                .map(Value::Number)
+                .map_err(|_| JsonError(format!("bad number '{text}'")))
+        }
+
+        fn array(&mut self) -> Result<Value, JsonError> {
+            self.expect(b'[')?;
+            let mut items = Vec::new();
+            if self.peek() == Some(b']') {
+                self.pos += 1;
+                return Ok(Value::Array(items));
+            }
+            loop {
+                items.push(self.value()?);
+                match self.peek() {
+                    Some(b',') => self.pos += 1,
+                    Some(b']') => {
+                        self.pos += 1;
+                        return Ok(Value::Array(items));
+                    }
+                    _ => return self.err("expected ',' or ']'"),
+                }
+            }
+        }
+
+        fn object(&mut self) -> Result<Value, JsonError> {
+            self.expect(b'{')?;
+            let mut fields = Vec::new();
+            if self.peek() == Some(b'}') {
+                self.pos += 1;
+                return Ok(Value::Object(fields));
+            }
+            loop {
+                let key = self.string()?;
+                self.expect(b':')?;
+                fields.push((key, self.value()?));
+                match self.peek() {
+                    Some(b',') => self.pos += 1,
+                    Some(b'}') => {
+                        self.pos += 1;
+                        return Ok(Value::Object(fields));
+                    }
+                    _ => return self.err("expected ',' or '}'"),
+                }
+            }
+        }
+    }
+
+    fn get<'v>(obj: &'v Value, key: &str) -> Result<&'v Value, JsonError> {
+        match obj {
+            Value::Object(fields) => fields
+                .iter()
+                .find(|(k, _)| k == key)
+                .map(|(_, v)| v)
+                .ok_or_else(|| JsonError(format!("missing field '{key}'"))),
+            _ => Err(JsonError(format!("expected object for field '{key}'"))),
+        }
+    }
+
+    fn as_f64(v: &Value) -> Result<f64, JsonError> {
+        match v {
+            Value::Number(n) => Ok(*n),
+            _ => Err(JsonError("expected number".into())),
+        }
+    }
+
+    fn as_usize(v: &Value) -> Result<usize, JsonError> {
+        Ok(as_f64(v)? as usize)
+    }
+
+    fn as_string(v: &Value) -> Result<String, JsonError> {
+        match v {
+            Value::String(s) => Ok(s.clone()),
+            _ => Err(JsonError("expected string".into())),
+        }
+    }
+
+    fn read_result(v: &Value) -> Result<TuneResult, JsonError> {
+        let p = get(v, "params")?;
+        Ok(TuneResult {
+            params: TuningParameters {
+                m_per_block: as_usize(get(p, "m_per_block")?)?,
+                m_per_warp: as_usize(get(p, "m_per_warp")?)?,
+                n_per_block: as_usize(get(p, "n_per_block")?)?,
+                n_per_warp: as_usize(get(p, "n_per_warp")?)?,
+                buffers: as_usize(get(p, "buffers")?)?,
+            },
+            tops: as_f64(get(v, "tops")?)?,
+            tops_per_joule: as_f64(get(v, "tops_per_joule")?)?,
+            elapsed_s: as_f64(get(v, "elapsed_s")?)?,
+        })
+    }
+
+    pub(super) fn read_outcome(text: &str) -> Result<TuneOutcome, JsonError> {
+        let mut parser = Parser::new(text);
+        let root = parser.value()?;
+        let shape = get(&root, "shape")?;
+        let evaluated = match get(&root, "evaluated")? {
+            Value::Array(items) => items
+                .iter()
+                .map(read_result)
+                .collect::<Result<Vec<_>, _>>()?,
+            _ => return Err(JsonError("'evaluated' must be an array".into())),
+        };
+        Ok(TuneOutcome {
+            device: as_string(get(&root, "device")?)?,
+            precision: as_string(get(&root, "precision")?)?,
+            shape: GemmShape {
+                batch: as_usize(get(shape, "batch")?)?,
+                m: as_usize(get(shape, "m")?)?,
+                n: as_usize(get(shape, "n")?)?,
+                k: as_usize(get(shape, "k")?)?,
+            },
+            best: read_result(get(&root, "best")?)?,
+            evaluated,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -312,7 +699,9 @@ mod tests {
     #[test]
     fn exhaustive_tuning_finds_a_best_configuration() {
         let tuner = Tuner::new(Gpu::A100.device(), small_shape(), Precision::Float16);
-        let outcome = tuner.tune(Strategy::Exhaustive, Objective::Performance).unwrap();
+        let outcome = tuner
+            .tune(Strategy::Exhaustive, Objective::Performance)
+            .unwrap();
         assert!(!outcome.evaluated.is_empty());
         assert!(outcome
             .evaluated
@@ -328,30 +717,63 @@ mod tests {
         // (the defaults are the Table III tuned values).
         let device = Gpu::Gh200.device();
         let tuner = Tuner::new(device.clone(), small_shape(), Precision::Float16);
-        let outcome = tuner.tune(Strategy::Exhaustive, Objective::Performance).unwrap();
-        let default = tuner
-            .evaluate(TuningParameters::default_for(Gpu::Gh200, Precision::Float16))
+        let outcome = tuner
+            .tune(Strategy::Exhaustive, Objective::Performance)
             .unwrap();
-        assert!(outcome.best.tops <= default.tops * 1.10, "{} vs {}", outcome.best.tops, default.tops);
+        let default = tuner
+            .evaluate(TuningParameters::default_for(
+                Gpu::Gh200,
+                Precision::Float16,
+            ))
+            .unwrap();
+        assert!(
+            outcome.best.tops <= default.tops * 1.10,
+            "{} vs {}",
+            outcome.best.tops,
+            default.tops
+        );
     }
 
     #[test]
     fn random_strategy_is_reproducible_and_bounded() {
         let tuner = Tuner::new(Gpu::Mi210.device(), small_shape(), Precision::Float16);
-        let a = tuner.tune(Strategy::Random { samples: 10, seed: 7 }, Objective::Performance).unwrap();
-        let b = tuner.tune(Strategy::Random { samples: 10, seed: 7 }, Objective::Performance).unwrap();
+        let a = tuner
+            .tune(
+                Strategy::Random {
+                    samples: 10,
+                    seed: 7,
+                },
+                Objective::Performance,
+            )
+            .unwrap();
+        let b = tuner
+            .tune(
+                Strategy::Random {
+                    samples: 10,
+                    seed: 7,
+                },
+                Objective::Performance,
+            )
+            .unwrap();
         assert_eq!(a.evaluated.len(), 10);
         assert_eq!(a.best.params, b.best.params);
-        let exhaustive = tuner.tune(Strategy::Exhaustive, Objective::Performance).unwrap();
+        let exhaustive = tuner
+            .tune(Strategy::Exhaustive, Objective::Performance)
+            .unwrap();
         assert!(a.best.tops <= exhaustive.best.tops + 1e-9);
     }
 
     #[test]
     fn greedy_search_converges_and_evaluates_few_configs() {
         let tuner = Tuner::new(Gpu::Ad4000.device(), small_shape(), Precision::Float16);
-        let exhaustive = tuner.tune(Strategy::Exhaustive, Objective::Performance).unwrap();
+        let exhaustive = tuner
+            .tune(Strategy::Exhaustive, Objective::Performance)
+            .unwrap();
         let greedy = tuner
-            .tune(Strategy::GreedyLocalSearch { max_steps: 8 }, Objective::Performance)
+            .tune(
+                Strategy::GreedyLocalSearch { max_steps: 8 },
+                Objective::Performance,
+            )
             .unwrap();
         assert!(greedy.evaluated.len() < exhaustive.evaluated.len());
         // Local search should get within 15% of the global optimum.
@@ -363,7 +785,9 @@ mod tests {
         // "Typically, the most performant combination of parameters is also
         // the most energy efficient solution."
         let tuner = Tuner::new(Gpu::A100.device(), small_shape(), Precision::Float16);
-        let by_perf = tuner.tune(Strategy::Exhaustive, Objective::Performance).unwrap();
+        let by_perf = tuner
+            .tune(Strategy::Exhaustive, Objective::Performance)
+            .unwrap();
         let best_energy = by_perf.best_under(Objective::EnergyEfficiency).unwrap();
         assert!(by_perf.best.tops_per_joule >= 0.9 * best_energy.tops_per_joule);
     }
@@ -372,16 +796,61 @@ mod tests {
     fn int1_tuning_runs_on_nvidia_only() {
         let shape = GemmShape::new(8192, 4096, 65_536);
         let nv = Tuner::new(Gpu::A100.device(), shape, Precision::Int1);
-        assert!(nv.tune(Strategy::Random { samples: 5, seed: 1 }, Objective::Performance).is_some());
+        assert!(nv
+            .tune(
+                Strategy::Random {
+                    samples: 5,
+                    seed: 1
+                },
+                Objective::Performance
+            )
+            .is_some());
         let amd = Tuner::new(Gpu::Mi300x.device(), shape, Precision::Int1);
-        assert!(amd.tune(Strategy::Exhaustive, Objective::Performance).is_none());
+        assert!(amd
+            .tune(Strategy::Exhaustive, Objective::Performance)
+            .is_none());
+    }
+
+    #[test]
+    fn json_roundtrip_preserves_non_ascii_and_non_finite() {
+        let tuner = Tuner::new(Gpu::A100.device(), small_shape(), Precision::Float16);
+        let mut outcome = tuner
+            .tune(
+                Strategy::Random {
+                    samples: 2,
+                    seed: 7,
+                },
+                Objective::Performance,
+            )
+            .unwrap();
+        // Device names are free-form strings; non-ASCII and escapes must
+        // survive the trip.  Non-finite floats become null and read back
+        // as NaN (serde_json's convention).
+        outcome.device = "Café \"β\"-GPU\n±1".to_string();
+        outcome.best.tops = f64::INFINITY;
+        outcome.best.tops_per_joule = f64::NAN;
+        let text = outcome.to_json();
+        let restored = TuneOutcome::from_json(&text).unwrap();
+        assert_eq!(restored.device, outcome.device);
+        assert!(restored.best.tops.is_nan());
+        assert!(restored.best.tops_per_joule.is_nan());
+        // Explicit \u escapes (including a surrogate pair) also parse.
+        let escaped = text.replacen("Café", "Caf\\u00e9 \\ud83d\\ude00", 1);
+        let from_escaped = TuneOutcome::from_json(&escaped).unwrap();
+        assert!(from_escaped.device.starts_with("Café 😀"));
     }
 
     #[test]
     fn outcome_serialises_to_json_and_back() {
         let tuner = Tuner::new(Gpu::W7700.device(), small_shape(), Precision::Float16);
         let outcome = tuner
-            .tune(Strategy::Random { samples: 4, seed: 3 }, Objective::EnergyEfficiency)
+            .tune(
+                Strategy::Random {
+                    samples: 4,
+                    seed: 3,
+                },
+                Objective::EnergyEfficiency,
+            )
             .unwrap();
         let json = outcome.to_json();
         let restored = TuneOutcome::from_json(&json).unwrap();

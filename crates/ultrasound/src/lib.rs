@@ -26,5 +26,7 @@ pub mod reconstruct;
 
 pub use model::{AcousticModel, ImagingConfig, Voxel};
 pub use phantom::{FlowPhantom, Vessel};
-pub use realtime::{offline_comparison, FrameRatePoint, FrameRateModel, OfflineComparison, REAL_TIME_FPS};
-pub use reconstruct::{DopplerMode, ReconstructedVolume, Reconstructor, ReconstructionPrecision};
+pub use realtime::{
+    offline_comparison, FrameRateModel, FrameRatePoint, OfflineComparison, REAL_TIME_FPS,
+};
+pub use reconstruct::{DopplerMode, ReconstructedVolume, ReconstructionPrecision, Reconstructor};

@@ -77,11 +77,18 @@ impl ImagingConfig {
     /// The pre-recorded mouse-brain dataset configuration (Section V-A):
     /// 128 frequencies × 64 transceivers × 64 transmissions, 8041 frames.
     pub fn paper_offline() -> Self {
-        ImagingConfig { num_transmissions: 64, ..Self::paper_realtime() }
+        ImagingConfig {
+            num_transmissions: 64,
+            ..Self::paper_realtime()
+        }
     }
 
     /// A reduced configuration for functional tests and examples.
-    pub fn small(num_transceivers: usize, num_frequencies: usize, num_transmissions: usize) -> Self {
+    pub fn small(
+        num_transceivers: usize,
+        num_frequencies: usize,
+        num_transmissions: usize,
+    ) -> Self {
         ImagingConfig {
             num_transceivers,
             num_frequencies,
@@ -207,11 +214,20 @@ impl AcousticModel {
                 }
             }
         }
-        AcousticModel { config: config.clone(), voxels: voxels.to_vec(), matrix }
+        AcousticModel {
+            config: config.clone(),
+            voxels: voxels.to_vec(),
+            matrix,
+        }
     }
 
     /// Linear row index of (frequency, transceiver, transmission).
-    pub fn row_index(config: &ImagingConfig, freq: usize, transceiver: usize, transmission: usize) -> usize {
+    pub fn row_index(
+        config: &ImagingConfig,
+        freq: usize,
+        transceiver: usize,
+        transmission: usize,
+    ) -> usize {
         (transmission * config.num_transceivers + transceiver) * config.num_frequencies + freq
     }
 
@@ -242,7 +258,9 @@ impl AcousticModel {
         let k = self.config.k_rows();
         // The model stores the *matched filter* (conjugate phase); the
         // forward signal is its conjugate.
-        (0..k).map(|row| self.matrix.get(voxel_index, row).conj() * amplitude).collect()
+        (0..k)
+            .map(|row| self.matrix.get(voxel_index, row).conj() * amplitude)
+            .collect()
     }
 }
 
@@ -289,8 +307,16 @@ mod tests {
         // voxels must be well below 1.
         let config = ImagingConfig::small(16, 16, 4);
         let voxels = vec![
-            Voxel { x: -0.004, y: 0.0, z: 0.02 },
-            Voxel { x: 0.004, y: 0.0, z: 0.03 },
+            Voxel {
+                x: -0.004,
+                y: 0.0,
+                z: 0.02,
+            },
+            Voxel {
+                x: 0.004,
+                y: 0.0,
+                z: 0.03,
+            },
         ];
         let model = AcousticModel::build(&config, &voxels);
         let k = config.k_rows();
@@ -305,7 +331,11 @@ mod tests {
     #[test]
     fn forward_signal_is_conjugate_of_model_row() {
         let config = ImagingConfig::small(4, 4, 1);
-        let voxels = vec![Voxel { x: 0.0, y: 0.0, z: 0.025 }];
+        let voxels = vec![Voxel {
+            x: 0.0,
+            y: 0.0,
+            z: 0.025,
+        }];
         let model = AcousticModel::build(&config, &voxels);
         let forward = model.forward(0, Complex::new(2.0, 0.0));
         assert_eq!(forward.len(), config.k_rows());

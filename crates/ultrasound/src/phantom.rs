@@ -56,9 +56,8 @@ impl Vessel {
             self.start[1] + t * d[1],
             self.start[2] + t * d[2],
         ];
-        let dist_sq = (p[0] - closest[0]).powi(2)
-            + (p[1] - closest[1]).powi(2)
-            + (p[2] - closest[2]).powi(2);
+        let dist_sq =
+            (p[0] - closest[0]).powi(2) + (p[1] - closest[1]).powi(2) + (p[2] - closest[2]).powi(2);
         dist_sq <= self.radius * self.radius
     }
 }
@@ -119,8 +118,7 @@ impl FlowPhantom {
         let mut value = Complex::new(self.tissue_amplitude as f32, 0.0);
         for vessel in &self.vessels {
             if vessel.contains(voxel) {
-                let phase =
-                    std::f64::consts::TAU * vessel.doppler_cycles_per_frame * frame as f64;
+                let phase = std::f64::consts::TAU * vessel.doppler_cycles_per_frame * frame as f64;
                 value += Complex::from_polar(vessel.amplitude as f32, phase as f32);
             }
         }
@@ -169,9 +167,21 @@ mod tests {
             doppler_cycles_per_frame: 0.1,
             amplitude: 1.0,
         };
-        assert!(vessel.contains(&Voxel { x: 0.0005, y: 0.0, z: 0.005 }));
-        assert!(!vessel.contains(&Voxel { x: 0.005, y: 0.0, z: 0.005 }));
-        assert!(!vessel.contains(&Voxel { x: 0.0, y: 0.0, z: 0.02 }));
+        assert!(vessel.contains(&Voxel {
+            x: 0.0005,
+            y: 0.0,
+            z: 0.005
+        }));
+        assert!(!vessel.contains(&Voxel {
+            x: 0.005,
+            y: 0.0,
+            z: 0.005
+        }));
+        assert!(!vessel.contains(&Voxel {
+            x: 0.0,
+            y: 0.0,
+            z: 0.02
+        }));
     }
 
     #[test]
@@ -187,13 +197,24 @@ mod tests {
     #[test]
     fn doppler_signal_rotates_only_in_vessels() {
         let phantom = FlowPhantom::two_vessels(0.01, 0.02);
-        let inside = Voxel { x: 0.0, y: 0.0, z: 0.025 };
-        let outside = Voxel { x: 0.0049, y: 0.0049, z: 0.0201 };
+        let inside = Voxel {
+            x: 0.0,
+            y: 0.0,
+            z: 0.025,
+        };
+        let outside = Voxel {
+            x: 0.0049,
+            y: 0.0049,
+            z: 0.0201,
+        };
         assert!(phantom.vessels.iter().any(|v| v.contains(&inside)));
         assert!(!phantom.vessels.iter().any(|v| v.contains(&outside)));
         let a0 = phantom.voxel_amplitude(&inside, 0);
         let a5 = phantom.voxel_amplitude(&inside, 5);
-        assert!((a0 - a5).abs() > 1e-3, "flow voxel should change between frames");
+        assert!(
+            (a0 - a5).abs() > 1e-3,
+            "flow voxel should change between frames"
+        );
         let b0 = phantom.voxel_amplitude(&outside, 0);
         let b5 = phantom.voxel_amplitude(&outside, 5);
         assert_eq!(b0, b5, "stationary voxel must not change");

@@ -60,8 +60,18 @@ impl FrameRateModel {
     }
 
     /// Creates a model with an explicit configuration and precision.
-    pub fn new(device: &Device, config: ImagingConfig, precision: Precision, frames_per_batch: usize) -> Self {
-        FrameRateModel { device: device.clone(), config, precision, frames_per_batch }
+    pub fn new(
+        device: &Device,
+        config: ImagingConfig,
+        precision: Precision,
+        frames_per_batch: usize,
+    ) -> Self {
+        FrameRateModel {
+            device: device.clone(),
+            config,
+            precision,
+            frames_per_batch,
+        }
     }
 
     /// Largest number of voxels whose packed model matrix, together with
@@ -99,7 +109,12 @@ impl FrameRateModel {
             batch_time += exec.time(&pack::pack_profile(spec, k, n, 16)).elapsed_s;
         }
         batch_time += exec
-            .time(&transpose::transpose_profile(spec, k, n, self.precision.input_bits()))
+            .time(&transpose::transpose_profile(
+                spec,
+                k,
+                n,
+                self.precision.input_bits(),
+            ))
             .elapsed_s;
 
         // Reconstruction GEMM, chunked over voxels if necessary.
@@ -107,7 +122,10 @@ impl FrameRateModel {
         let full_chunks = voxels / chunk;
         let remainder = voxels % chunk;
         let mut gemm_time = 0.0;
-        for (count, size) in [(full_chunks, chunk), (usize::from(remainder > 0), remainder)] {
+        for (count, size) in [
+            (full_chunks, chunk),
+            (usize::from(remainder > 0), remainder),
+        ] {
             if count == 0 || size == 0 {
                 continue;
             }
@@ -194,9 +212,18 @@ pub fn offline_comparison_for(device: &Device, shape: GemmShape) -> OfflineCompa
 
     // TCBF path: pack + transpose the measurement matrix, then the 1-bit
     // GEMM (chunked over voxels if the model does not fit in memory).
-    let mut tcbf_seconds = exec.time(&pack::pack_profile(spec, shape.k, shape.n, 16)).elapsed_s
-        + exec.time(&transpose::transpose_profile(spec, shape.k, shape.n, 1)).elapsed_s;
-    let model = FrameRateModel::new(device, ImagingConfig::paper_offline(), Precision::Int1, shape.n);
+    let mut tcbf_seconds = exec
+        .time(&pack::pack_profile(spec, shape.k, shape.n, 16))
+        .elapsed_s
+        + exec
+            .time(&transpose::transpose_profile(spec, shape.k, shape.n, 1))
+            .elapsed_s;
+    let model = FrameRateModel::new(
+        device,
+        ImagingConfig::paper_offline(),
+        Precision::Int1,
+        shape.n,
+    );
     let chunk = model.voxels_per_chunk(shape.m);
     let chunks = shape.m.div_ceil(chunk);
     let per_chunk_shape = GemmShape::new(shape.m.div_ceil(chunks), shape.n, shape.k);

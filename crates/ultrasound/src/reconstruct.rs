@@ -64,15 +64,18 @@ impl ReconstructedVolume {
     /// dimensions.  These are the three orthogonal projections of Fig. 6.
     pub fn max_intensity_projection(&self, axis: usize) -> (Vec<f64>, usize, usize) {
         let (nx, ny, nz) = self.dims;
-        assert_eq!(nx * ny * nz, self.intensity.len(), "dims do not match voxel count");
+        assert_eq!(
+            nx * ny * nz,
+            self.intensity.len(),
+            "dims do not match voxel count"
+        );
         let at = |ix: usize, iy: usize, iz: usize| self.intensity[(iz * ny + iy) * nx + ix];
         match axis {
             0 => {
                 let mut img = vec![0.0; ny * nz];
                 for iz in 0..nz {
                     for iy in 0..ny {
-                        img[iz * ny + iy] =
-                            (0..nx).map(|ix| at(ix, iy, iz)).fold(0.0, f64::max);
+                        img[iz * ny + iy] = (0..nx).map(|ix| at(ix, iy, iz)).fold(0.0, f64::max);
                     }
                 }
                 (img, ny, nz)
@@ -81,8 +84,7 @@ impl ReconstructedVolume {
                 let mut img = vec![0.0; nx * nz];
                 for iz in 0..nz {
                     for ix in 0..nx {
-                        img[iz * nx + ix] =
-                            (0..ny).map(|iy| at(ix, iy, iz)).fold(0.0, f64::max);
+                        img[iz * nx + ix] = (0..ny).map(|iy| at(ix, iy, iz)).fold(0.0, f64::max);
                     }
                 }
                 (img, nx, nz)
@@ -91,8 +93,7 @@ impl ReconstructedVolume {
                 let mut img = vec![0.0; nx * ny];
                 for iy in 0..ny {
                     for ix in 0..nx {
-                        img[iy * nx + ix] =
-                            (0..nz).map(|iz| at(ix, iy, iz)).fold(0.0, f64::max);
+                        img[iy * nx + ix] = (0..nz).map(|iz| at(ix, iy, iz)).fold(0.0, f64::max);
                     }
                 }
                 (img, nx, ny)
@@ -113,7 +114,11 @@ pub struct Reconstructor {
 impl Reconstructor {
     /// Creates a reconstructor.
     pub fn new(device: &Device, precision: ReconstructionPrecision, doppler: DopplerMode) -> Self {
-        Reconstructor { device: device.clone(), precision, doppler }
+        Reconstructor {
+            device: device.clone(),
+            precision,
+            doppler,
+        }
     }
 
     /// Applies Doppler clutter removal to a `K × frames` measurement
@@ -171,7 +176,10 @@ impl Reconstructor {
                 let scaled = HostComplexMatrix::from_fn(frames, k, |r, c| {
                     measurements_t.get(r, c).scale(scale)
                 });
-                (GemmInput::quantise_f16(model.matrix()), GemmInput::quantise_f16(&scaled))
+                (
+                    GemmInput::quantise_f16(model.matrix()),
+                    GemmInput::quantise_f16(&scaled),
+                )
             }
         };
         let (beamformed, report) = gemm.run(&a, &b)?;
@@ -181,11 +189,17 @@ impl Reconstructor {
         // frames).
         let intensity = (0..voxels)
             .map(|v| {
-                (0..frames).map(|f| f64::from(beamformed.get(v, f).abs())).sum::<f64>()
+                (0..frames)
+                    .map(|f| f64::from(beamformed.get(v, f).abs()))
+                    .sum::<f64>()
                     / frames as f64
             })
             .collect();
-        Ok(ReconstructedVolume { intensity, dims, report })
+        Ok(ReconstructedVolume {
+            intensity,
+            dims,
+            report,
+        })
     }
 }
 
@@ -198,7 +212,12 @@ mod tests {
 
     fn setup(
         precision: ReconstructionPrecision,
-    ) -> (AcousticModel, HostComplexMatrix, (usize, usize, usize), FlowPhantom) {
+    ) -> (
+        AcousticModel,
+        HostComplexMatrix,
+        (usize, usize, usize),
+        FlowPhantom,
+    ) {
         let config = ImagingConfig::small(16, 8, 4);
         let dims = (9, 9, 6);
         let voxels = ImagingConfig::voxel_grid(dims.0, dims.1, dims.2, 0.008, 0.02);

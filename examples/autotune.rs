@@ -13,7 +13,9 @@ fn main() {
         println!("=== {gpu}: tuning the float16 kernel on {shape} ===");
         let tuner = Tuner::new(gpu.device(), shape, Precision::Float16);
 
-        let exhaustive = tuner.tune(Strategy::Exhaustive, Objective::Performance).unwrap();
+        let exhaustive = tuner
+            .tune(Strategy::Exhaustive, Objective::Performance)
+            .unwrap();
         println!(
             "exhaustive search : {} configurations, best {:.0} TOPs/s / {:.2} TOPs/J with {}",
             exhaustive.evaluated.len(),
@@ -23,7 +25,13 @@ fn main() {
         );
 
         let random = tuner
-            .tune(Strategy::Random { samples: 20, seed: 1 }, Objective::Performance)
+            .tune(
+                Strategy::Random {
+                    samples: 20,
+                    seed: 1,
+                },
+                Objective::Performance,
+            )
             .unwrap();
         println!(
             "random (20 samples): best {:.0} TOPs/s with {}",
@@ -31,7 +39,10 @@ fn main() {
         );
 
         let greedy = tuner
-            .tune(Strategy::GreedyLocalSearch { max_steps: 10 }, Objective::Performance)
+            .tune(
+                Strategy::GreedyLocalSearch { max_steps: 10 },
+                Objective::Performance,
+            )
             .unwrap();
         println!(
             "greedy local search: {} evaluations, best {:.0} TOPs/s with {}",

@@ -14,8 +14,14 @@ fn main() {
     let frequency = 150e6;
     let stations = 32;
     let sources = [
-        SkySource { azimuth: 3e-4, amplitude: 1.0 },
-        SkySource { azimuth: -2e-4, amplitude: 0.6 },
+        SkySource {
+            azimuth: 3e-4,
+            amplitude: 1.0,
+        },
+        SkySource {
+            azimuth: -2e-4,
+            amplitude: 0.6,
+        },
     ];
     println!("Synthesising beamlets: {stations} stations, 2 sources, 128 samples…");
     let beamlets =
@@ -24,15 +30,22 @@ fn main() {
     let beam_azimuths: Vec<f64> = (0..15).map(|i| (i as f64 - 7.0) * 1e-4).collect();
     let central = CentralBeamformer::new(&Gpu::Gh200.device(), beam_azimuths.clone());
 
-    let coherent = central.beamform(&beamlets, CentralMode::Coherent).expect("coherent beamforming");
-    let incoherent = central.beamform(&beamlets, CentralMode::Incoherent).expect("incoherent");
+    let coherent = central
+        .beamform(&beamlets, CentralMode::Coherent)
+        .expect("coherent beamforming");
+    let incoherent = central
+        .beamform(&beamlets, CentralMode::Incoherent)
+        .expect("incoherent");
     println!();
     println!("beam  azimuth(mrad)  coherent power   incoherent power");
     for (b, az) in beam_azimuths.iter().enumerate() {
         let coh = CentralBeamformer::mean_beam_power(&coherent, b);
         let inc = CentralBeamformer::mean_beam_power(&incoherent, b);
         let bar = "#".repeat((coh * 200.0).min(50.0) as usize);
-        println!("{b:>4}  {:+12.3}  {coh:>14.4}  {inc:>16.4}  {bar}", az * 1e3);
+        println!(
+            "{b:>4}  {:+12.3}  {coh:>14.4}  {inc:>16.4}  {bar}",
+            az * 1e3
+        );
     }
     if let Some(report) = coherent.report {
         println!();
@@ -50,13 +63,17 @@ fn main() {
     let receivers = [8usize, 48, 128, 256, 512];
     for gpu in [Gpu::A100, Gpu::Gh200, Gpu::Mi300x] {
         let tc = lofar_sweep(&gpu.device(), &config, &receivers);
-        let line: Vec<String> =
-            tc.iter().map(|p| format!("{}:{:.0}", p.receivers, p.tflops)).collect();
+        let line: Vec<String> = tc
+            .iter()
+            .map(|p| format!("{}:{:.0}", p.receivers, p.tflops))
+            .collect();
         println!("  {gpu:>7} TCBF TFLOPs/s   {}", line.join("  "));
     }
     let reference = reference_sweep(&Gpu::A100.device(), &config, &receivers);
-    let line: Vec<String> =
-        reference.iter().map(|p| format!("{}:{:.0}", p.receivers, p.tflops)).collect();
+    let line: Vec<String> = reference
+        .iter()
+        .map(|p| format!("{}:{:.0}", p.receivers, p.tflops))
+        .collect();
     println!("  {:>7} ref. TFLOPs/s   {}", "A100", line.join("  "));
     println!();
     println!(

@@ -17,26 +17,34 @@ fn main() {
     let samples_per_block = 128;
 
     // 1. Describe the sensor array: a half-wavelength-spaced linear array.
-    let geometry = ArrayGeometry::uniform_linear(
-        receivers,
-        SPEED_OF_LIGHT / frequency / 2.0,
-        SPEED_OF_LIGHT,
-    );
+    let geometry =
+        ArrayGeometry::uniform_linear(receivers, SPEED_OF_LIGHT / frequency / 2.0, SPEED_OF_LIGHT);
 
     // 2. Steering weights for a fan of beams — the M x K matrix of the GEMM.
     let weights = WeightMatrix::uniform_fan(&geometry, frequency, beams, -0.5, 0.5);
 
     // 3. A beamformer on the simulated A100, 16-bit tensor-core mode.
     let device = Gpu::A100.device();
-    let beamformer =
-        Beamformer::new(&device, weights.clone(), samples_per_block, BeamformerConfig::float16())
-            .expect("beamformer construction");
+    let beamformer = Beamformer::new(
+        &device,
+        weights.clone(),
+        samples_per_block,
+        BeamformerConfig::float16(),
+    )
+    .expect("beamformer construction");
     println!("Device:        {device}");
-    println!("GEMM shape:    {} (beams x samples x receivers)", beamformer.shape());
+    println!(
+        "GEMM shape:    {} (beams x samples x receivers)",
+        beamformer.shape()
+    );
 
     // 4. Synthetic sky: one plane-wave source at +0.2 rad plus noise.
     let mut generator = SignalGenerator::new(geometry, frequency, 1e5, 0.2, 42);
-    let source = PlaneWaveSource { azimuth: 0.2, amplitude: 1.0, baseband_frequency: 1e3 };
+    let source = PlaneWaveSource {
+        azimuth: 0.2,
+        amplitude: 1.0,
+        baseband_frequency: 1e3,
+    };
     let samples = generator.sensor_samples(&[source], samples_per_block);
 
     // 5. Beamform on the (simulated) tensor cores.
@@ -54,7 +62,10 @@ fn main() {
     for b in 0..beams {
         let power = Beamformer::beam_power(&output.beams, b);
         let bar = "#".repeat((power * 40.0).min(60.0) as usize);
-        println!("{b:>4}  {:+.2}     {power:>7.3}  {bar}", weights.azimuths()[b]);
+        println!(
+            "{b:>4}  {:+.2}     {power:>7.3}  {bar}",
+            weights.azimuths()[b]
+        );
     }
 
     // 7. Cross-check against the full-precision delay-and-sum reference.

@@ -14,8 +14,7 @@ fn main() {
         println!();
         println!(
             "=== {} — {:.0} GB/s device memory ===",
-            device,
-            roofline.mem_bandwidth_gbs
+            device, roofline.mem_bandwidth_gbs
         );
         for ceiling in &roofline.ceilings {
             println!(
@@ -26,7 +25,11 @@ fn main() {
             );
         }
         for (label, ai, tops) in roofline_points(&device).expect("roofline points") {
-            let ceiling = if label.starts_with("int1") { "int1 tensor" } else { "float16 tensor" };
+            let ceiling = if label.starts_with("int1") {
+                "int1 tensor"
+            } else {
+                "float16 tensor"
+            };
             let limit = roofline.attainable_tops(ceiling, ai).unwrap_or(0.0);
             println!(
                 "  point  {label:>15}: AI {ai:>7.1}  achieved {tops:>6.0} TOPs/s  ({:.0}% of the {:.0} TOPs/s roofline limit)",

@@ -44,7 +44,9 @@ fn main() {
         ReconstructionPrecision::Int1,
         DopplerMode::MeanRemoval,
     );
-    let volume = reconstructor.reconstruct(&model, &measurements, dims).expect("reconstruction");
+    let volume = reconstructor
+        .reconstruct(&model, &measurements, dims)
+        .expect("reconstruction");
     println!(
         "Reconstruction (1-bit, simulated GH200): {:.2} ms predicted, {:.1} TOPs/s",
         volume.report.predicted.elapsed_s * 1e3,

@@ -11,7 +11,9 @@ use tcbf_types::{Complex, GemmShape};
 fn random_matrix(rows: usize, cols: usize, seed: u64) -> HostComplexMatrix {
     let mut state = seed | 1;
     let mut next = move || {
-        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         ((state >> 40) as f32 / 8388608.0) - 1.0
     };
     HostComplexMatrix::from_fn(rows, cols, |_, _| Complex::new(next(), next()))
@@ -36,17 +38,29 @@ fn and_formulation_costs_twice_the_instructions_but_wins_on_hopper() {
     let gh200 = Gpu::Gh200.spec();
     // Per instruction, AND and XOR have very different measured rates on
     // Hopper…
-    let xor_instr = gh200.int1_peak_tops(BitFragmentShape::M16N8K256, BitOp::Xor).unwrap();
-    let and_instr = gh200.int1_peak_tops(BitFragmentShape::M16N8K256, BitOp::And).unwrap();
+    let xor_instr = gh200
+        .int1_peak_tops(BitFragmentShape::M16N8K256, BitOp::Xor)
+        .unwrap();
+    let and_instr = gh200
+        .int1_peak_tops(BitFragmentShape::M16N8K256, BitOp::And)
+        .unwrap();
     assert!(and_instr > 4.0 * xor_instr);
     // …and even after paying the 2x instruction count, AND still wins.
-    let xor_useful = gh200.int1_useful_peak_tops(BitFragmentShape::M16N8K256, BitOp::Xor).unwrap();
-    let and_useful = gh200.int1_useful_peak_tops(BitFragmentShape::M16N8K256, BitOp::And).unwrap();
+    let xor_useful = gh200
+        .int1_useful_peak_tops(BitFragmentShape::M16N8K256, BitOp::Xor)
+        .unwrap();
+    let and_useful = gh200
+        .int1_useful_peak_tops(BitFragmentShape::M16N8K256, BitOp::And)
+        .unwrap();
     assert!(and_useful > 2.0 * xor_useful);
     // On Ampere the opposite holds: XOR is the cheaper formulation.
     let a100 = Gpu::A100.spec();
-    let xor_useful = a100.int1_useful_peak_tops(BitFragmentShape::M16N8K256, BitOp::Xor).unwrap();
-    let and_useful = a100.int1_useful_peak_tops(BitFragmentShape::M16N8K256, BitOp::And).unwrap();
+    let xor_useful = a100
+        .int1_useful_peak_tops(BitFragmentShape::M16N8K256, BitOp::Xor)
+        .unwrap();
+    let and_useful = a100
+        .int1_useful_peak_tops(BitFragmentShape::M16N8K256, BitOp::And)
+        .unwrap();
     assert!(xor_useful > 1.9 * and_useful);
 }
 
@@ -65,7 +79,10 @@ fn deeper_copy_pipelines_never_hurt_on_nvidia() {
             let Ok(r) = measure_with_params(&device, shape, Precision::Float16, params) else {
                 continue;
             };
-            assert!(r.tops + 1e-9 >= last, "{gpu} with {buffers} buffers regressed");
+            assert!(
+                r.tops + 1e-9 >= last,
+                "{gpu} with {buffers} buffers regressed"
+            );
             last = r.tops;
         }
     }
@@ -105,10 +122,17 @@ fn planar_and_interleaved_inputs_give_identical_results() {
         }
     }
     let b = random_matrix(8, k, 4);
-    let gemm =
-        Gemm::new(&Gpu::A100.device(), GemmShape::new(m, 8, k), Precision::Float16).unwrap();
+    let gemm = Gemm::new(
+        &Gpu::A100.device(),
+        GemmShape::new(m, 8, k),
+        Precision::Float16,
+    )
+    .unwrap();
     let (from_planar, _) = gemm
-        .run(&GemmInput::quantise_f16(&host), &GemmInput::quantise_f16(&b))
+        .run(
+            &GemmInput::quantise_f16(&host),
+            &GemmInput::quantise_f16(&b),
+        )
         .unwrap();
     let (from_interleaved, _) = gemm
         .run(

@@ -3,7 +3,9 @@
 //! post-processing — and check consistency between the layers.
 
 use beamform::geometry::SPEED_OF_LIGHT;
-use beamform::{ArrayGeometry, Beamformer, BeamformerConfig, PlaneWaveSource, SignalGenerator, WeightMatrix};
+use beamform::{
+    ArrayGeometry, Beamformer, BeamformerConfig, PlaneWaveSource, SignalGenerator, WeightMatrix,
+};
 use ccglib::matrix::HostComplexMatrix;
 use ccglib::{reference_gemm, Gemm, GemmInput, Precision};
 use gpu_sim::Gpu;
@@ -31,7 +33,12 @@ fn facade_and_low_level_api_agree() {
         TensorCoreBeamformer::new(Gpu::A100, weights.clone(), 16, Precision::Float16).unwrap();
     let high_level = facade.beamform(&samples).unwrap();
 
-    let gemm = Gemm::new(&Gpu::A100.device(), GemmShape::new(6, 16, 24), Precision::Float16).unwrap();
+    let gemm = Gemm::new(
+        &Gpu::A100.device(),
+        GemmShape::new(6, 16, 24),
+        Precision::Float16,
+    )
+    .unwrap();
     let (low_level, _) = gemm
         .run(
             &GemmInput::quantise_f16(&weights),
@@ -48,13 +55,16 @@ fn every_nvidia_device_runs_both_precisions() {
     let weights = WeightMatrix::uniform_fan(&geometry, FREQ, 4, -0.3, 0.3);
     let mut generator = SignalGenerator::new(geometry, FREQ, 1e5, 0.1, 21);
     let samples = generator.sensor_samples(
-        &[PlaneWaveSource { azimuth: 0.0, amplitude: 1.0, baseband_frequency: 500.0 }],
+        &[PlaneWaveSource {
+            azimuth: 0.0,
+            amplitude: 1.0,
+            baseband_frequency: 500.0,
+        }],
         32,
     );
     for gpu in Gpu::NVIDIA {
         for config in [BeamformerConfig::float16(), BeamformerConfig::int1()] {
-            let beamformer =
-                Beamformer::new(&gpu.device(), weights.clone(), 32, config).unwrap();
+            let beamformer = Beamformer::new(&gpu.device(), weights.clone(), 32, config).unwrap();
             let output = beamformer.beamform(&samples).unwrap();
             assert_eq!(output.beams.rows(), 4);
             assert_eq!(output.beams.cols(), 32);
@@ -69,10 +79,16 @@ fn amd_devices_run_float16_and_reject_int1() {
     let geometry = linear_array(16);
     let weights = WeightMatrix::uniform_fan(&geometry, FREQ, 4, -0.2, 0.2);
     for gpu in [Gpu::W7700, Gpu::Mi210, Gpu::Mi300x, Gpu::Mi300a] {
-        assert!(Beamformer::new(&gpu.device(), weights.clone(), 16, BeamformerConfig::float16())
-            .is_ok());
-        assert!(Beamformer::new(&gpu.device(), weights.clone(), 16, BeamformerConfig::int1())
-            .is_err());
+        assert!(Beamformer::new(
+            &gpu.device(),
+            weights.clone(),
+            16,
+            BeamformerConfig::float16()
+        )
+        .is_ok());
+        assert!(
+            Beamformer::new(&gpu.device(), weights.clone(), 16, BeamformerConfig::int1()).is_err()
+        );
     }
 }
 
@@ -89,16 +105,20 @@ fn tensor_core_and_reference_beamformers_agree_across_devices() {
     let expected = reference_gemm(&weights, &samples_t).unwrap();
     let mut elapsed = Vec::new();
     for gpu in [Gpu::Ad4000, Gpu::A100, Gpu::Mi300x] {
-        let gemm =
-            Gemm::new(&gpu.device(), GemmShape::new(8, 24, 48), Precision::Float16).unwrap();
+        let gemm = Gemm::new(&gpu.device(), GemmShape::new(8, 24, 48), Precision::Float16).unwrap();
         let (result, report) = gemm
-            .run(&GemmInput::quantise_f16(&weights), &GemmInput::quantise_f16(&samples_t))
+            .run(
+                &GemmInput::quantise_f16(&weights),
+                &GemmInput::quantise_f16(&samples_t),
+            )
             .unwrap();
         assert!(result.max_abs_diff(&expected) < 0.05, "{gpu}");
         elapsed.push(report.predicted.elapsed_s);
     }
     // Timings differ between devices even though results agree.
-    assert!(elapsed.iter().any(|&t| (t - elapsed[0]).abs() > 0.0 || elapsed.len() == 1));
+    assert!(elapsed
+        .iter()
+        .any(|&t| (t - elapsed[0]).abs() > 0.0 || elapsed.len() == 1));
 }
 
 #[test]
@@ -111,20 +131,31 @@ fn one_bit_quantisation_degrades_gracefully() {
     let weights = WeightMatrix::steering(&geometry, FREQ, &azimuths, false);
     let mut generator = SignalGenerator::new(geometry, FREQ, 1e5, 0.4, 33);
     let samples = generator.sensor_samples(
-        &[PlaneWaveSource { azimuth: -0.1, amplitude: 1.0, baseband_frequency: 2000.0 }],
+        &[PlaneWaveSource {
+            azimuth: -0.1,
+            amplitude: 1.0,
+            baseband_frequency: 2000.0,
+        }],
         96,
     );
 
     let powers = |config: BeamformerConfig| -> Vec<f64> {
-        let beamformer =
-            Beamformer::new(&Gpu::A100.device(), weights.clone(), 96, config).unwrap();
+        let beamformer = Beamformer::new(&Gpu::A100.device(), weights.clone(), 96, config).unwrap();
         let output = beamformer.beamform(&samples).unwrap();
-        (0..9).map(|b| Beamformer::beam_power(&output.beams, b)).collect()
+        (0..9)
+            .map(|b| Beamformer::beam_power(&output.beams, b))
+            .collect()
     };
     let p16 = powers(BeamformerConfig::float16());
     let p1 = powers(BeamformerConfig::int1());
 
-    let argmax = |v: &[f64]| v.iter().enumerate().max_by(|a, b| a.1.total_cmp(b.1)).unwrap().0;
+    let argmax = |v: &[f64]| {
+        v.iter()
+            .enumerate()
+            .max_by(|a, b| a.1.total_cmp(b.1))
+            .unwrap()
+            .0
+    };
     assert_eq!(argmax(&p16), 3, "float16 powers {p16:?}");
     assert_eq!(argmax(&p1), argmax(&p16), "int1 powers {p1:?}");
 }
@@ -133,8 +164,12 @@ fn one_bit_quantisation_degrades_gracefully() {
 fn power_meter_tracks_multi_kernel_pipelines() {
     // A pipeline of several GEMMs on one handle accumulates energy and
     // virtual time monotonically.
-    let gemm =
-        Gemm::new(&Gpu::Gh200.device(), GemmShape::new(512, 512, 512), Precision::Float16).unwrap();
+    let gemm = Gemm::new(
+        &Gpu::Gh200.device(),
+        GemmShape::new(512, 512, 512),
+        Precision::Float16,
+    )
+    .unwrap();
     let mut last = gemm.meter().read();
     for _ in 0..5 {
         gemm.predict();

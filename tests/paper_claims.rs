@@ -13,10 +13,18 @@ use ultrasound::{offline_comparison, FrameRateModel, REAL_TIME_FPS};
 fn abstract_claim_600_tops_on_mi300x_in_float16() {
     // "In the 16-bit mode, it achieves over 600 TeraOps/s on an AMD MI300X
     // GPU, while approaching 1 TeraOp/J."
-    let r = measure(&Gpu::Mi300x.device(), GemmShape::new(8192, 8192, 8192), Precision::Float16)
-        .unwrap();
+    let r = measure(
+        &Gpu::Mi300x.device(),
+        GemmShape::new(8192, 8192, 8192),
+        Precision::Float16,
+    )
+    .unwrap();
     assert!(r.tops > 600.0, "MI300X float16: {} TOPs/s", r.tops);
-    assert!(r.tops_per_joule > 0.7 && r.tops_per_joule < 1.1, "{} TOPs/J", r.tops_per_joule);
+    assert!(
+        r.tops_per_joule > 0.7 && r.tops_per_joule < 1.1,
+        "{} TOPs/J",
+        r.tops_per_joule
+    );
 }
 
 #[test]
@@ -30,7 +38,11 @@ fn abstract_claim_3_petaops_and_10_topsj_on_a100_in_1bit() {
     )
     .unwrap();
     assert!(r.tops > 3000.0, "A100 int1: {} TOPs/s", r.tops);
-    assert!(r.tops_per_joule > 10.0, "A100 int1: {} TOPs/J", r.tops_per_joule);
+    assert!(
+        r.tops_per_joule > 10.0,
+        "A100 int1: {} TOPs/J",
+        r.tops_per_joule
+    );
 }
 
 #[test]
@@ -69,16 +81,29 @@ fn table3_float16_throughput_within_ten_percent() {
         (Gpu::Mi300a, 518.0),
     ];
     for (gpu, tops) in expected {
-        let r = measure(&gpu.device(), GemmShape::new(8192, 8192, 8192), Precision::Float16)
-            .unwrap();
+        let r = measure(
+            &gpu.device(),
+            GemmShape::new(8192, 8192, 8192),
+            Precision::Float16,
+        )
+        .unwrap();
         let error = (r.tops - tops).abs() / tops;
-        assert!(error < 0.10, "{gpu}: measured {} vs paper {tops} ({:.0}% off)", r.tops, error * 100.0);
+        assert!(
+            error < 0.10,
+            "{gpu}: measured {} vs paper {tops} ({:.0}% off)",
+            r.tops,
+            error * 100.0
+        );
     }
 }
 
 #[test]
 fn table3_int1_throughput_within_fifteen_percent() {
-    let expected = [(Gpu::Ad4000, 1400.0), (Gpu::A100, 3080.0), (Gpu::Gh200, 3780.0)];
+    let expected = [
+        (Gpu::Ad4000, 1400.0),
+        (Gpu::A100, 3080.0),
+        (Gpu::Gh200, 3780.0),
+    ];
     for (gpu, tops) in expected {
         let r = measure(
             &gpu.device(),
@@ -99,8 +124,14 @@ fn ultrasound_realtime_claims() {
     // magnitude.
     for gpu in [Gpu::Ad4000, Gpu::A100, Gpu::Gh200] {
         let model = FrameRateModel::paper(&gpu.device());
-        assert!(model.frames_per_second(3 * 128 * 128) > REAL_TIME_FPS, "{gpu} planes");
-        assert!(model.frames_per_second(128 * 128 * 128) < REAL_TIME_FPS, "{gpu} full volume");
+        assert!(
+            model.frames_per_second(3 * 128 * 128) > REAL_TIME_FPS,
+            "{gpu} planes"
+        );
+        assert!(
+            model.frames_per_second(128 * 128 * 128) < REAL_TIME_FPS,
+            "{gpu} full volume"
+        );
     }
     let comparison = offline_comparison(&Gpu::A100.device());
     assert!(comparison.tcbf_seconds < 8.0);
@@ -118,15 +149,23 @@ fn lofar_speedup_and_energy_claims() {
     let counts: Vec<usize> = (8..=512).step_by(24).collect();
     let tc = lofar_sweep(&device, &config, &counts);
     let reference = reference_sweep(&device, &config, &counts);
-    let speedups: Vec<f64> =
-        tc.iter().zip(&reference).map(|(t, r)| t.tflops / r.tflops).collect();
+    let speedups: Vec<f64> = tc
+        .iter()
+        .zip(&reference)
+        .map(|(t, r)| t.tflops / r.tflops)
+        .collect();
     let max_speedup = speedups.iter().cloned().fold(0.0, f64::max);
     assert!(max_speedup > 5.0, "max speedup {max_speedup}");
 
     let idx48 = counts.iter().position(|&k| k >= 48).unwrap();
-    assert!(speedups[idx48] > 2.0, "48-station speedup {}", speedups[idx48]);
+    assert!(
+        speedups[idx48] > 2.0,
+        "48-station speedup {}",
+        speedups[idx48]
+    );
 
-    let energy_gain = tc.last().unwrap().tflops_per_joule / reference.last().unwrap().tflops_per_joule;
+    let energy_gain =
+        tc.last().unwrap().tflops_per_joule / reference.last().unwrap().tflops_per_joule;
     assert!(energy_gain > 4.0, "energy gain {energy_gain}");
 }
 
@@ -138,7 +177,14 @@ fn mi300x_wins_big_gemm_gh200_wins_1bit() {
     let f16_shape = GemmShape::new(8192, 8192, 8192);
     let f16: Vec<(Gpu, f64)> = Gpu::ALL
         .iter()
-        .map(|&g| (g, measure(&g.device(), f16_shape, Precision::Float16).unwrap().tops))
+        .map(|&g| {
+            (
+                g,
+                measure(&g.device(), f16_shape, Precision::Float16)
+                    .unwrap()
+                    .tops,
+            )
+        })
         .collect();
     let fastest = f16.iter().max_by(|a, b| a.1.total_cmp(&b.1)).unwrap().0;
     assert_eq!(fastest, Gpu::Mi300x);

@@ -1,0 +1,314 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Implements the subset of the criterion API the workspace's benches use
+//! — groups, throughput annotation, `bench_function` / `bench_with_input`,
+//! `black_box`, and the `criterion_group!` / `criterion_main!` macros —
+//! backed by a simple wall-clock harness: each benchmark is warmed up,
+//! then timed for `sample_size` batches, and the median batch time is
+//! printed.  No statistics, plots, or HTML reports, but `cargo bench`
+//! produces comparable-run-to-run numbers and `cargo bench --no-run`
+//! compiles the same sources upstream criterion would.
+
+use std::fmt::Display;
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier preventing the optimiser from deleting benchmark
+/// bodies; forwards to `std::hint::black_box`.
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// Units for a group's throughput annotation.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Identifier for one benchmark within a group: a function name plus a
+/// parameter rendering, as produced by `BenchmarkId::new("f16", 1024)`.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Creates an id from a function name and a displayed parameter.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// Per-benchmark timing driver handed to the bench closure.
+pub struct Bencher<'a> {
+    config: &'a Config,
+    /// Median batch time recorded by the last `iter` call.
+    result: Option<Duration>,
+    iters_per_batch: u64,
+}
+
+impl Bencher<'_> {
+    /// Times `routine`, first warming up, then measuring `sample_size`
+    /// batches and recording the median batch duration.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up: run until the warm-up budget is spent, counting how
+        // many iterations fit so batches amortise timer overhead.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < self.config.warm_up_time || warm_iters == 0 {
+            black_box(routine());
+            warm_iters += 1;
+            if warm_iters >= 1_000_000 {
+                break;
+            }
+        }
+        let per_iter = warm_start.elapsed() / warm_iters.max(1) as u32;
+        let samples = self.config.sample_size.max(1) as u32;
+        let batch_budget = self.config.measurement_time / samples;
+        let iters_per_batch = if per_iter.is_zero() {
+            1_000
+        } else {
+            (batch_budget.as_nanos() / per_iter.as_nanos().max(1)).clamp(1, 1_000_000) as u64
+        };
+
+        let mut batch_times: Vec<Duration> = Vec::with_capacity(samples as usize);
+        for _ in 0..samples {
+            let start = Instant::now();
+            for _ in 0..iters_per_batch {
+                black_box(routine());
+            }
+            batch_times.push(start.elapsed());
+        }
+        batch_times.sort();
+        self.result = Some(batch_times[batch_times.len() / 2]);
+        self.iters_per_batch = iters_per_batch;
+    }
+}
+
+#[derive(Clone, Copy, Debug)]
+struct Config {
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            sample_size: 10,
+            warm_up_time: Duration::from_millis(300),
+            measurement_time: Duration::from_secs(1),
+        }
+    }
+}
+
+/// Benchmark manager: entry point mirroring `criterion::Criterion`.
+#[derive(Default)]
+pub struct Criterion {
+    config: Config,
+}
+
+impl Criterion {
+    /// Sets the number of measured batches per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.config.sample_size = n;
+        self
+    }
+
+    /// Sets the warm-up budget per benchmark.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.config.warm_up_time = d;
+        self
+    }
+
+    /// Sets the measurement budget per benchmark.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.config.measurement_time = d;
+        self
+    }
+
+    /// Applies command-line overrides; accepted for source compatibility
+    /// (this stand-in has no CLI of its own).
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Opens a named group of related benchmarks.  The group starts from
+    /// the manager's configuration; overrides made on the group end with
+    /// the group, as in upstream criterion.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            config: self.config,
+            _criterion: std::marker::PhantomData,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+
+    /// Runs a stand-alone benchmark outside any group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let config = self.config;
+        run_one(&config, None, &id.into().id, None, f);
+        self
+    }
+}
+
+/// A named collection of benchmarks sharing throughput annotation and
+/// configuration overrides, scoped to the group's lifetime.
+pub struct BenchmarkGroup<'a> {
+    config: Config,
+    _criterion: std::marker::PhantomData<&'a mut Criterion>,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Annotates subsequent benchmarks with work-per-iteration.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Overrides the measured batch count for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.config.sample_size = n;
+        self
+    }
+
+    /// Overrides the measurement budget for this group.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.config.measurement_time = d;
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(
+            &self.config,
+            Some(&self.name),
+            &id.into().id,
+            self.throughput,
+            f,
+        );
+        self
+    }
+
+    /// Runs one parameterised benchmark in the group.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        run_one(
+            &self.config,
+            Some(&self.name),
+            &id.into().id,
+            self.throughput,
+            |b| f(b, input),
+        );
+        self
+    }
+
+    /// Ends the group (upstream flushes reports here; nothing to flush).
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(
+    config: &Config,
+    group: Option<&str>,
+    id: &str,
+    throughput: Option<Throughput>,
+    mut f: F,
+) {
+    let full_id = match group {
+        Some(g) => format!("{g}/{id}"),
+        None => id.to_string(),
+    };
+    let mut bencher = Bencher {
+        config,
+        result: None,
+        iters_per_batch: 1,
+    };
+    f(&mut bencher);
+    match bencher.result {
+        Some(batch) => {
+            let per_iter_ns = batch.as_nanos() as f64 / bencher.iters_per_batch.max(1) as f64;
+            let rate = throughput.map(|t| match t {
+                Throughput::Elements(n) => {
+                    format!("  {:.3} Melem/s", n as f64 / per_iter_ns * 1e3)
+                }
+                Throughput::Bytes(n) => {
+                    format!(
+                        "  {:.3} MiB/s",
+                        n as f64 / per_iter_ns * 1e9 / (1 << 20) as f64
+                    )
+                }
+            });
+            println!(
+                "{full_id:<48} {:>12.1} ns/iter{}",
+                per_iter_ns,
+                rate.unwrap_or_default()
+            );
+        }
+        None => println!("{full_id:<48} (no measurement: bench closure never called iter)"),
+    }
+}
+
+/// Declares a group of benchmark functions, with or without a shared
+/// configuration block.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the benchmark binary's `main`, running each declared group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // `cargo bench` passes `--bench`; a test-harness invocation
+            // passes `--test`.  Accept both and any filter arguments —
+            // the stand-in has no filtering, it always runs everything.
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,96 @@
+//! Offline stand-in for `rayon`, covering the slice of the API the GEMM
+//! reference kernels use: `par_chunks_mut(n).enumerate().for_each(f)`.
+//!
+//! Unlike a purely sequential shim, `for_each` here actually fans the
+//! chunks out over `std::thread::scope` threads (one per available core,
+//! chunks distributed round-robin), so the hot reference GEMM paths keep
+//! their multi-core scaling without the external dependency.
+
+use std::num::NonZeroUsize;
+
+/// A borrowed sequence of mutable chunks, optionally paired with indices.
+///
+/// Mirrors the composition `par_chunks_mut(..).enumerate().for_each(..)`
+/// from rayon's `ParallelIterator`; only the members the workspace calls
+/// are provided.
+pub struct ParChunksMut<'a, T> {
+    chunks: Vec<&'a mut [T]>,
+}
+
+/// `ParChunksMut` with chunk indices attached.
+pub struct EnumeratedParChunksMut<'a, T> {
+    chunks: Vec<(usize, &'a mut [T])>,
+}
+
+impl<'a, T: Send> ParChunksMut<'a, T> {
+    /// Pairs every chunk with its index, like `Iterator::enumerate`.
+    pub fn enumerate(self) -> EnumeratedParChunksMut<'a, T> {
+        EnumeratedParChunksMut {
+            chunks: self.chunks.into_iter().enumerate().collect(),
+        }
+    }
+
+    /// Applies `f` to every chunk, in parallel.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(&'a mut [T]) + Sync,
+    {
+        self.enumerate().for_each(|(_, chunk)| f(chunk));
+    }
+}
+
+impl<'a, T: Send> EnumeratedParChunksMut<'a, T> {
+    /// Applies `f` to every `(index, chunk)` pair, in parallel.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn((usize, &'a mut [T])) + Sync,
+    {
+        let threads = std::thread::available_parallelism()
+            .map(NonZeroUsize::get)
+            .unwrap_or(1)
+            .min(self.chunks.len().max(1));
+        if threads <= 1 || self.chunks.len() <= 1 {
+            for pair in self.chunks {
+                f(pair);
+            }
+            return;
+        }
+        // Round-robin the chunks across worker threads; each worker owns
+        // its disjoint set of mutable chunk borrows.
+        let mut buckets: Vec<Vec<(usize, &'a mut [T])>> =
+            (0..threads).map(|_| Vec::new()).collect();
+        for (i, pair) in self.chunks.into_iter().enumerate() {
+            buckets[i % threads].push(pair);
+        }
+        let f = &f;
+        std::thread::scope(|scope| {
+            for bucket in buckets {
+                scope.spawn(move || {
+                    for pair in bucket {
+                        f(pair);
+                    }
+                });
+            }
+        });
+    }
+}
+
+/// Glob-import surface mirroring `rayon::prelude`.
+pub mod prelude {
+    use super::ParChunksMut;
+
+    /// Parallel chunked iteration over mutable slices.
+    pub trait ParallelSliceMut<T: Send> {
+        /// Splits the slice into chunks of at most `size` elements that
+        /// can be processed in parallel.
+        fn par_chunks_mut(&mut self, size: usize) -> ParChunksMut<'_, T>;
+    }
+
+    impl<T: Send> ParallelSliceMut<T> for [T] {
+        fn par_chunks_mut(&mut self, size: usize) -> ParChunksMut<'_, T> {
+            ParChunksMut {
+                chunks: self.chunks_mut(size).collect(),
+            }
+        }
+    }
+}

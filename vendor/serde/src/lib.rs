@@ -1,0 +1,9 @@
+//! Offline stand-in for `serde`.
+//!
+//! Re-exports no-op `Serialize`/`Deserialize` derive macros so that
+//! `#[derive(Serialize, Deserialize)]` compiles without network access to
+//! crates.io.  See `vendor/serde_derive` for the rationale.  If real
+//! serialisation is ever needed, replace this path dependency with the
+//! upstream crate — the call sites will not change.
+
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,22 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The container this workspace builds in has no access to crates.io, so
+//! the real `serde` cannot be fetched.  Nothing in the workspace actually
+//! serialises anything yet — types only *derive* `Serialize`/`Deserialize`
+//! so the schema is ready for a future wire format — which means no-op
+//! derive macros are sufficient: they accept the same derive syntax and
+//! expand to nothing.
+
+use proc_macro::TokenStream;
+
+/// No-op `#[derive(Serialize)]`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `#[derive(Deserialize)]`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
