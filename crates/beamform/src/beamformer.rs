@@ -60,12 +60,26 @@ pub struct BeamformOutput {
     pub report: RunReport,
 }
 
+/// Result of beamforming one batch of sample blocks (for configurations
+/// with `batch > 1`, e.g. frequency channels × polarisations sharing the
+/// same weights).
+#[derive(Clone, Debug)]
+pub struct BatchBeamformOutput {
+    /// Beamformed data per batch element: `M` beams × `N` samples each.
+    pub beams: Vec<HostComplexMatrix>,
+    /// One performance/energy report covering the whole batch.
+    pub report: RunReport,
+}
+
 /// A beamformer bound to a device, a weight matrix and a sample-block
 /// length.
 pub struct Beamformer {
     device: Device,
     config: BeamformerConfig,
     weights: WeightMatrix,
+    /// The weights quantised to the operand precision once — every block
+    /// of a streaming session reuses it (rebuilt only on weight hot-swap).
+    quantised_weights: GemmInput,
     gemm: Gemm,
     samples_per_block: usize,
 }
@@ -88,10 +102,12 @@ impl Beamformer {
             Some(params) => Gemm::with_params(device, shape, config.precision, params)?,
             None => Gemm::new(device, shape, config.precision)?,
         };
+        let quantised_weights = Self::quantise_for(config.precision, weights.matrix());
         Ok(Beamformer {
             device: device.clone(),
             config,
             weights,
+            quantised_weights,
             gemm,
             samples_per_block,
         })
@@ -112,17 +128,53 @@ impl Beamformer {
         &self.device
     }
 
-    /// Predicted performance of one block without computing data (used for
-    /// paper-scale configurations).
-    pub fn predict(&self) -> RunReport {
-        self.gemm.predict()
+    /// The configuration this beamformer was created with.
+    pub fn config(&self) -> &BeamformerConfig {
+        &self.config
     }
 
-    /// Beamforms one block of sensor samples (`K` receivers × `N` time
-    /// samples).  The batch dimension of the configuration must be 1 for
-    /// functional execution; batched shapes are supported through
-    /// [`Beamformer::predict`].
-    pub fn beamform(&self, samples: &HostComplexMatrix) -> ccglib::Result<BeamformOutput> {
+    /// Number of time samples per block.
+    pub fn samples_per_block(&self) -> usize {
+        self.samples_per_block
+    }
+
+    /// Replaces the beam weights without re-planning the GEMM (weight
+    /// hot-swap, e.g. re-steering the beams mid-stream).  The new matrix
+    /// must keep the `beams × receivers` shape the kernel was planned for.
+    pub fn set_weights(&mut self, weights: WeightMatrix) -> ccglib::Result<()> {
+        if weights.num_beams() != self.weights.num_beams()
+            || weights.num_receivers() != self.weights.num_receivers()
+        {
+            return Err(ccglib::CcglibError::ShapeMismatch {
+                expected: format!(
+                    "{} beams x {} receivers",
+                    self.weights.num_beams(),
+                    self.weights.num_receivers()
+                ),
+                actual: format!("{} x {}", weights.num_beams(), weights.num_receivers()),
+            });
+        }
+        self.quantised_weights = Self::quantise_for(self.config.precision, weights.matrix());
+        self.weights = weights;
+        Ok(())
+    }
+
+    /// Quantises one host matrix to an operand precision.
+    fn quantise_for(precision: Precision, host: &HostComplexMatrix) -> GemmInput {
+        match precision {
+            Precision::Int1 => GemmInput::quantise_int1(host),
+            _ => GemmInput::quantise_f16(host),
+        }
+    }
+
+    /// Quantises one host matrix to the operand precision of this
+    /// beamformer.
+    fn quantise(&self, host: &HostComplexMatrix) -> GemmInput {
+        Self::quantise_for(self.config.precision, host)
+    }
+
+    /// Checks one `K × N` sample block against the planned shape.
+    fn validate_block(&self, samples: &HostComplexMatrix) -> ccglib::Result<()> {
         if samples.rows() != self.weights.num_receivers()
             || samples.cols() != self.samples_per_block
         {
@@ -135,20 +187,65 @@ impl Beamformer {
                 actual: format!("{} x {}", samples.rows(), samples.cols()),
             });
         }
+        Ok(())
+    }
+
+    /// Predicted performance of one block without computing data (used for
+    /// paper-scale configurations).
+    pub fn predict(&self) -> RunReport {
+        self.gemm.predict()
+    }
+
+    /// Starts a streaming session on this beamformer (consumes it; the
+    /// session owns the beamformer so weights can be hot-swapped).
+    pub fn into_session(self) -> crate::session::BeamformSession {
+        crate::session::BeamformSession::new(self)
+    }
+
+    /// Beamforms one block of sensor samples (`K` receivers × `N` time
+    /// samples).  Configurations with `batch > 1` beamform through
+    /// [`Beamformer::beamform_batch`] instead.
+    pub fn beamform(&self, samples: &HostComplexMatrix) -> ccglib::Result<BeamformOutput> {
+        if self.config.batch != 1 {
+            return Err(ccglib::CcglibError::ShapeMismatch {
+                expected: format!(
+                    "one sample block per batch element: use beamform_batch (or a session's \
+                     process_batch) with {} blocks",
+                    self.config.batch
+                ),
+                actual: "a single block".to_string(),
+            });
+        }
+        self.validate_block(samples)?;
         // ccglib consumes B transposed: N×K, one row per output sample.
-        let samples_t = samples.transposed();
-        let (a, b) = match self.config.precision {
-            Precision::Int1 => (
-                GemmInput::quantise_int1(self.weights.matrix()),
-                GemmInput::quantise_int1(&samples_t),
-            ),
-            _ => (
-                GemmInput::quantise_f16(self.weights.matrix()),
-                GemmInput::quantise_f16(&samples_t),
-            ),
-        };
-        let (beams, report) = self.gemm.run(&a, &b)?;
+        let b = self.quantise(&samples.transposed());
+        let (beams, report) = self.gemm.run(&self.quantised_weights, &b)?;
         Ok(BeamformOutput { beams, report })
+    }
+
+    /// Beamforms one batch of sample blocks — one `K × N` block per batch
+    /// element, all sharing this beamformer's weights — functionally, with
+    /// a single report covering the whole batch.  The number of blocks must
+    /// equal the configured batch size.
+    pub fn beamform_batch(
+        &self,
+        blocks: &[HostComplexMatrix],
+    ) -> ccglib::Result<BatchBeamformOutput> {
+        if blocks.len() != self.config.batch {
+            return Err(ccglib::CcglibError::ShapeMismatch {
+                expected: format!("{} sample blocks (the configured batch)", self.config.batch),
+                actual: format!("{} blocks", blocks.len()),
+            });
+        }
+        for block in blocks {
+            self.validate_block(block)?;
+        }
+        let b_ts: Vec<GemmInput> = blocks
+            .iter()
+            .map(|block| self.quantise(&block.transposed()))
+            .collect();
+        let (beams, report) = self.gemm.run_batch_shared(&self.quantised_weights, &b_ts)?;
+        Ok(BatchBeamformOutput { beams, report })
     }
 
     /// Direct delay-and-sum (phase-and-sum in the narrowband model)
@@ -317,6 +414,64 @@ mod tests {
         let report = beamformer.predict();
         assert!(report.achieved_tops > 10.0);
         drop(geom);
+    }
+
+    #[test]
+    fn batched_beamforming_matches_per_batch_references() {
+        // A batch-4 configuration executes functionally and every batch
+        // element matches the delay-and-sum reference within the
+        // quantisation tolerance of the single-block path.
+        let geom = array(32);
+        let weights = WeightMatrix::uniform_fan(&geom, FREQ, 8, -0.4, 0.4);
+        let config = BeamformerConfig {
+            batch: 4,
+            ..BeamformerConfig::float16()
+        };
+        let beamformer = Beamformer::new(&device(), weights, 16, config).unwrap();
+        let mut generator = SignalGenerator::new(geom, FREQ, 1e5, 0.05, 7);
+        let blocks: Vec<HostComplexMatrix> = (0..4)
+            .map(|i| {
+                generator.sensor_samples(
+                    &[PlaneWaveSource {
+                        azimuth: -0.2 + 0.1 * i as f64,
+                        amplitude: 1.0,
+                        baseband_frequency: 0.0,
+                    }],
+                    16,
+                )
+            })
+            .collect();
+        let output = beamformer.beamform_batch(&blocks).unwrap();
+        assert_eq!(output.beams.len(), 4);
+        for (beams, samples) in output.beams.iter().zip(&blocks) {
+            let reference = beamformer.delay_and_sum_reference(samples);
+            assert!(beams.max_abs_diff(&reference) < 0.05);
+        }
+        assert!(output.report.predicted.elapsed_s > 0.0);
+        // Wrong block count is rejected.
+        assert!(beamformer.beamform_batch(&blocks[..3]).is_err());
+        // The single-pair path refuses batched plans.
+        assert!(beamformer.beamform(&blocks[0]).is_err());
+    }
+
+    #[test]
+    fn set_weights_keeps_the_plan_but_changes_the_beams() {
+        let geom = array(16);
+        let fan = WeightMatrix::uniform_fan(&geom, FREQ, 4, -0.2, 0.2);
+        let mut beamformer =
+            Beamformer::new(&device(), fan, 8, BeamformerConfig::float16()).unwrap();
+        let samples = HostComplexMatrix::from_fn(16, 8, |r, s| {
+            Complex32::new((r + s) as f32 * 0.05, r as f32 * 0.02)
+        });
+        let before = beamformer.beamform(&samples).unwrap();
+        let steered = WeightMatrix::steering(&array(16), FREQ, &[-0.3, -0.1, 0.1, 0.3], true);
+        beamformer.set_weights(steered).unwrap();
+        let after = beamformer.beamform(&samples).unwrap();
+        assert_eq!(beamformer.shape(), GemmShape::new(4, 8, 16));
+        assert!(before.beams.max_abs_diff(&after.beams) > 1e-3);
+        // Shape-changing swaps are rejected.
+        let wrong = WeightMatrix::from_matrix(HostComplexMatrix::zeros(4, 17));
+        assert!(beamformer.set_weights(wrong).is_err());
     }
 
     #[test]

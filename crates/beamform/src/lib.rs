@@ -16,16 +16,21 @@
 //! * [`weights`] — steering-weight computation (Eq. 3) and weight
 //!   matrices for many beams;
 //! * [`beamformer`] — the mapping onto the ccglib GEMM, a direct
-//!   delay-and-sum reference implementation, beam patterns and SNR gain.
+//!   delay-and-sum reference implementation, beam patterns and SNR gain;
+//! * [`session`] — streaming sessions: a [`BeamformSession`] consumes a
+//!   stream of sample blocks, supports weight hot-swap mid-stream and
+//!   accumulates a [`SessionReport`] over the whole run.
 
 #![deny(missing_docs)]
 
 pub mod beamformer;
 pub mod geometry;
+pub mod session;
 pub mod signal;
 pub mod weights;
 
-pub use beamformer::{BeamformOutput, Beamformer, BeamformerConfig};
+pub use beamformer::{BatchBeamformOutput, BeamformOutput, Beamformer, BeamformerConfig};
 pub use geometry::{ArrayGeometry, SPEED_OF_LIGHT, SPEED_OF_SOUND_TISSUE, SPEED_OF_SOUND_WATER};
+pub use session::{BeamformSession, SessionReport};
 pub use signal::{PlaneWaveSource, SignalGenerator};
 pub use weights::{steering_vector, WeightMatrix};

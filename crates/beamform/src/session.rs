@@ -1,0 +1,320 @@
+//! Streaming beamforming sessions.
+//!
+//! The paper evaluates the beamformer as a *pipeline*: continuous blocks
+//! of receiver samples flow through the complex GEMM and throughput and
+//! energy are reported over the whole run, not per block.  A
+//! [`BeamformSession`] owns a [`Beamformer`], consumes sample blocks one
+//! at a time (or from an iterator), allows the beam weights to be swapped
+//! mid-stream (re-steering without re-planning the kernel), and
+//! accumulates a [`SessionReport`] — aggregate, mean and worst-case
+//! throughput, total energy and the effective block (frame) rate — on top
+//! of the per-block [`RunReport`]s.
+
+use crate::beamformer::{BatchBeamformOutput, BeamformOutput, Beamformer};
+use crate::weights::WeightMatrix;
+use ccglib::matrix::HostComplexMatrix;
+use ccglib::RunReport;
+use serde::{Deserialize, Serialize};
+
+/// Aggregate performance/energy report of a streaming session.
+///
+/// All totals are exact sums over the per-block [`RunReport`]s the session
+/// observed; the derived metrics (aggregate/mean/worst-case TeraOps/s,
+/// TeraOps/J, blocks per second) are computed from those sums.
+#[derive(Clone, Copy, Debug, PartialEq, Default, Serialize, Deserialize)]
+pub struct SessionReport {
+    /// Number of blocks processed (each batch element counts as one block).
+    pub blocks: usize,
+    /// Number of GEMM executions (a batched call is one execution).
+    pub executions: usize,
+    /// Number of mid-stream weight swaps.
+    pub weight_swaps: usize,
+    /// Total predicted kernel time in seconds.
+    pub total_elapsed_s: f64,
+    /// Total energy over all executions in joules.
+    pub total_joules: f64,
+    /// Total useful operations (the paper's `8·M·N·K` per batch element).
+    pub total_useful_ops: f64,
+    /// Sum of the per-execution achieved TeraOps/s (for the mean).
+    sum_tops: f64,
+    /// Worst per-execution achieved TeraOps/s seen so far.
+    min_tops: f64,
+}
+
+impl SessionReport {
+    /// Folds one execution covering `blocks` sample blocks into the totals.
+    ///
+    /// [`BeamformSession`] calls this for every block it processes; it is
+    /// public so prediction-driven pipelines (e.g. the ultrasound
+    /// frame-rate model, which never materialises data) can accumulate the
+    /// same aggregate report from predicted [`RunReport`]s.
+    pub fn record(&mut self, report: &RunReport, useful_ops: f64, blocks: usize) {
+        if self.executions == 0 {
+            self.min_tops = f64::INFINITY;
+        }
+        self.blocks += blocks;
+        self.executions += 1;
+        self.total_elapsed_s += report.predicted.elapsed_s;
+        self.total_joules += report.energy.joules;
+        self.total_useful_ops += useful_ops;
+        self.sum_tops += report.achieved_tops;
+        self.min_tops = self.min_tops.min(report.achieved_tops);
+    }
+
+    /// Aggregate throughput over the whole session in TeraOps/s: total
+    /// useful operations divided by total kernel time.
+    pub fn aggregate_tops(&self) -> f64 {
+        if self.total_elapsed_s > 0.0 {
+            self.total_useful_ops / self.total_elapsed_s / 1e12
+        } else {
+            0.0
+        }
+    }
+
+    /// Mean of the per-execution achieved TeraOps/s.
+    pub fn mean_tops(&self) -> f64 {
+        if self.executions > 0 {
+            self.sum_tops / self.executions as f64
+        } else {
+            0.0
+        }
+    }
+
+    /// Worst-case per-execution achieved TeraOps/s.
+    pub fn worst_tops(&self) -> f64 {
+        if self.executions > 0 {
+            self.min_tops
+        } else {
+            0.0
+        }
+    }
+
+    /// Aggregate energy efficiency in TeraOps/J.
+    pub fn tops_per_joule(&self) -> f64 {
+        if self.total_joules > 0.0 {
+            self.total_useful_ops / self.total_joules / 1e12
+        } else {
+            0.0
+        }
+    }
+
+    /// Effective block (frame) rate: blocks processed per second of kernel
+    /// time.
+    pub fn effective_fps(&self) -> f64 {
+        if self.total_elapsed_s > 0.0 {
+            self.blocks as f64 / self.total_elapsed_s
+        } else {
+            0.0
+        }
+    }
+}
+
+/// A streaming beamforming session: owns a [`Beamformer`], processes a
+/// stream of sample blocks and accumulates a [`SessionReport`].
+///
+/// ```
+/// use beamform::{Beamformer, BeamformerConfig, BeamformSession, WeightMatrix};
+/// use ccglib::matrix::HostComplexMatrix;
+/// use gpu_sim::Gpu;
+/// use tcbf_types::Complex;
+///
+/// let weights = WeightMatrix::from_matrix(HostComplexMatrix::from_fn(4, 16, |b, r| {
+///     Complex::from_polar(1.0 / 16.0, (b * r) as f32 * 0.1)
+/// }));
+/// let beamformer = Beamformer::new(
+///     &Gpu::A100.device(), weights, 8, BeamformerConfig::float16(),
+/// ).unwrap();
+/// let mut session = BeamformSession::new(beamformer);
+/// let block = HostComplexMatrix::from_fn(16, 8, |r, s| Complex::new(r as f32 * 0.1, s as f32));
+/// for _ in 0..3 {
+///     session.process_block(&block).unwrap();
+/// }
+/// let report = session.finish();
+/// assert_eq!(report.blocks, 3);
+/// assert!(report.aggregate_tops() > 0.0);
+/// ```
+pub struct BeamformSession {
+    beamformer: Beamformer,
+    report: SessionReport,
+}
+
+impl BeamformSession {
+    /// Starts a session on a beamformer.
+    pub fn new(beamformer: Beamformer) -> Self {
+        BeamformSession {
+            beamformer,
+            report: SessionReport::default(),
+        }
+    }
+
+    /// The beamformer driving this session.
+    pub fn beamformer(&self) -> &Beamformer {
+        &self.beamformer
+    }
+
+    /// The report accumulated so far.
+    pub fn report(&self) -> &SessionReport {
+        &self.report
+    }
+
+    /// Useful operations of one GEMM execution under the current plan.
+    fn useful_ops(&self) -> f64 {
+        self.beamformer.shape().complex_ops() as f64
+    }
+
+    /// Processes one `K × N` block of sensor samples (batch-1
+    /// configurations).
+    pub fn process_block(&mut self, samples: &HostComplexMatrix) -> ccglib::Result<BeamformOutput> {
+        let output = self.beamformer.beamform(samples)?;
+        self.report.record(&output.report, self.useful_ops(), 1);
+        Ok(output)
+    }
+
+    /// Processes one batch of sample blocks (one block per batch element)
+    /// as a single execution.
+    pub fn process_batch(
+        &mut self,
+        blocks: &[HostComplexMatrix],
+    ) -> ccglib::Result<BatchBeamformOutput> {
+        let output = self.beamformer.beamform_batch(blocks)?;
+        self.report
+            .record(&output.report, self.useful_ops(), blocks.len());
+        Ok(output)
+    }
+
+    /// Drains an iterator (or slice) of sample blocks through the session,
+    /// returning the per-block outputs.  Stops at the first error; blocks
+    /// already processed remain accounted in the report.
+    pub fn process_stream<'a, I>(&mut self, blocks: I) -> ccglib::Result<Vec<BeamformOutput>>
+    where
+        I: IntoIterator<Item = &'a HostComplexMatrix>,
+    {
+        blocks
+            .into_iter()
+            .map(|block| self.process_block(block))
+            .collect()
+    }
+
+    /// Swaps the beam weights mid-stream (same `beams × receivers` shape;
+    /// the GEMM plan is reused unchanged).
+    pub fn set_weights(&mut self, weights: WeightMatrix) -> ccglib::Result<()> {
+        self.beamformer.set_weights(weights)?;
+        self.report.weight_swaps += 1;
+        Ok(())
+    }
+
+    /// Ends the session, returning the final report.
+    pub fn finish(self) -> SessionReport {
+        self.report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::beamformer::BeamformerConfig;
+    use gpu_sim::Gpu;
+    use tcbf_types::Complex;
+
+    fn beamformer(beams: usize, receivers: usize, samples: usize, batch: usize) -> Beamformer {
+        let weights =
+            WeightMatrix::from_matrix(HostComplexMatrix::from_fn(beams, receivers, |b, r| {
+                Complex::from_polar(1.0 / receivers as f32, (b * r) as f32 * 0.03)
+            }));
+        let config = BeamformerConfig {
+            batch,
+            ..BeamformerConfig::float16()
+        };
+        Beamformer::new(&Gpu::A100.device(), weights, samples, config).unwrap()
+    }
+
+    fn block(receivers: usize, samples: usize, seed: usize) -> HostComplexMatrix {
+        HostComplexMatrix::from_fn(receivers, samples, |r, s| {
+            Complex::new(
+                ((r + s + seed) % 7) as f32 * 0.1 - 0.3,
+                ((r * 3 + s + seed) % 5) as f32 * 0.1,
+            )
+        })
+    }
+
+    #[test]
+    fn session_totals_equal_the_sum_of_per_block_reports() {
+        let mut session = BeamformSession::new(beamformer(8, 32, 16, 1));
+        let blocks: Vec<HostComplexMatrix> = (0..4).map(|i| block(32, 16, i)).collect();
+        let outputs = session.process_stream(&blocks).unwrap();
+        assert_eq!(outputs.len(), 4);
+
+        let elapsed: f64 = outputs.iter().map(|o| o.report.predicted.elapsed_s).sum();
+        let joules: f64 = outputs.iter().map(|o| o.report.energy.joules).sum();
+        let mean: f64 =
+            outputs.iter().map(|o| o.report.achieved_tops).sum::<f64>() / outputs.len() as f64;
+        let worst = outputs
+            .iter()
+            .map(|o| o.report.achieved_tops)
+            .fold(f64::INFINITY, f64::min);
+
+        let report = session.finish();
+        assert_eq!(report.blocks, 4);
+        assert_eq!(report.executions, 4);
+        assert!((report.total_elapsed_s - elapsed).abs() < 1e-15);
+        assert!((report.total_joules - joules).abs() < 1e-12);
+        assert!((report.mean_tops() - mean).abs() < 1e-9);
+        assert!((report.worst_tops() - worst).abs() < 1e-9);
+        let ops = 4.0 * (8 * 32 * 16 * 8) as f64;
+        assert!((report.total_useful_ops - ops).abs() < 1e-6);
+        assert!((report.effective_fps() - 4.0 / elapsed).abs() / (4.0 / elapsed) < 1e-9);
+        assert!(report.aggregate_tops() > 0.0);
+        assert!(report.tops_per_joule() > 0.0);
+    }
+
+    #[test]
+    fn weight_swap_mid_stream_changes_the_output() {
+        let mut session = BeamformSession::new(beamformer(4, 16, 8, 1));
+        let samples = block(16, 8, 1);
+        let before = session.process_block(&samples).unwrap();
+        // Re-steer: conjugated weights produce a different beam pattern.
+        let swapped = WeightMatrix::from_matrix(HostComplexMatrix::from_fn(4, 16, |b, r| {
+            Complex::from_polar(1.0 / 16.0, -((b * r) as f32 * 0.03))
+        }));
+        session.set_weights(swapped).unwrap();
+        let after = session.process_block(&samples).unwrap();
+        assert!(before.beams.max_abs_diff(&after.beams) > 1e-3);
+        let report = session.report();
+        assert_eq!(report.weight_swaps, 1);
+        assert_eq!(report.blocks, 2);
+    }
+
+    #[test]
+    fn weight_swap_rejects_shape_changes() {
+        let mut session = BeamformSession::new(beamformer(4, 16, 8, 1));
+        let wrong = WeightMatrix::from_matrix(HostComplexMatrix::zeros(5, 16));
+        assert!(session.set_weights(wrong).is_err());
+        assert_eq!(session.report().weight_swaps, 0);
+    }
+
+    #[test]
+    fn batched_session_counts_every_block() {
+        let mut session = BeamformSession::new(beamformer(4, 16, 8, 3));
+        let blocks: Vec<HostComplexMatrix> = (0..3).map(|i| block(16, 8, i)).collect();
+        let output = session.process_batch(&blocks).unwrap();
+        assert_eq!(output.beams.len(), 3);
+        let report = session.report();
+        assert_eq!(report.blocks, 3);
+        assert_eq!(report.executions, 1);
+        // One batched execution accounts the batched shape's operations.
+        let ops = (3 * 8 * 4 * 8 * 16) as f64;
+        assert!((report.total_useful_ops - ops).abs() < 1e-6);
+    }
+
+    #[test]
+    fn empty_session_reports_zeros() {
+        let session = BeamformSession::new(beamformer(2, 16, 8, 1));
+        let report = session.finish();
+        assert_eq!(report.blocks, 0);
+        assert_eq!(report.aggregate_tops(), 0.0);
+        assert_eq!(report.mean_tops(), 0.0);
+        assert_eq!(report.worst_tops(), 0.0);
+        assert_eq!(report.effective_fps(), 0.0);
+        assert_eq!(report.tops_per_joule(), 0.0);
+    }
+}

@@ -62,6 +62,14 @@ fn bench_beamform(c: &mut Criterion) {
             &receivers,
             |bench, _| bench.iter(|| tc.delay_and_sum_reference(black_box(&samples))),
         );
+        // The streaming path: same kernel, but blocks flow through a
+        // session that also aggregates the run report.
+        let mut session = tc.into_session();
+        group.bench_with_input(
+            BenchmarkId::new("session_stream_f16", receivers),
+            &receivers,
+            |bench, _| bench.iter(|| session.process_block(black_box(&samples)).unwrap()),
+        );
     }
     group.finish();
 }

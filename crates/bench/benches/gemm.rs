@@ -50,12 +50,35 @@ fn bench_gemm(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_plan_construction(c: &mut Criterion) {
+    // Plan construction is on the session/builder hot path; the calibration
+    // search is memoised per (device, precision), so repeated construction
+    // must be cheap.  The first call below warms the cache; the measured
+    // iterations all hit it.
+    let mut group = c.benchmark_group("plan_construction");
+    let device = gpu_sim::Gpu::A100.device();
+    let shape = tcbf_types::GemmShape::new(1024, 1024, 512);
+    ccglib::GemmPlan::new(&device, shape, ccglib::Precision::Float16).unwrap();
+    let cold_enumerations = ccglib::calibration_enumerations();
+    group.bench_function("memoised_repeat", |bench| {
+        bench.iter(|| {
+            ccglib::GemmPlan::new(black_box(&device), shape, ccglib::Precision::Float16).unwrap()
+        })
+    });
+    assert_eq!(
+        ccglib::calibration_enumerations(),
+        cold_enumerations,
+        "benchmark iterations must all hit the calibration cache"
+    );
+    group.finish();
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default()
         .sample_size(10)
         .warm_up_time(std::time::Duration::from_millis(300))
         .measurement_time(std::time::Duration::from_secs(1));
-    targets = bench_gemm
+    targets = bench_gemm, bench_plan_construction
 }
 criterion_main!(benches);

@@ -43,4 +43,18 @@ fn main() {
             100.0 * fraction
         );
     }
+
+    // A second of streamed three-plane imaging as the session API reports
+    // it: aggregate throughput and energy of the GEMM stage over the run.
+    println!();
+    let planes = 3 * 128 * 128;
+    for (gpu, model) in gpus.iter().zip(&models) {
+        let session = model.streaming_report(planes, 10);
+        println!(
+            "{gpu}: 10 streamed batches over 3 planes — {:.0} TOPs/s aggregate, {:.1} TOPs/J, {:.3} J",
+            session.aggregate_tops(),
+            session.tops_per_joule(),
+            session.total_joules
+        );
+    }
 }

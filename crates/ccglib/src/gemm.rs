@@ -109,6 +109,74 @@ impl GemmInput {
     }
 }
 
+/// The `A` operand of a batched GEMM: either one matrix per batch element
+/// or a single matrix shared by all of them (the beamforming case, where
+/// every frequency channel applies the same weights).
+#[derive(Clone, Debug)]
+enum BatchOperand {
+    Shared(GemmInput),
+    PerBatch(Vec<GemmInput>),
+}
+
+/// Operands of a batched complex GEMM: `batch` independent multiplications
+/// sharing one shape, executed functionally by [`crate::Gemm::run_batch`]
+/// under a single [`crate::RunReport`] covering the whole batch.
+#[derive(Clone, Debug)]
+pub struct GemmBatchInput {
+    a: BatchOperand,
+    b_t: Vec<GemmInput>,
+}
+
+impl GemmBatchInput {
+    /// Builds a batch from one `A` and one transposed `B` operand per batch
+    /// element.  The two lists must be non-empty and of equal length.
+    pub fn new(a: Vec<GemmInput>, b_t: Vec<GemmInput>) -> Result<Self> {
+        if a.is_empty() || a.len() != b_t.len() {
+            return Err(CcglibError::ShapeMismatch {
+                expected: "equal, non-zero numbers of A and B operands".to_string(),
+                actual: format!("{} A operands, {} B operands", a.len(), b_t.len()),
+            });
+        }
+        Ok(GemmBatchInput {
+            a: BatchOperand::PerBatch(a),
+            b_t,
+        })
+    }
+
+    /// Builds a batch in which every element multiplies the same `A`
+    /// operand (shared weights) with its own transposed `B` operand.
+    pub fn with_shared_a(a: GemmInput, b_t: Vec<GemmInput>) -> Result<Self> {
+        if b_t.is_empty() {
+            return Err(CcglibError::ShapeMismatch {
+                expected: "at least one B operand".to_string(),
+                actual: "0 B operands".to_string(),
+            });
+        }
+        Ok(GemmBatchInput {
+            a: BatchOperand::Shared(a),
+            b_t,
+        })
+    }
+
+    /// Number of batch elements.
+    pub fn batch(&self) -> usize {
+        self.b_t.len()
+    }
+
+    /// The `A` operand of batch element `index`.
+    pub fn a(&self, index: usize) -> &GemmInput {
+        match &self.a {
+            BatchOperand::Shared(a) => a,
+            BatchOperand::PerBatch(a) => &a[index],
+        }
+    }
+
+    /// The transposed `B` operand of batch element `index`.
+    pub fn b_t(&self, index: usize) -> &GemmInput {
+        &self.b_t[index]
+    }
+}
+
 /// float16 complex GEMM: `C[M×N] = A[M×K] · Bᵀ[N×K]` with binary16 inputs
 /// and binary32 accumulation.
 pub fn gemm_f16(a: &F16Matrix, b_t: &F16Matrix) -> Result<ComplexOutput> {

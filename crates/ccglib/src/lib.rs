@@ -52,9 +52,9 @@ pub mod reference;
 pub mod transpose;
 
 pub use error::{CcglibError, Result};
-pub use gemm::{ComplexOutput, GemmInput};
+pub use gemm::{ComplexOutput, GemmBatchInput, GemmInput};
 pub use params::{ParameterSpace, TuningParameters};
-pub use plan::{Gemm, GemmPlan, RunReport};
+pub use plan::{calibration_enumerations, Gemm, GemmPlan, RunReport};
 pub use reference::reference_gemm;
 
 use serde::{Deserialize, Serialize};

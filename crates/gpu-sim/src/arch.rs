@@ -12,7 +12,7 @@
 //!   only, which is why the number of pipeline buffers is forced to one on
 //!   AMD devices (Section III-C);
 //! * on Hopper the WMMA interface reaches only ~65 % of the peak that the
-//!   newer WGMMA interface would reach (Section III-A, ref. [5]).
+//!   newer WGMMA interface would reach (Section III-A, ref. \[5\]).
 
 use serde::{Deserialize, Serialize};
 use std::fmt;
@@ -102,7 +102,7 @@ impl Architecture {
     /// Efficiency of the WMMA interface relative to the architecture's true
     /// tensor-core peak.  On Hopper (and Blackwell) the newer WGMMA
     /// interface is required to reach full throughput; WMMA tops out at
-    /// roughly 65 % (ref. [5] of the paper, confirmed by the paper's own
+    /// roughly 65 % (ref. \[5\] of the paper, confirmed by the paper's own
     /// micro-benchmarks).
     pub fn wmma_interface_efficiency(self) -> f64 {
         match self {

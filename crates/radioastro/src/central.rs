@@ -12,11 +12,12 @@
 
 use crate::station::StationBeamlets;
 use beamform::geometry::SPEED_OF_LIGHT;
+use beamform::{BeamformSession, Beamformer, BeamformerConfig, SessionReport, WeightMatrix};
 use ccglib::matrix::HostComplexMatrix;
-use ccglib::{reference_gemm, Gemm, GemmInput, Precision, RunReport};
+use ccglib::{reference_gemm, RunReport};
 use gpu_sim::Device;
 use serde::{Deserialize, Serialize};
-use tcbf_types::{Complex, GemmShape};
+use tcbf_types::Complex;
 
 /// Mode of the central beamformer.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
@@ -105,31 +106,73 @@ impl CentralBeamformer {
         }
     }
 
-    fn coherent(&self, beamlets: &StationBeamlets) -> ccglib::Result<CentralOutput> {
-        let weights = self.weights(beamlets);
-        let shape = GemmShape::new(
-            self.num_beams(),
+    /// Builds the tensor-core beamformer for one beamlet-block shape: the
+    /// per-station weights are the `M × K` weight matrix, one block of
+    /// beamlet samples is one `K × N` input.
+    fn beamformer(&self, beamlets: &StationBeamlets) -> ccglib::Result<Beamformer> {
+        Beamformer::new(
+            &self.device,
+            WeightMatrix::from_matrix(self.weights(beamlets)),
             beamlets.num_samples(),
-            beamlets.num_stations(),
-        );
-        let gemm = Gemm::new(&self.device, shape, Precision::Float16)?;
-        let samples_t = beamlets.matrix().transposed();
-        let (beams, report) = gemm.run(
-            &GemmInput::quantise_f16(&weights),
-            &GemmInput::quantise_f16(&samples_t),
-        )?;
+            BeamformerConfig::float16(),
+        )
+    }
+
+    fn output_from(&self, beams: HostComplexMatrix, report: RunReport) -> CentralOutput {
         let power = (0..self.num_beams())
             .map(|b| {
-                (0..beamlets.num_samples())
+                (0..beams.cols())
                     .map(|s| f64::from(beams.get(b, s).norm_sqr()))
                     .collect()
             })
             .collect();
-        Ok(CentralOutput {
+        CentralOutput {
             power,
             complex_beams: Some(beams),
             report: Some(report),
-        })
+        }
+    }
+
+    fn coherent(&self, beamlets: &StationBeamlets) -> ccglib::Result<CentralOutput> {
+        let output = self.beamformer(beamlets)?.beamform(beamlets.matrix())?;
+        Ok(self.output_from(output.beams, output.report))
+    }
+
+    /// Streams a whole observation — consecutive beamlet blocks from the
+    /// same station array — through one coherent beamforming session,
+    /// returning one [`CentralOutput`] per block plus the aggregate
+    /// [`SessionReport`].
+    ///
+    /// The station count and block length must stay constant over the
+    /// stream; the per-station weights are recomputed whenever a block's
+    /// geometry or observing frequency changes and hot-swapped into the
+    /// running session (counted in
+    /// [`SessionReport::weight_swaps`]).
+    pub fn stream_coherent(
+        &self,
+        blocks: &[StationBeamlets],
+    ) -> ccglib::Result<(Vec<CentralOutput>, SessionReport)> {
+        let Some(first) = blocks.first() else {
+            return Err(ccglib::CcglibError::ShapeMismatch {
+                expected: "at least one beamlet block".to_string(),
+                actual: "0 blocks".to_string(),
+            });
+        };
+        let mut session = BeamformSession::new(self.beamformer(first)?);
+        // The weights depend only on the observing frequency and the
+        // station layout, so a retune is detected from that metadata — no
+        // per-block weight recomputation while the observation is stable.
+        let mut tuning = (first.frequency(), first.station_positions_m().to_vec());
+        let mut outputs = Vec::with_capacity(blocks.len());
+        for block in blocks {
+            if block.frequency() != tuning.0 || block.station_positions_m() != tuning.1 {
+                session.set_weights(WeightMatrix::from_matrix(self.weights(block)))?;
+                tuning = (block.frequency(), block.station_positions_m().to_vec());
+            }
+            let output = session.process_block(block.matrix())?;
+            outputs.push(self.output_from(output.beams, output.report));
+        }
+        Ok((outputs, session.finish()))
     }
 
     /// Mean power of one beam over all samples.
@@ -213,6 +256,47 @@ mod tests {
         let reference = ReferenceBeamformer::beamform(&weights, &beamlets).unwrap();
         let diff = tensor.complex_beams.unwrap().max_abs_diff(&reference);
         assert!(diff < 0.02, "difference {diff}");
+    }
+
+    #[test]
+    fn streamed_observation_aggregates_and_hot_swaps_on_retune() {
+        // Two blocks at one frequency, then the observation retunes: the
+        // session recomputes and hot-swaps the station weights mid-stream.
+        let make = |frequency: f64, seed: u64| {
+            StationBeamlets::synthesise(
+                16,
+                32,
+                frequency,
+                &[SkySource {
+                    azimuth: 1e-4,
+                    amplitude: 1.0,
+                }],
+                0.0,
+                32,
+                0.05,
+                seed,
+            )
+        };
+        let blocks = vec![make(FREQ, 1), make(FREQ, 2), make(1.2 * FREQ, 3)];
+        let bf = CentralBeamformer::new(&Gpu::A100.device(), beam_grid());
+        let (outputs, report) = bf.stream_coherent(&blocks).unwrap();
+        assert_eq!(outputs.len(), 3);
+        assert_eq!(report.blocks, 3);
+        assert_eq!(report.weight_swaps, 1, "retune must swap weights once");
+        // Session totals equal the sums over the per-block reports.
+        let elapsed: f64 = outputs
+            .iter()
+            .map(|o| o.report.unwrap().predicted.elapsed_s)
+            .sum();
+        assert!((report.total_elapsed_s - elapsed).abs() < 1e-15);
+        // A streamed block equals the one-shot path on the same data.
+        let one_shot = bf.beamform(&blocks[0], CentralMode::Coherent).unwrap();
+        assert_eq!(
+            outputs[0].complex_beams.as_ref().unwrap(),
+            one_shot.complex_beams.as_ref().unwrap()
+        );
+        // Empty observations are rejected.
+        assert!(bf.stream_coherent(&[]).is_err());
     }
 
     #[test]

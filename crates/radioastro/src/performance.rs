@@ -8,7 +8,7 @@
 //! beamformer kernel on the A100 and GH200, with the weight computation
 //! removed for a fair comparison.
 
-use ccglib::{reference, Gemm, Precision};
+use ccglib::{benchmark, reference, Precision};
 use gpu_sim::{Device, ExecutionModel, PowerModel};
 use serde::{Deserialize, Serialize};
 use tcbf_types::GemmShape;
@@ -61,13 +61,12 @@ pub fn lofar_sweep(device: &Device, config: &LofarConfig, receivers: &[usize]) -
     receivers
         .iter()
         .map(|&k| {
-            let gemm = Gemm::new(device, config.shape(k), Precision::Float16)
+            let result = benchmark::measure(device, config.shape(k), Precision::Float16)
                 .expect("LOFAR shapes fit on every evaluated device");
-            let report = gemm.predict();
             SweepPoint {
                 receivers: k,
-                tflops: report.achieved_tops,
-                tflops_per_joule: report.tops_per_joule,
+                tflops: result.tops,
+                tflops_per_joule: result.tops_per_joule,
             }
         })
         .collect()

@@ -3,7 +3,7 @@
 //! This crate provides the low-level value types that the rest of the
 //! workspace builds on:
 //!
-//! * [`f16`] — a software implementation of IEEE 754 binary16, the input
+//! * [`struct@f16`] — a software implementation of IEEE 754 binary16, the input
 //!   precision of the 16-bit tensor-core path.  Tensor cores consume
 //!   half-precision inputs and accumulate in single precision; this type
 //!   reproduces the rounding behaviour of that conversion so that the
@@ -42,6 +42,6 @@ pub use onebit::{OneBitComplex, PackedBits};
 /// into 32-bit outputs).
 pub type Complex32 = Complex<f32>;
 
-/// Complex number with software [`f16`] components — the input type of the
+/// Complex number with software [`struct@f16`] components — the input type of the
 /// 16-bit tensor-core GEMM.
 pub type ComplexHalf = Complex<f16>;

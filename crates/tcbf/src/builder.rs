@@ -1,0 +1,129 @@
+//! The fluent configuration builder of the facade.
+//!
+//! A [`BeamformerBuilder`] collects the full beamformer configuration —
+//! device, weights, block length, precision, batch size, optional explicit
+//! tuning parameters — and validates everything in one place at
+//! [`BeamformerBuilder::build`], returning either a ready
+//! [`TensorCoreBeamformer`] or a single actionable [`TcbfError`].
+
+use crate::error::{Result, TcbfError};
+use crate::TensorCoreBeamformer;
+use beamform::{Beamformer, BeamformerConfig, WeightMatrix};
+use ccglib::matrix::HostComplexMatrix;
+use ccglib::{Precision, TuningParameters};
+use gpu_sim::Gpu;
+
+/// Fluent builder for [`TensorCoreBeamformer`]; obtained from
+/// [`TensorCoreBeamformer::builder`].
+///
+/// ```
+/// use tcbf::{Gpu, Precision, TensorCoreBeamformer};
+/// use ccglib::matrix::HostComplexMatrix;
+/// use tcbf_types::Complex;
+///
+/// let weights = HostComplexMatrix::from_fn(8, 32, |b, r| {
+///     Complex::from_polar(1.0 / 32.0, (b * r) as f32 * 0.01)
+/// });
+/// let beamformer = TensorCoreBeamformer::builder(Gpu::A100)
+///     .weights(weights)
+///     .samples_per_block(64)
+///     .precision(Precision::Float16)
+///     .batch(1)
+///     .build()
+///     .unwrap();
+/// assert_eq!(beamformer.shape().m, 8);
+/// ```
+#[derive(Clone, Debug)]
+pub struct BeamformerBuilder {
+    gpu: Gpu,
+    weights: Option<WeightMatrix>,
+    samples_per_block: usize,
+    precision: Precision,
+    batch: usize,
+    params: Option<TuningParameters>,
+}
+
+impl BeamformerBuilder {
+    /// Starts a configuration for `gpu` with the defaults: float16
+    /// precision, batch 1, shipped tuning parameters, no weights or block
+    /// length yet.
+    pub fn new(gpu: Gpu) -> Self {
+        BeamformerBuilder {
+            gpu,
+            weights: None,
+            samples_per_block: 0,
+            precision: Precision::Float16,
+            batch: 1,
+            params: None,
+        }
+    }
+
+    /// Sets the beam weights from a raw `beams × receivers` matrix.
+    pub fn weights(mut self, weights: HostComplexMatrix) -> Self {
+        self.weights = Some(WeightMatrix::from_matrix(weights));
+        self
+    }
+
+    /// Sets the beam weights from a prepared [`WeightMatrix`] (steering
+    /// fans, per-beam azimuths, …).
+    pub fn weight_matrix(mut self, weights: WeightMatrix) -> Self {
+        self.weights = Some(weights);
+        self
+    }
+
+    /// Sets the number of time samples beamformed per block (`N` of the
+    /// GEMM).
+    pub fn samples_per_block(mut self, samples: usize) -> Self {
+        self.samples_per_block = samples;
+        self
+    }
+
+    /// Sets the input precision (default: [`Precision::Float16`]).
+    pub fn precision(mut self, precision: Precision) -> Self {
+        self.precision = precision;
+        self
+    }
+
+    /// Sets the number of independent batch elements sharing the weights —
+    /// e.g. frequency channels × polarisations (default: 1).
+    pub fn batch(mut self, batch: usize) -> Self {
+        self.batch = batch;
+        self
+    }
+
+    /// Supplies explicit kernel tuning parameters instead of the shipped
+    /// per-GPU defaults.
+    pub fn params(mut self, params: TuningParameters) -> Self {
+        self.params = Some(params);
+        self
+    }
+
+    /// Validates the whole configuration and constructs the beamformer.
+    ///
+    /// Checks, in order: weights present and non-empty, block length and
+    /// batch non-zero, precision supported on the device, tuning
+    /// parameters launchable, operands within device memory.  The first
+    /// violation is returned as the matching [`TcbfError`] variant.
+    pub fn build(self) -> Result<TensorCoreBeamformer> {
+        let weights = self.weights.ok_or(TcbfError::MissingWeights)?;
+        if weights.num_beams() == 0 || weights.num_receivers() == 0 {
+            return Err(TcbfError::EmptyWeights {
+                beams: weights.num_beams(),
+                receivers: weights.num_receivers(),
+            });
+        }
+        if self.samples_per_block == 0 {
+            return Err(TcbfError::ZeroSamplesPerBlock);
+        }
+        if self.batch == 0 {
+            return Err(TcbfError::ZeroBatch);
+        }
+        let config = BeamformerConfig {
+            precision: self.precision,
+            batch: self.batch,
+            params: self.params,
+        };
+        let inner = Beamformer::new(&self.gpu.device(), weights, self.samples_per_block, config)?;
+        Ok(TensorCoreBeamformer::from_parts(inner, self.gpu))
+    }
+}

@@ -1,0 +1,182 @@
+//! The unified error type of the facade.
+//!
+//! Everything that can go wrong when configuring or running a
+//! [`crate::TensorCoreBeamformer`] — builder misuse, unsupported
+//! precision/device combinations, shapes that do not fit in device memory,
+//! invalid tuning parameters, operand mismatches at run time — surfaces as
+//! one [`TcbfError`] with an actionable message.  Lower-level
+//! [`CcglibError`]s convert losslessly via `From`, so `?` works across the
+//! layer boundary.
+
+use ccglib::CcglibError;
+use tcbf_types::GemmShape;
+
+/// Error returned by the facade API (builder, beamformer and sessions).
+#[derive(Clone, Debug, PartialEq)]
+pub enum TcbfError {
+    /// `build()` was called without supplying a weight matrix.
+    MissingWeights,
+    /// The weight matrix has a zero dimension.
+    EmptyWeights {
+        /// Number of beams (rows) supplied.
+        beams: usize,
+        /// Number of receivers (columns) supplied.
+        receivers: usize,
+    },
+    /// The number of samples per block is zero (or was never set).
+    ZeroSamplesPerBlock,
+    /// The batch size is zero.
+    ZeroBatch,
+    /// The requested precision is not supported on the selected device
+    /// (1-bit mode on AMD GPUs).
+    UnsupportedPrecision {
+        /// Device name.
+        device: String,
+        /// Requested precision.
+        precision: String,
+    },
+    /// The configured shape's operands would not fit in device memory.
+    OutOfDeviceMemory {
+        /// Problem shape.
+        shape: GemmShape,
+        /// Required bytes.
+        required_bytes: u128,
+        /// Available bytes.
+        available_bytes: u128,
+    },
+    /// The explicit tuning parameters are invalid for the device.
+    InvalidParameters {
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// An operand's dimensions do not match the configured shape.
+    ShapeMismatch {
+        /// What the operation expected.
+        expected: String,
+        /// What it received.
+        actual: String,
+    },
+    /// An operand was supplied in the wrong precision.
+    PrecisionMismatch {
+        /// Expected precision.
+        expected: String,
+        /// Supplied precision.
+        actual: String,
+    },
+}
+
+impl From<CcglibError> for TcbfError {
+    fn from(err: CcglibError) -> Self {
+        match err {
+            CcglibError::ShapeMismatch { expected, actual } => {
+                TcbfError::ShapeMismatch { expected, actual }
+            }
+            CcglibError::UnsupportedPrecision { device, precision } => {
+                TcbfError::UnsupportedPrecision { device, precision }
+            }
+            CcglibError::InvalidParameters { reason } => TcbfError::InvalidParameters { reason },
+            CcglibError::OutOfDeviceMemory {
+                shape,
+                required_bytes,
+                available_bytes,
+            } => TcbfError::OutOfDeviceMemory {
+                shape,
+                required_bytes,
+                available_bytes,
+            },
+            CcglibError::PrecisionMismatch { expected, actual } => {
+                TcbfError::PrecisionMismatch { expected, actual }
+            }
+        }
+    }
+}
+
+impl std::fmt::Display for TcbfError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TcbfError::MissingWeights => {
+                write!(
+                    f,
+                    "no weight matrix configured: call .weights(...) before .build()"
+                )
+            }
+            TcbfError::EmptyWeights { beams, receivers } => write!(
+                f,
+                "weight matrix is {beams} beams x {receivers} receivers: both dimensions must be non-zero"
+            ),
+            TcbfError::ZeroSamplesPerBlock => write!(
+                f,
+                "samples per block must be non-zero: call .samples_per_block(n) with n > 0"
+            ),
+            TcbfError::ZeroBatch => {
+                write!(f, "batch size must be non-zero: call .batch(n) with n > 0")
+            }
+            TcbfError::UnsupportedPrecision { device, precision } => {
+                write!(f, "{precision} precision is not supported on {device}")
+            }
+            TcbfError::OutOfDeviceMemory {
+                shape,
+                required_bytes,
+                available_bytes,
+            } => write!(
+                f,
+                "problem {shape} needs {required_bytes} bytes but only {available_bytes} are available: shrink the batch, block length or beam count"
+            ),
+            TcbfError::InvalidParameters { reason } => {
+                write!(f, "invalid tuning parameters: {reason}")
+            }
+            TcbfError::ShapeMismatch { expected, actual } => {
+                write!(f, "shape mismatch: expected {expected}, got {actual}")
+            }
+            TcbfError::PrecisionMismatch { expected, actual } => {
+                write!(f, "operand precision mismatch: expected {expected}, got {actual}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TcbfError {}
+
+/// Convenience result alias of the facade.
+pub type Result<T> = std::result::Result<T, TcbfError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ccglib_errors_convert_variant_for_variant() {
+        let converted = TcbfError::from(CcglibError::UnsupportedPrecision {
+            device: "MI300X".into(),
+            precision: "int1".into(),
+        });
+        assert_eq!(
+            converted,
+            TcbfError::UnsupportedPrecision {
+                device: "MI300X".into(),
+                precision: "int1".into(),
+            }
+        );
+        let converted = TcbfError::from(CcglibError::OutOfDeviceMemory {
+            shape: GemmShape::new(1, 2, 3),
+            required_bytes: 10,
+            available_bytes: 5,
+        });
+        assert!(matches!(converted, TcbfError::OutOfDeviceMemory { .. }));
+    }
+
+    #[test]
+    fn messages_are_actionable() {
+        assert!(TcbfError::MissingWeights.to_string().contains(".weights("));
+        assert!(TcbfError::ZeroSamplesPerBlock
+            .to_string()
+            .contains(".samples_per_block("));
+        assert!(TcbfError::ZeroBatch.to_string().contains(".batch("));
+        let oom = TcbfError::OutOfDeviceMemory {
+            shape: GemmShape::new(1, 2, 3),
+            required_bytes: 100,
+            available_bytes: 10,
+        };
+        assert!(oom.to_string().contains("shrink"));
+    }
+}

@@ -3,9 +3,14 @@
 //! This crate ties the workspace together behind the API a downstream user
 //! would reach for first:
 //!
-//! * [`TensorCoreBeamformer`] — create a beamformer for a device, a weight
-//!   matrix and a precision, feed it blocks of receiver samples, get beams
-//!   plus performance/energy reports back;
+//! * [`TensorCoreBeamformer::builder`] — a fluent [`BeamformerBuilder`]
+//!   that validates the whole configuration (device, weights, block
+//!   length, precision, batch, tuning parameters) in one place and returns
+//!   a single actionable [`TcbfError`] on misuse;
+//! * [`BeamformSession`] — a streaming session that consumes blocks of
+//!   receiver samples, supports weight hot-swap mid-stream, and
+//!   accumulates a [`SessionReport`] (aggregate/mean/worst-case TOPs,
+//!   total joules, effective frame rate) over the whole run;
 //! * re-exports of the building blocks (`ccglib`, the device catalog, the
 //!   tuner, the generic beamforming layer) for users who need lower-level
 //!   control;
@@ -17,13 +22,19 @@
 
 #![deny(missing_docs)]
 
+mod builder;
+mod error;
+
 pub use beamform::{
-    ArrayGeometry, BeamformOutput, Beamformer, BeamformerConfig, PlaneWaveSource, SignalGenerator,
-    WeightMatrix,
+    ArrayGeometry, BatchBeamformOutput, BeamformOutput, BeamformSession, Beamformer,
+    BeamformerConfig, PlaneWaveSource, SessionReport, SignalGenerator, WeightMatrix,
 };
+pub use builder::BeamformerBuilder;
 pub use ccglib::{
-    benchmark, Gemm, GemmInput, ParameterSpace, Precision, RunReport, TuningParameters,
+    benchmark, Gemm, GemmBatchInput, GemmInput, ParameterSpace, Precision, RunReport,
+    TuningParameters,
 };
+pub use error::{Result, TcbfError};
 pub use gpu_sim::{Device, DeviceSpec, Gpu};
 pub use pmt::{EnergyMeasurement, PowerMeter};
 pub use tuner::{Objective, Strategy, TuneOutcome, Tuner};
@@ -42,7 +53,9 @@ pub fn supported_devices() -> Vec<DeviceSpec> {
 }
 
 /// The highest-level entry point: a beamformer bound to a device, a set of
-/// beam weights and a precision.
+/// beam weights and a precision, configured through
+/// [`TensorCoreBeamformer::builder`] and consumed either one block at a
+/// time or as a streaming [`BeamformSession`].
 ///
 /// ```
 /// use tcbf::{Gpu, Precision, TensorCoreBeamformer};
@@ -53,43 +66,55 @@ pub fn supported_devices() -> Vec<DeviceSpec> {
 /// let weights = HostComplexMatrix::from_fn(8, 32, |b, r| {
 ///     Complex::from_polar(1.0 / 32.0, (b * r) as f32 * 0.01)
 /// });
-/// let beamformer = TensorCoreBeamformer::new(Gpu::A100, weights, 64, Precision::Float16).unwrap();
+/// let beamformer = TensorCoreBeamformer::builder(Gpu::A100)
+///     .weights(weights)
+///     .samples_per_block(64)
+///     .precision(Precision::Float16)
+///     .build()
+///     .unwrap();
 /// let samples = HostComplexMatrix::from_fn(32, 64, |r, s| Complex::new(r as f32 * 0.1, s as f32 * 0.05));
-/// let output = beamformer.beamform(&samples).unwrap();
-/// assert_eq!(output.beams.rows(), 8);
-/// assert_eq!(output.beams.cols(), 64);
+///
+/// // Stream blocks through a session and read the aggregate report.
+/// let mut session = beamformer.into_session();
+/// for _ in 0..4 {
+///     let output = session.process_block(&samples).unwrap();
+///     assert_eq!(output.beams.rows(), 8);
+///     assert_eq!(output.beams.cols(), 64);
+/// }
+/// let report = session.finish();
+/// assert_eq!(report.blocks, 4);
+/// assert!(report.aggregate_tops() > 0.0);
 /// ```
 pub struct TensorCoreBeamformer {
     inner: Beamformer,
     gpu: Gpu,
-    precision: Precision,
 }
 
 impl TensorCoreBeamformer {
-    /// Creates a beamformer from a raw `M × K` weight matrix.
+    /// Starts a fluent configuration for `gpu`.
+    pub fn builder(gpu: Gpu) -> BeamformerBuilder {
+        BeamformerBuilder::new(gpu)
+    }
+
+    /// Creates a batch-1 beamformer from a raw `M × K` weight matrix — a
+    /// thin wrapper around [`TensorCoreBeamformer::builder`] kept for the
+    /// one-shot call sites.
     pub fn new(
         gpu: Gpu,
         weights: HostComplexMatrix,
         samples_per_block: usize,
         precision: Precision,
-    ) -> ccglib::Result<Self> {
-        let device = gpu.device();
-        let config = BeamformerConfig {
-            precision,
-            batch: 1,
-            params: None,
-        };
-        let inner = Beamformer::new(
-            &device,
-            WeightMatrix::from_matrix(weights),
-            samples_per_block,
-            config,
-        )?;
-        Ok(TensorCoreBeamformer {
-            inner,
-            gpu,
-            precision,
-        })
+    ) -> Result<Self> {
+        Self::builder(gpu)
+            .weights(weights)
+            .samples_per_block(samples_per_block)
+            .precision(precision)
+            .build()
+    }
+
+    /// Wraps an already-validated inner beamformer (used by the builder).
+    pub(crate) fn from_parts(inner: Beamformer, gpu: Gpu) -> Self {
+        TensorCoreBeamformer { inner, gpu }
     }
 
     /// The device the beamformer runs on.
@@ -99,17 +124,35 @@ impl TensorCoreBeamformer {
 
     /// The precision in use.
     pub fn precision(&self) -> Precision {
-        self.precision
+        self.inner.config().precision
     }
 
-    /// The GEMM shape one block maps to.
+    /// The configured batch size.
+    pub fn batch(&self) -> usize {
+        self.inner.config().batch
+    }
+
+    /// The GEMM shape one block (or batch of blocks) maps to.
     pub fn shape(&self) -> GemmShape {
         self.inner.shape()
     }
 
-    /// Beamforms one block of `K × N` receiver samples.
-    pub fn beamform(&self, samples: &HostComplexMatrix) -> ccglib::Result<BeamformOutput> {
-        self.inner.beamform(samples)
+    /// Beamforms one block of `K × N` receiver samples (batch-1
+    /// configurations; batched ones use
+    /// [`TensorCoreBeamformer::beamform_batch`]).
+    pub fn beamform(&self, samples: &HostComplexMatrix) -> Result<BeamformOutput> {
+        Ok(self.inner.beamform(samples)?)
+    }
+
+    /// Beamforms one batch of `K × N` sample blocks — one per batch
+    /// element — functionally, under a single report.
+    pub fn beamform_batch(&self, blocks: &[HostComplexMatrix]) -> Result<BatchBeamformOutput> {
+        Ok(self.inner.beamform_batch(blocks)?)
+    }
+
+    /// Turns the beamformer into a streaming [`BeamformSession`].
+    pub fn into_session(self) -> BeamformSession {
+        self.inner.into_session()
     }
 
     /// Predicted performance of one block without computing data.
@@ -120,32 +163,59 @@ impl TensorCoreBeamformer {
     /// Auto-tunes the kernel for this beamformer's shape and returns the
     /// tuning outcome (the library otherwise uses shipped defaults).
     pub fn autotune(&self, strategy: Strategy, objective: Objective) -> Option<TuneOutcome> {
-        Tuner::new(self.gpu.device(), self.shape(), self.precision).tune(strategy, objective)
+        Tuner::new(self.gpu.device(), self.shape(), self.precision()).tune(strategy, objective)
+    }
+}
+
+impl std::fmt::Debug for TensorCoreBeamformer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TensorCoreBeamformer")
+            .field("gpu", &self.gpu)
+            .field("precision", &self.precision())
+            .field("shape", &self.shape())
+            .finish_non_exhaustive()
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::Strategy;
+    use proptest::prelude::*;
     use tcbf_types::Complex;
 
     fn weights(beams: usize, receivers: usize) -> HostComplexMatrix {
         HostComplexMatrix::from_fn(beams, receivers, |b, r| {
-            Complex::from_polar(1.0 / receivers as f32, (b * r) as f32 * 0.02)
+            Complex::from_polar(1.0 / receivers.max(1) as f32, (b * r) as f32 * 0.02)
         })
     }
 
     #[test]
     fn version_and_catalog() {
         assert!(!version().is_empty());
-        assert_eq!(supported_devices().len(), 7);
+        // The facade must surface exactly the device catalog, whatever its
+        // size: non-empty and free of duplicate names.
+        let devices = supported_devices();
+        let catalog = DeviceSpec::catalog();
+        assert!(!devices.is_empty());
+        assert_eq!(devices.len(), catalog.len());
+        let mut names: Vec<&str> = devices.iter().map(|spec| spec.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), devices.len(), "duplicate device names");
     }
 
     #[test]
-    fn facade_beamforms_and_reports() {
-        let bf =
-            TensorCoreBeamformer::new(Gpu::Gh200, weights(16, 64), 32, Precision::Float16).unwrap();
+    fn builder_configures_and_beamforms() {
+        let bf = TensorCoreBeamformer::builder(Gpu::Gh200)
+            .weights(weights(16, 64))
+            .samples_per_block(32)
+            .precision(Precision::Float16)
+            .build()
+            .unwrap();
         assert_eq!(bf.gpu(), Gpu::Gh200);
+        assert_eq!(bf.precision(), Precision::Float16);
+        assert_eq!(bf.batch(), 1);
         assert_eq!(bf.shape(), GemmShape::new(16, 32, 64));
         let samples = HostComplexMatrix::from_fn(64, 32, |r, s| {
             Complex::new((r + s) as f32 * 0.01, (r as f32 - s as f32) * 0.01)
@@ -155,6 +225,109 @@ mod tests {
         assert!(output.report.achieved_tops > 0.0);
         let predicted = bf.predict();
         assert!(predicted.predicted.elapsed_s > 0.0);
+    }
+
+    #[test]
+    fn one_shot_constructor_delegates_to_the_builder() {
+        let bf =
+            TensorCoreBeamformer::new(Gpu::A100, weights(8, 32), 16, Precision::Float16).unwrap();
+        assert_eq!(bf.shape(), GemmShape::new(8, 16, 32));
+    }
+
+    #[test]
+    fn builder_rejects_each_invalid_configuration_with_its_variant() {
+        let ok = || {
+            TensorCoreBeamformer::builder(Gpu::A100)
+                .weights(weights(4, 32))
+                .samples_per_block(16)
+        };
+        assert!(ok().build().is_ok());
+        assert_eq!(
+            TensorCoreBeamformer::builder(Gpu::A100)
+                .samples_per_block(16)
+                .build()
+                .unwrap_err(),
+            TcbfError::MissingWeights
+        );
+        assert_eq!(
+            TensorCoreBeamformer::builder(Gpu::A100)
+                .weights(HostComplexMatrix::zeros(0, 0))
+                .samples_per_block(16)
+                .build()
+                .unwrap_err(),
+            TcbfError::EmptyWeights {
+                beams: 0,
+                receivers: 0
+            }
+        );
+        assert_eq!(
+            TensorCoreBeamformer::builder(Gpu::A100)
+                .weights(weights(4, 32))
+                .build()
+                .unwrap_err(),
+            TcbfError::ZeroSamplesPerBlock
+        );
+        assert_eq!(ok().batch(0).build().unwrap_err(), TcbfError::ZeroBatch);
+        assert!(matches!(
+            TensorCoreBeamformer::builder(Gpu::Mi300x)
+                .weights(weights(4, 32))
+                .samples_per_block(16)
+                .precision(Precision::Int1)
+                .build()
+                .unwrap_err(),
+            TcbfError::UnsupportedPrecision { .. }
+        ));
+        assert!(matches!(
+            ok().batch(1 << 30).build().unwrap_err(),
+            TcbfError::OutOfDeviceMemory { .. }
+        ));
+        assert!(matches!(
+            ok().params(TuningParameters::new(64, 16, 64, 16, 0))
+                .build()
+                .unwrap_err(),
+            TcbfError::InvalidParameters { .. }
+        ));
+    }
+
+    #[test]
+    fn batched_facade_beamformer_runs_functionally() {
+        let bf = TensorCoreBeamformer::builder(Gpu::A100)
+            .weights(weights(8, 32))
+            .samples_per_block(16)
+            .batch(3)
+            .build()
+            .unwrap();
+        assert_eq!(bf.batch(), 3);
+        let blocks: Vec<HostComplexMatrix> = (0..3)
+            .map(|e| {
+                HostComplexMatrix::from_fn(32, 16, |r, s| {
+                    Complex::new((e + r + s) as f32 * 0.02, (r as f32 - s as f32) * 0.01)
+                })
+            })
+            .collect();
+        let output = bf.beamform_batch(&blocks).unwrap();
+        assert_eq!(output.beams.len(), 3);
+        assert!(output.report.achieved_tops > 0.0);
+    }
+
+    #[test]
+    fn session_streams_with_weight_swap() {
+        let bf = TensorCoreBeamformer::builder(Gpu::A100)
+            .weights(weights(4, 16))
+            .samples_per_block(8)
+            .build()
+            .unwrap();
+        let mut session = bf.into_session();
+        let samples =
+            HostComplexMatrix::from_fn(16, 8, |r, s| Complex::new(r as f32 * 0.1, s as f32 * 0.05));
+        session.process_block(&samples).unwrap();
+        session
+            .set_weights(WeightMatrix::from_matrix(weights(4, 16)))
+            .unwrap();
+        session.process_block(&samples).unwrap();
+        let report = session.finish();
+        assert_eq!(report.blocks, 2);
+        assert_eq!(report.weight_swaps, 1);
     }
 
     #[test]
@@ -168,7 +341,10 @@ mod tests {
 
     #[test]
     fn facade_autotune_returns_an_outcome() {
-        let bf = TensorCoreBeamformer::new(Gpu::A100, weights(256, 128), 256, Precision::Float16)
+        let bf = TensorCoreBeamformer::builder(Gpu::A100)
+            .weights(weights(256, 128))
+            .samples_per_block(256)
+            .build()
             .unwrap();
         let outcome = bf
             .autotune(
@@ -181,5 +357,81 @@ mod tests {
             .unwrap();
         assert_eq!(outcome.evaluated.len(), 6);
         assert!(outcome.best.tops > 0.0);
+    }
+
+    /// Mirrors the builder's validation order to predict the outcome of an
+    /// arbitrary configuration.
+    fn expected_outcome(
+        gpu: Gpu,
+        beams: usize,
+        receivers: usize,
+        samples: usize,
+        batch: usize,
+        precision: Precision,
+    ) -> std::result::Result<(), &'static str> {
+        if beams == 0 || receivers == 0 {
+            return Err("EmptyWeights");
+        }
+        if samples == 0 {
+            return Err("ZeroSamplesPerBlock");
+        }
+        if batch == 0 {
+            return Err("ZeroBatch");
+        }
+        let spec = gpu.device().spec().clone();
+        if precision == Precision::Int1 && !spec.supports_int1() {
+            return Err("UnsupportedPrecision");
+        }
+        let shape = GemmShape::batched(batch, beams, samples, receivers);
+        let required = ccglib::GemmPlan::operand_bytes(&shape, precision);
+        let available = (spec.mem_size_gib * 1024.0 * 1024.0 * 1024.0) as u128;
+        if precision.uses_tensor_cores() && required > available {
+            return Err("OutOfDeviceMemory");
+        }
+        Ok(())
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn builder_never_panics_and_rejects_invalid_configs_with_the_right_variant(
+            gpu_index in 0usize..Gpu::ALL.len(),
+            beams in 0usize..64,
+            receivers in 0usize..96,
+            samples in 0usize..64,
+            // Up to 2^30 batch elements: far beyond any device memory.
+            batch_log2 in 0u32..31,
+            int1 in any::<bool>(),
+        ) {
+            let gpu = Gpu::ALL[gpu_index];
+            let batch = (1usize << batch_log2).saturating_sub(usize::from(batch_log2 == 0));
+            let precision = if int1 { Precision::Int1 } else { Precision::Float16 };
+            let result = TensorCoreBeamformer::builder(gpu)
+                .weights(HostComplexMatrix::zeros(beams, receivers))
+                .samples_per_block(samples)
+                .precision(precision)
+                .batch(batch)
+                .build();
+            match expected_outcome(gpu, beams, receivers, samples, batch, precision) {
+                Ok(()) => prop_assert!(result.is_ok(), "unexpected error: {:?}", result.err()),
+                Err(variant) => {
+                    let err = result.err();
+                    let matches = match variant {
+                        "EmptyWeights" => matches!(err, Some(TcbfError::EmptyWeights { .. })),
+                        "ZeroSamplesPerBlock" => matches!(err, Some(TcbfError::ZeroSamplesPerBlock)),
+                        "ZeroBatch" => matches!(err, Some(TcbfError::ZeroBatch)),
+                        "UnsupportedPrecision" => {
+                            matches!(err, Some(TcbfError::UnsupportedPrecision { .. }))
+                        }
+                        "OutOfDeviceMemory" => {
+                            matches!(err, Some(TcbfError::OutOfDeviceMemory { .. }))
+                        }
+                        _ => false,
+                    };
+                    prop_assert!(matches, "expected {variant}, got {err:?}");
+                }
+            }
+        }
     }
 }

@@ -17,6 +17,7 @@
 //! orthogonal planes"; the chunking is accounted for in the predicted rate.
 
 use crate::model::ImagingConfig;
+use beamform::SessionReport;
 use ccglib::{pack, transpose, Gemm, Precision};
 use gpu_sim::{Device, ExecutionModel};
 use serde::{Deserialize, Serialize};
@@ -136,6 +137,56 @@ impl FrameRateModel {
         }
         batch_time += gemm_time;
         self.frames_per_batch as f64 / batch_time
+    }
+
+    /// Simulates a continuous real-time run — `batches` consecutive batches
+    /// of `frames_per_batch` frames streamed through the reconstruction
+    /// GEMM — and returns the aggregate [`SessionReport`] of the stream
+    /// (one block = one batch of frames).
+    ///
+    /// Only the GEMM stage is accounted (the report is built from the
+    /// per-chunk kernel predictions); the packing/transpose overhead that
+    /// [`FrameRateModel::frames_per_second`] adds on top is not part of a
+    /// [`ccglib::RunReport`], so the session rate is an upper bound on the
+    /// sustainable frame rate.
+    pub fn streaming_report(&self, voxels: usize, batches: usize) -> SessionReport {
+        if voxels == 0 || batches == 0 {
+            return SessionReport::default();
+        }
+        let k = self.config.k_rows();
+        let n = self.frames_per_batch;
+        let chunk = self.voxels_per_chunk(voxels);
+        let full_chunks = voxels / chunk;
+        let remainder = voxels % chunk;
+        // One plan (and one deterministic prediction) per chunk shape,
+        // reused across every batch of the stream.
+        let chunk_runs: Vec<(usize, GemmShape, ccglib::RunReport)> = [
+            (full_chunks, chunk),
+            (usize::from(remainder > 0), remainder),
+        ]
+        .into_iter()
+        .filter(|&(count, size)| count > 0 && size > 0)
+        .map(|(count, size)| {
+            let shape = GemmShape::new(size, n, k);
+            let gemm = Gemm::new(&self.device, shape, self.precision)
+                .expect("chunk sized to fit in device memory");
+            (count, shape, gemm.predict())
+        })
+        .collect();
+        let mut report = SessionReport::default();
+        for _ in 0..batches {
+            let mut first_of_batch = true;
+            for (count, shape, predicted) in &chunk_runs {
+                for _ in 0..*count {
+                    // The whole batch counts as one streamed block; credit
+                    // it to the batch's first chunk execution.
+                    let blocks = usize::from(first_of_batch);
+                    first_of_batch = false;
+                    report.record(predicted, shape.complex_ops() as f64, blocks);
+                }
+            }
+        }
+        report
     }
 
     /// Sweeps the Fig. 5 voxel counts: three orthogonal `plane_size²`
@@ -302,6 +353,30 @@ mod tests {
         }
         assert!(points[0].real_time);
         assert!(!points[7].real_time);
+    }
+
+    #[test]
+    fn streaming_report_aggregates_the_frame_loop() {
+        let model = FrameRateModel::paper(&Gpu::A100.device());
+        let voxels = 3 * 128 * 128;
+        let report = model.streaming_report(voxels, 4);
+        assert_eq!(report.blocks, 4);
+        assert!(report.executions >= 4);
+        assert!(report.total_elapsed_s > 0.0);
+        assert!(report.total_joules > 0.0);
+        assert!(report.aggregate_tops() > 0.0);
+        assert!(report.worst_tops() <= report.mean_tops());
+        // The GEMM-only batch rate bounds the full-pipeline frame rate
+        // (which adds packing and transpose on top).
+        let fps = model.frames_per_second(voxels);
+        let gemm_only_fps = report.effective_fps() * model.frames_per_batch as f64;
+        assert!(
+            gemm_only_fps >= fps,
+            "GEMM-only {gemm_only_fps} vs full pipeline {fps}"
+        );
+        // Degenerate streams produce an empty report instead of panicking.
+        assert_eq!(model.streaming_report(0, 4), SessionReport::default());
+        assert_eq!(model.streaming_report(voxels, 0), SessionReport::default());
     }
 
     #[test]

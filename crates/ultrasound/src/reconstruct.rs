@@ -9,11 +9,11 @@
 //! magnitude and projected to produce the Fig. 6 maximum-intensity images.
 
 use crate::model::AcousticModel;
+use beamform::{BeamformSession, Beamformer, BeamformerConfig, SessionReport, WeightMatrix};
 use ccglib::matrix::HostComplexMatrix;
-use ccglib::{Gemm, GemmInput, Precision, RunReport};
+use ccglib::RunReport;
 use gpu_sim::Device;
 use serde::{Deserialize, Serialize};
-use tcbf_types::GemmShape;
 
 /// Precision of the reconstruction GEMM.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
@@ -24,15 +24,6 @@ pub enum ReconstructionPrecision {
     /// both the model and the measurement matrix — the memory-saving mode
     /// the paper explores.
     Int1,
-}
-
-impl ReconstructionPrecision {
-    fn to_ccglib(self) -> Precision {
-        match self {
-            ReconstructionPrecision::Float16 => Precision::Float16,
-            ReconstructionPrecision::Int1 => Precision::Int1,
-        }
-    }
 }
 
 /// Doppler (clutter-removal) processing applied to the measurements before
@@ -144,6 +135,62 @@ impl Reconstructor {
         }
     }
 
+    /// Builds the beamformer for one model/ensemble shape: the model matrix
+    /// is the `voxels × K` weight matrix of the GEMM, one ensemble of
+    /// `frames` measurements is one sample block.
+    fn beamformer(&self, model: &AcousticModel, frames: usize) -> ccglib::Result<Beamformer> {
+        let config = match self.precision {
+            ReconstructionPrecision::Int1 => BeamformerConfig::int1(),
+            ReconstructionPrecision::Float16 => BeamformerConfig::float16(),
+        };
+        Beamformer::new(
+            &self.device,
+            WeightMatrix::from_matrix(model.matrix().clone()),
+            frames,
+            config,
+        )
+    }
+
+    /// Doppler-filters one ensemble and, in float16 mode, normalises it:
+    /// half precision has a narrow dynamic range, so the measurements are
+    /// scaled to keep the accumulations well inside it.
+    fn prepare(&self, measurements: &HostComplexMatrix, k: usize) -> HostComplexMatrix {
+        let filtered = self.apply_doppler(measurements);
+        match self.precision {
+            ReconstructionPrecision::Int1 => filtered,
+            ReconstructionPrecision::Float16 => {
+                let scale = 1.0 / (k as f32).sqrt();
+                HostComplexMatrix::from_fn(filtered.rows(), filtered.cols(), |r, c| {
+                    filtered.get(r, c).scale(scale)
+                })
+            }
+        }
+    }
+
+    /// Folds one beamformed ensemble into a volume: flow intensity is the
+    /// mean magnitude over the ensemble (the paper averages the magnitude
+    /// of the complex beamformed signal along the frames).
+    fn volume_from(
+        beamformed: &HostComplexMatrix,
+        dims: (usize, usize, usize),
+        report: RunReport,
+    ) -> ReconstructedVolume {
+        let (voxels, frames) = (beamformed.rows(), beamformed.cols());
+        let intensity = (0..voxels)
+            .map(|v| {
+                (0..frames)
+                    .map(|f| f64::from(beamformed.get(v, f).abs()))
+                    .sum::<f64>()
+                    / frames as f64
+            })
+            .collect();
+        ReconstructedVolume {
+            intensity,
+            dims,
+            report,
+        }
+    }
+
     /// Reconstructs a volume from a model and a `K × frames` measurement
     /// matrix, returning per-voxel flow intensity plus the GEMM report.
     ///
@@ -155,51 +202,37 @@ impl Reconstructor {
         measurements: &HostComplexMatrix,
         dims: (usize, usize, usize),
     ) -> ccglib::Result<ReconstructedVolume> {
-        let filtered = self.apply_doppler(measurements);
-        let frames = filtered.cols();
-        let voxels = model.num_voxels();
-        let k = model.config().k_rows();
-        let shape = GemmShape::new(voxels, frames, k);
-        let gemm = Gemm::new(&self.device, shape, self.precision.to_ccglib())?;
+        let beamformer = self.beamformer(model, measurements.cols())?;
+        let block = self.prepare(measurements, model.config().k_rows());
+        let output = beamformer.beamform(&block)?;
+        Ok(Self::volume_from(&output.beams, dims, output.report))
+    }
 
-        // ccglib wants B transposed (frames × K).
-        let measurements_t = filtered.transposed();
-        let (a, b) = match self.precision {
-            ReconstructionPrecision::Int1 => (
-                GemmInput::quantise_int1(model.matrix()),
-                GemmInput::quantise_int1(&measurements_t),
-            ),
-            ReconstructionPrecision::Float16 => {
-                // Half precision has a narrow dynamic range; normalise the
-                // measurements to keep the accumulations well inside it.
-                let scale = 1.0 / (k as f32).sqrt();
-                let scaled = HostComplexMatrix::from_fn(frames, k, |r, c| {
-                    measurements_t.get(r, c).scale(scale)
-                });
-                (
-                    GemmInput::quantise_f16(model.matrix()),
-                    GemmInput::quantise_f16(&scaled),
-                )
-            }
+    /// Reconstructs a stream of measurement ensembles (continuous imaging:
+    /// one acquisition after another against the same model) through a
+    /// single [`BeamformSession`], returning one volume per ensemble plus
+    /// the aggregate [`SessionReport`] of the whole run.  Every ensemble
+    /// must have the same number of frames.
+    pub fn reconstruct_stream(
+        &self,
+        model: &AcousticModel,
+        ensembles: &[HostComplexMatrix],
+        dims: (usize, usize, usize),
+    ) -> ccglib::Result<(Vec<ReconstructedVolume>, SessionReport)> {
+        let Some(first) = ensembles.first() else {
+            return Err(ccglib::CcglibError::ShapeMismatch {
+                expected: "at least one measurement ensemble".to_string(),
+                actual: "0 ensembles".to_string(),
+            });
         };
-        let (beamformed, report) = gemm.run(&a, &b)?;
-
-        // Flow intensity: mean magnitude over the ensemble (the paper
-        // averages the magnitude of the complex beamformed signal along the
-        // frames).
-        let intensity = (0..voxels)
-            .map(|v| {
-                (0..frames)
-                    .map(|f| f64::from(beamformed.get(v, f).abs()))
-                    .sum::<f64>()
-                    / frames as f64
-            })
-            .collect();
-        Ok(ReconstructedVolume {
-            intensity,
-            dims,
-            report,
-        })
+        let mut session = BeamformSession::new(self.beamformer(model, first.cols())?);
+        let mut volumes = Vec::with_capacity(ensembles.len());
+        for ensemble in ensembles {
+            let block = self.prepare(ensemble, model.config().k_rows());
+            let output = session.process_block(&block)?;
+            volumes.push(Self::volume_from(&output.beams, dims, output.report));
+        }
+        Ok((volumes, session.finish()))
     }
 }
 
@@ -360,6 +393,29 @@ mod tests {
             contrast(&with_doppler),
             contrast(&without_doppler)
         );
+    }
+
+    #[test]
+    fn streaming_reconstruction_matches_one_shot_and_aggregates() {
+        let (model, measurements, dims, _) = setup(ReconstructionPrecision::Int1);
+        let rec = Reconstructor::new(
+            &Gpu::Gh200.device(),
+            ReconstructionPrecision::Int1,
+            DopplerMode::MeanRemoval,
+        );
+        let ensembles = vec![measurements.clone(), measurements.clone()];
+        let (volumes, report) = rec.reconstruct_stream(&model, &ensembles, dims).unwrap();
+        assert_eq!(volumes.len(), 2);
+        assert_eq!(report.blocks, 2);
+        // Same data through the session equals the one-shot path.
+        let one_shot = rec.reconstruct(&model, &measurements, dims).unwrap();
+        assert_eq!(volumes[0].intensity, one_shot.intensity);
+        // The session totals are the sums of the per-ensemble reports.
+        let elapsed: f64 = volumes.iter().map(|v| v.report.predicted.elapsed_s).sum();
+        assert!((report.total_elapsed_s - elapsed).abs() < 1e-15);
+        assert!(report.aggregate_tops() > 0.0);
+        // Empty streams are rejected.
+        assert!(rec.reconstruct_stream(&model, &[], dims).is_err());
     }
 
     #[test]

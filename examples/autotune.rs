@@ -4,8 +4,9 @@
 //!
 //! Run with: `cargo run --release --example autotune`
 
-use tcbf::{Gpu, Objective, Precision, Strategy, Tuner, TuningParameters};
-use tcbf_types::GemmShape;
+use ccglib::matrix::HostComplexMatrix;
+use tcbf::{Gpu, Objective, Precision, Strategy, TensorCoreBeamformer, Tuner, TuningParameters};
+use tcbf_types::{Complex, GemmShape};
 
 fn main() {
     let shape = GemmShape::new(8192, 8192, 8192);
@@ -66,6 +67,24 @@ fn main() {
         println!(
             "most energy-efficient configuration: {} ({:.2} TOPs/J)",
             best_energy.params, best_energy.tops_per_joule
+        );
+
+        // Close the loop: hand the tuned parameters straight to the fluent
+        // builder — the whole configuration is re-validated at build().
+        let weights = HostComplexMatrix::from_fn(64, 128, |b, r| {
+            Complex::from_polar(1.0 / 128.0, (b * r) as f32 * 0.01)
+        });
+        let beamformer = TensorCoreBeamformer::builder(gpu)
+            .weights(weights)
+            .samples_per_block(256)
+            .precision(Precision::Float16)
+            .params(exhaustive.best.params)
+            .build()
+            .expect("tuned parameters are valid for the device");
+        println!(
+            "tuned beamformer   : shape {} predicts {:.2} TOPs/s",
+            beamformer.shape(),
+            beamformer.predict().achieved_tops
         );
         println!();
     }

@@ -1,7 +1,8 @@
 //! LOFAR-style radio-astronomy example: synthesise station beamlets for a
-//! sky with two pulsars, run the central tensor-core beamformer coherently
-//! and incoherently, localise the sources, and show the Fig. 7 performance
-//! comparison against the float32 reference beamformer.
+//! sky with two pulsars, stream a whole observation through the central
+//! tensor-core beamformer (coherently, with a mid-stream retune that
+//! hot-swaps the station weights), localise the sources, and show the
+//! Fig. 7 performance comparison against the float32 reference beamformer.
 //!
 //! Run with: `cargo run --release --example lofar_beamformer`
 
@@ -23,18 +24,36 @@ fn main() {
             amplitude: 0.6,
         },
     ];
-    println!("Synthesising beamlets: {stations} stations, 2 sources, 128 samples…");
-    let beamlets =
-        StationBeamlets::synthesise(stations, 48, frequency, &sources, 0.0, 128, 0.05, 11);
+    println!(
+        "Synthesising an observation: {stations} stations, 2 sources, 3 blocks x 128 samples…"
+    );
+    let blocks: Vec<StationBeamlets> = (0..3)
+        .map(|i| {
+            // The observation retunes to a neighbouring sub-band for the
+            // final block: the session hot-swaps the station weights.
+            let block_frequency = if i == 2 { 1.02 * frequency } else { frequency };
+            StationBeamlets::synthesise(
+                stations,
+                48,
+                block_frequency,
+                &sources,
+                0.0,
+                128,
+                0.05,
+                11 + i as u64,
+            )
+        })
+        .collect();
 
     let beam_azimuths: Vec<f64> = (0..15).map(|i| (i as f64 - 7.0) * 1e-4).collect();
     let central = CentralBeamformer::new(&Gpu::Gh200.device(), beam_azimuths.clone());
 
-    let coherent = central
-        .beamform(&beamlets, CentralMode::Coherent)
+    let (outputs, session) = central
+        .stream_coherent(&blocks)
         .expect("coherent beamforming");
+    let coherent = outputs.into_iter().next().expect("one output per block");
     let incoherent = central
-        .beamform(&beamlets, CentralMode::Incoherent)
+        .beamform(&blocks[0], CentralMode::Incoherent)
         .expect("incoherent");
     println!();
     println!("beam  azimuth(mrad)  coherent power   incoherent power");
@@ -50,11 +69,18 @@ fn main() {
     if let Some(report) = coherent.report {
         println!();
         println!(
-            "Coherent stage on the simulated GH200: {:.3} ms predicted, {:.1} TFLOPs/s",
+            "Coherent stage on the simulated GH200: {:.3} ms predicted, {:.3} TFLOPs/s",
             report.predicted.elapsed_s * 1e3,
             report.achieved_tops
         );
     }
+    println!(
+        "Observation session: {} blocks, {} weight swap(s), {:.3} TFLOPs/s aggregate, {:.4} J",
+        session.blocks,
+        session.weight_swaps,
+        session.aggregate_tops(),
+        session.total_joules
+    );
 
     // --- Fig. 7 performance comparison ------------------------------------
     println!();

@@ -1,13 +1,14 @@
-//! Quickstart: form a handful of beams from a small sensor array on the
-//! simulated A100, in 16-bit tensor-core mode, and compare against the
-//! delay-and-sum reference.
+//! Quickstart: configure a beamformer with the fluent builder, stream
+//! blocks of sensor samples through a session — re-steering the beams
+//! mid-stream — and read the aggregate session report, on the simulated
+//! A100 in 16-bit tensor-core mode.
 //!
 //! Run with: `cargo run --release --example quickstart`
 
 use beamform::geometry::SPEED_OF_LIGHT;
 use tcbf::{
-    ArrayGeometry, Beamformer, BeamformerConfig, Gpu, PlaneWaveSource, SignalGenerator,
-    WeightMatrix,
+    ArrayGeometry, Beamformer, Gpu, PlaneWaveSource, Precision, SignalGenerator,
+    TensorCoreBeamformer, WeightMatrix,
 };
 
 fn main() {
@@ -23,38 +24,36 @@ fn main() {
     // 2. Steering weights for a fan of beams — the M x K matrix of the GEMM.
     let weights = WeightMatrix::uniform_fan(&geometry, frequency, beams, -0.5, 0.5);
 
-    // 3. A beamformer on the simulated A100, 16-bit tensor-core mode.
-    let device = Gpu::A100.device();
-    let beamformer = Beamformer::new(
-        &device,
-        weights.clone(),
-        samples_per_block,
-        BeamformerConfig::float16(),
-    )
-    .expect("beamformer construction");
-    println!("Device:        {device}");
+    // 3. Configure the beamformer with the fluent builder: device, weights,
+    //    block length and precision are validated together at build().
+    let beamformer = TensorCoreBeamformer::builder(Gpu::A100)
+        .weight_matrix(weights.clone())
+        .samples_per_block(samples_per_block)
+        .precision(Precision::Float16)
+        .build()
+        .expect("a valid beamformer configuration");
+    println!("Device:        {}", beamformer.gpu().device());
     println!(
         "GEMM shape:    {} (beams x samples x receivers)",
         beamformer.shape()
     );
 
     // 4. Synthetic sky: one plane-wave source at +0.2 rad plus noise.
-    let mut generator = SignalGenerator::new(geometry, frequency, 1e5, 0.2, 42);
+    let mut generator = SignalGenerator::new(geometry.clone(), frequency, 1e5, 0.2, 42);
     let source = PlaneWaveSource {
         azimuth: 0.2,
         amplitude: 1.0,
         baseband_frequency: 1e3,
     };
-    let samples = generator.sensor_samples(&[source], samples_per_block);
 
-    // 5. Beamform on the (simulated) tensor cores.
-    let output = beamformer.beamform(&samples).expect("beamforming");
-    println!(
-        "Predicted:     {:.3} ms, {:.1} TOPs/s, {:.2} TOPs/J",
-        output.report.predicted.elapsed_s * 1e3,
-        output.report.achieved_tops,
-        output.report.tops_per_joule
-    );
+    // 5. Stream a pipeline of sample blocks through a session.
+    let mut session = beamformer.into_session();
+    let samples = generator.sensor_samples(&[source], samples_per_block);
+    let output = session.process_block(&samples).expect("beamforming");
+    for _ in 0..3 {
+        let block = generator.sensor_samples(&[source], samples_per_block);
+        session.process_block(&block).expect("beamforming");
+    }
 
     // 6. The beam closest to the source direction carries the most power.
     println!();
@@ -69,10 +68,42 @@ fn main() {
     }
 
     // 7. Cross-check against the full-precision delay-and-sum reference.
-    let reference = beamformer.delay_and_sum_reference(&samples);
+    let reference = session.beamformer().delay_and_sum_reference(&samples);
     println!();
     println!(
         "max |tensor-core − delay-and-sum| = {:.4}",
         output.beams.max_abs_diff(&reference)
+    );
+
+    // 8. Re-steer mid-stream: hot-swap a narrower fan of beams into the
+    //    running session (the GEMM plan is reused) and keep streaming.
+    let narrow = WeightMatrix::uniform_fan(&geometry, frequency, beams, 0.0, 0.4);
+    session.set_weights(narrow).expect("same beams x receivers");
+    for _ in 0..4 {
+        let block = generator.sensor_samples(&[source], samples_per_block);
+        session.process_block(&block).expect("beamforming");
+    }
+
+    // 9. The session report aggregates the whole run.
+    let report = session.finish();
+    println!();
+    println!(
+        "Session:       {} blocks, {} weight swap(s)",
+        report.blocks, report.weight_swaps
+    );
+    println!(
+        "Throughput:    {:.3} TOPs/s aggregate, {:.3} mean, {:.3} worst-case",
+        report.aggregate_tops(),
+        report.mean_tops(),
+        report.worst_tops()
+    );
+    println!(
+        "Energy:        {:.4} J total, {:.3} TOPs/J",
+        report.total_joules,
+        report.tops_per_joule()
+    );
+    println!(
+        "Frame rate:    {:.0} blocks/s effective",
+        report.effective_fps()
     );
 }

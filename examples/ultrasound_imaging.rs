@@ -44,13 +44,24 @@ fn main() {
         ReconstructionPrecision::Int1,
         DopplerMode::MeanRemoval,
     );
-    let volume = reconstructor
-        .reconstruct(&model, &measurements, dims)
+    // Continuous imaging: stream consecutive acquisitions against the same
+    // model through one beamforming session.
+    let second_acquisition = phantom.measurements(&model, 20);
+    let ensembles = [measurements, second_acquisition];
+    let (volumes, session) = reconstructor
+        .reconstruct_stream(&model, &ensembles, dims)
         .expect("reconstruction");
+    let volume = &volumes[0];
     println!(
         "Reconstruction (1-bit, simulated GH200): {:.2} ms predicted, {:.1} TOPs/s",
         volume.report.predicted.elapsed_s * 1e3,
         volume.report.achieved_tops
+    );
+    println!(
+        "Streaming session: {} ensembles, {:.1} TOPs/s aggregate, {:.2} TOPs/J",
+        session.blocks,
+        session.aggregate_tops(),
+        session.tops_per_joule()
     );
     for (axis, name) in [(2usize, "axial (top-down)"), (1, "coronal")] {
         let (img, w, h) = volume.max_intensity_projection(axis);

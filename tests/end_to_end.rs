@@ -20,8 +20,8 @@ fn linear_array(n: usize) -> ArrayGeometry {
 
 #[test]
 fn facade_and_low_level_api_agree() {
-    // The same weights and samples through the tcbf facade and through the
-    // raw ccglib GEMM must give the same beams.
+    // The same weights and samples through the builder-configured facade
+    // and through the raw ccglib GEMM must give the same beams.
     let weights = HostComplexMatrix::from_fn(6, 24, |b, r| {
         Complex::from_polar(1.0 / 24.0, (b * r) as f32 * 0.05)
     });
@@ -29,8 +29,12 @@ fn facade_and_low_level_api_agree() {
         Complex::new((r as f32 - 12.0) * 0.1, (s as f32 - 8.0) * 0.05)
     });
 
-    let facade =
-        TensorCoreBeamformer::new(Gpu::A100, weights.clone(), 16, Precision::Float16).unwrap();
+    let facade = TensorCoreBeamformer::builder(Gpu::A100)
+        .weights(weights.clone())
+        .samples_per_block(16)
+        .precision(Precision::Float16)
+        .build()
+        .unwrap();
     let high_level = facade.beamform(&samples).unwrap();
 
     let gemm = Gemm::new(
@@ -47,6 +51,96 @@ fn facade_and_low_level_api_agree() {
         .unwrap();
 
     assert_eq!(high_level.beams, low_level);
+}
+
+#[test]
+fn session_streams_blocks_with_mid_stream_weight_swap() {
+    // Acceptance: a session streams several blocks, swaps the weights
+    // mid-stream, and its report aggregates exactly the per-block reports.
+    let geometry = linear_array(48);
+    let azimuths: Vec<f64> = (0..6).map(|i| -0.25 + 0.1 * i as f64).collect();
+    let fan = WeightMatrix::steering(&geometry, FREQ, &azimuths, true);
+    let beamformer = TensorCoreBeamformer::builder(Gpu::Gh200)
+        .weight_matrix(fan)
+        .samples_per_block(32)
+        .precision(Precision::Float16)
+        .build()
+        .unwrap();
+    let mut generator = SignalGenerator::new(geometry.clone(), FREQ, 1e5, 0.1, 29);
+    let source = PlaneWaveSource {
+        azimuth: 0.15,
+        amplitude: 1.0,
+        baseband_frequency: 800.0,
+    };
+
+    let mut session = beamformer.into_session();
+    let mut per_block = Vec::new();
+    for _ in 0..2 {
+        let block = generator.sensor_samples(&[source], 32);
+        per_block.push(session.process_block(&block).unwrap());
+    }
+    // Re-steer to a mirrored fan without re-planning the kernel.
+    let mirrored: Vec<f64> = azimuths.iter().map(|a| -a).collect();
+    session
+        .set_weights(WeightMatrix::steering(&geometry, FREQ, &mirrored, true))
+        .unwrap();
+    for _ in 0..2 {
+        let block = generator.sensor_samples(&[source], 32);
+        per_block.push(session.process_block(&block).unwrap());
+    }
+
+    let report = session.finish();
+    assert_eq!(report.blocks, 4);
+    assert_eq!(report.weight_swaps, 1);
+    let elapsed: f64 = per_block.iter().map(|o| o.report.predicted.elapsed_s).sum();
+    let joules: f64 = per_block.iter().map(|o| o.report.energy.joules).sum();
+    let worst = per_block
+        .iter()
+        .map(|o| o.report.achieved_tops)
+        .fold(f64::INFINITY, f64::min);
+    assert!((report.total_elapsed_s - elapsed).abs() < 1e-15);
+    assert!((report.total_joules - joules).abs() < 1e-12);
+    assert!((report.worst_tops() - worst).abs() < 1e-9);
+    assert!(report.aggregate_tops() > 0.0);
+}
+
+#[test]
+fn batched_beamformer_executes_functionally_and_matches_references() {
+    // Acceptance: batch > 1 runs functionally (not just predict) and every
+    // batch element matches the float32 reference within the quantisation
+    // tolerance used elsewhere for the f16 path.
+    let weights = HostComplexMatrix::from_fn(8, 32, |b, r| {
+        Complex::from_polar(1.0 / 32.0, (b * r) as f32 * 0.04)
+    });
+    let beamformer = TensorCoreBeamformer::builder(Gpu::A100)
+        .weights(weights.clone())
+        .samples_per_block(24)
+        .precision(Precision::Float16)
+        .batch(4)
+        .build()
+        .unwrap();
+    assert_eq!(beamformer.shape(), GemmShape::batched(4, 8, 24, 32));
+
+    let blocks: Vec<HostComplexMatrix> = (0..4)
+        .map(|e| {
+            HostComplexMatrix::from_fn(32, 24, |r, s| {
+                Complex::new(
+                    ((e * 7 + r + s) % 11) as f32 * 0.05 - 0.25,
+                    ((e + r * 3 + s) % 9) as f32 * 0.05,
+                )
+            })
+        })
+        .collect();
+    let output = beamformer.beamform_batch(&blocks).unwrap();
+    assert_eq!(output.beams.len(), 4);
+    for (beams, block) in output.beams.iter().zip(&blocks) {
+        let expected = reference_gemm(&weights, &block.transposed()).unwrap();
+        assert!(beams.max_abs_diff(&expected) < 0.05);
+    }
+    // One report covers the batch and its op count reflects all elements.
+    let ops = output.report.achieved_tops * 1e12 * output.report.predicted.elapsed_s;
+    let expected_ops = beamformer.shape().complex_ops() as f64;
+    assert!((ops - expected_ops).abs() / expected_ops < 1e-6);
 }
 
 #[test]

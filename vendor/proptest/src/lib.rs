@@ -133,7 +133,7 @@ pub mod collection {
         }
     }
 
-    /// Strategy for `Vec<S::Value>` with a sampled length; created by [`vec`].
+    /// Strategy for `Vec<S::Value>` with a sampled length; created by [`fn@vec`].
     pub struct VecStrategy<S> {
         element: S,
         size: SizeRange,
