@@ -19,18 +19,27 @@
 //!   delay-and-sum reference implementation, beam patterns and SNR gain;
 //! * [`session`] — streaming sessions: a [`BeamformSession`] consumes a
 //!   stream of sample blocks, supports weight hot-swap mid-stream and
-//!   accumulates a [`SessionReport`] over the whole run.
+//!   accumulates a [`SessionReport`] over the whole run;
+//! * [`shard`] — multi-device scale-out: a [`ShardedBeamformer`] spans a
+//!   `gpu_sim::DevicePool`, partitions block streams across the members
+//!   under a [`ShardPlan`] (round-robin or capacity-weighted) and merges
+//!   the per-device reports into a [`ShardedSessionReport`].
 
 #![deny(missing_docs)]
 
 pub mod beamformer;
 pub mod geometry;
 pub mod session;
+pub mod shard;
 pub mod signal;
 pub mod weights;
 
 pub use beamformer::{BatchBeamformOutput, BeamformOutput, Beamformer, BeamformerConfig};
 pub use geometry::{ArrayGeometry, SPEED_OF_LIGHT, SPEED_OF_SOUND_TISSUE, SPEED_OF_SOUND_WATER};
 pub use session::{BeamformSession, SessionReport};
+pub use shard::{
+    DeviceShardReport, ShardPlan, ShardPolicy, ShardedBeamformer, ShardedSession,
+    ShardedSessionReport, ShardedStreamOutput,
+};
 pub use signal::{PlaneWaveSource, SignalGenerator};
 pub use weights::{steering_vector, WeightMatrix};

@@ -39,6 +39,8 @@ pub struct SessionReport {
     sum_tops: f64,
     /// Worst per-execution achieved TeraOps/s seen so far.
     min_tops: f64,
+    /// Best per-execution achieved TeraOps/s seen so far.
+    max_tops: f64,
 }
 
 impl SessionReport {
@@ -59,6 +61,31 @@ impl SessionReport {
         self.total_useful_ops += useful_ops;
         self.sum_tops += report.achieved_tops;
         self.min_tops = self.min_tops.min(report.achieved_tops);
+        self.max_tops = self.max_tops.max(report.achieved_tops);
+    }
+
+    /// Folds another report into this one as if its executions had run on
+    /// the same device back to back: all totals are summed and the
+    /// per-execution extremes are merged.  Used by the sharding layer to
+    /// aggregate per-device reports (where *elapsed* sums are the serial
+    /// equivalent, not the parallel wall clock — see
+    /// `ShardedSessionReport`).
+    pub fn absorb(&mut self, other: &SessionReport) {
+        self.weight_swaps += other.weight_swaps;
+        if other.executions == 0 {
+            return;
+        }
+        if self.executions == 0 {
+            self.min_tops = f64::INFINITY;
+        }
+        self.blocks += other.blocks;
+        self.executions += other.executions;
+        self.total_elapsed_s += other.total_elapsed_s;
+        self.total_joules += other.total_joules;
+        self.total_useful_ops += other.total_useful_ops;
+        self.sum_tops += other.sum_tops;
+        self.min_tops = self.min_tops.min(other.min_tops);
+        self.max_tops = self.max_tops.max(other.max_tops);
     }
 
     /// Aggregate throughput over the whole session in TeraOps/s: total
@@ -84,6 +111,15 @@ impl SessionReport {
     pub fn worst_tops(&self) -> f64 {
         if self.executions > 0 {
             self.min_tops
+        } else {
+            0.0
+        }
+    }
+
+    /// Best-case per-execution achieved TeraOps/s.
+    pub fn best_tops(&self) -> f64 {
+        if self.executions > 0 {
+            self.max_tops
         } else {
             0.0
         }
@@ -308,13 +344,60 @@ mod tests {
 
     #[test]
     fn empty_session_reports_zeros() {
+        // Regression guard: an empty stream must report finite zeros on
+        // every derived metric, never NaN or infinity.
         let session = BeamformSession::new(beamformer(2, 16, 8, 1));
         let report = session.finish();
         assert_eq!(report.blocks, 0);
         assert_eq!(report.aggregate_tops(), 0.0);
         assert_eq!(report.mean_tops(), 0.0);
         assert_eq!(report.worst_tops(), 0.0);
+        assert_eq!(report.best_tops(), 0.0);
         assert_eq!(report.effective_fps(), 0.0);
         assert_eq!(report.tops_per_joule(), 0.0);
+        for metric in [
+            report.aggregate_tops(),
+            report.mean_tops(),
+            report.worst_tops(),
+            report.best_tops(),
+            report.effective_fps(),
+            report.tops_per_joule(),
+        ] {
+            assert!(metric.is_finite());
+        }
+    }
+
+    #[test]
+    fn absorb_merges_totals_and_extremes() {
+        let run = |seeds: std::ops::Range<usize>| -> SessionReport {
+            let mut session = BeamformSession::new(beamformer(8, 32, 16, 1));
+            for i in seeds {
+                session.process_block(&block(32, 16, i)).unwrap();
+            }
+            session.finish()
+        };
+        let first = run(0..3);
+        let second = run(3..7);
+        let mut merged = SessionReport::default();
+        merged.absorb(&first);
+        merged.absorb(&second);
+        // Absorbing an empty report changes nothing.
+        merged.absorb(&SessionReport::default());
+        assert_eq!(merged.blocks, first.blocks + second.blocks);
+        assert_eq!(merged.executions, 7);
+        let elapsed = first.total_elapsed_s + second.total_elapsed_s;
+        assert!((merged.total_elapsed_s - elapsed).abs() < 1e-15);
+        assert_eq!(
+            merged.worst_tops(),
+            first.worst_tops().min(second.worst_tops())
+        );
+        assert_eq!(
+            merged.best_tops(),
+            first.best_tops().max(second.best_tops())
+        );
+        // worst <= mean <= best up to summation rounding (all executions
+        // share one device and shape, so the three are within an ulp).
+        assert!(merged.worst_tops() <= merged.mean_tops() * (1.0 + 1e-12));
+        assert!(merged.mean_tops() <= merged.best_tops() * (1.0 + 1e-12));
     }
 }

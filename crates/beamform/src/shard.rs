@@ -1,0 +1,777 @@
+//! Multi-device sharded beamforming.
+//!
+//! The paper's real-time targets (LOFAR's central processor, volumetric
+//! ultrasound Doppler) exceed a single accelerator, so the streaming
+//! pipeline scales out: a [`ShardedBeamformer`] owns one [`Beamformer`] per
+//! member of a [`DevicePool`] (heterogeneous mixes allowed), a
+//! [`ShardPlan`] partitions the block stream across the members — round
+//! robin or weighted by each device's peak TeraOps/s — and the shards
+//! execute in parallel, one worker per device.  Functional results are
+//! device-independent, so the concatenated shard outputs are element-wise
+//! identical to a single-device run of the same stream; only the
+//! performance accounting changes, which is why the merged
+//! [`ShardedSessionReport`] keeps a per-device breakdown and derives the
+//! pool-level metrics (aggregate TeraOps/s summed across members, wall
+//! clock set by the straggler, joules summed) from it.
+
+use crate::beamformer::{BeamformOutput, Beamformer, BeamformerConfig};
+use crate::session::SessionReport;
+use crate::weights::WeightMatrix;
+use ccglib::matrix::HostComplexMatrix;
+use ccglib::Precision;
+use gpu_sim::{DevicePool, Gpu};
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+
+/// How a block stream is partitioned across the members of a pool.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ShardPolicy {
+    /// Block `i` goes to device `i mod pool_size`: even block counts
+    /// regardless of member speed.  Ideal for homogeneous pools.
+    RoundRobin,
+    /// Contiguous block ranges sized proportionally to each member's peak
+    /// TeraOps/s at the session precision (largest-remainder
+    /// apportionment), so a GH200 next to an AD4000 receives
+    /// correspondingly more work.  The default.
+    #[default]
+    CapacityWeighted,
+}
+
+/// The assignment of a stream of blocks to the members of a pool.
+///
+/// Every block index is assigned to exactly one device; assignments are
+/// deterministic functions of `(policy, weights, block count)`.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ShardPlan {
+    /// `assignments[d]` lists the block indices device `d` executes, in
+    /// the order it executes them.
+    assignments: Vec<Vec<usize>>,
+    blocks: usize,
+}
+
+impl ShardPlan {
+    /// Plans `blocks` block indices over `capacity_weights.len()` devices.
+    ///
+    /// `capacity_weights` holds one positive throughput weight per device;
+    /// [`ShardPolicy::RoundRobin`] ignores the values, while
+    /// [`ShardPolicy::CapacityWeighted`] sizes each device's contiguous
+    /// range proportionally (falling back to round robin if the weights do
+    /// not sum to a positive value).
+    ///
+    /// # Panics
+    /// Panics if `capacity_weights` is empty.
+    pub fn new(policy: ShardPolicy, capacity_weights: &[f64], blocks: usize) -> Self {
+        assert!(
+            !capacity_weights.is_empty(),
+            "a shard plan needs at least one device"
+        );
+        let total: f64 = capacity_weights.iter().sum();
+        let assignments = match policy {
+            ShardPolicy::CapacityWeighted if total > 0.0 => {
+                Self::capacity_weighted(capacity_weights, total, blocks)
+            }
+            _ => Self::round_robin(capacity_weights.len(), blocks),
+        };
+        ShardPlan {
+            assignments,
+            blocks,
+        }
+    }
+
+    fn round_robin(devices: usize, blocks: usize) -> Vec<Vec<usize>> {
+        let mut assignments = vec![Vec::new(); devices];
+        for block in 0..blocks {
+            assignments[block % devices].push(block);
+        }
+        assignments
+    }
+
+    fn capacity_weighted(weights: &[f64], total: f64, blocks: usize) -> Vec<Vec<usize>> {
+        // Largest-remainder apportionment: every device gets the floor of
+        // its proportional quota, then the leftover blocks go to the
+        // largest fractional remainders (ties broken by device index).
+        let quotas: Vec<f64> = weights
+            .iter()
+            .map(|w| blocks as f64 * (w / total))
+            .collect();
+        let mut counts: Vec<usize> = quotas.iter().map(|q| q.floor() as usize).collect();
+        let assigned: usize = counts.iter().sum();
+        let mut by_remainder: Vec<usize> = (0..weights.len()).collect();
+        by_remainder.sort_by(|&a, &b| {
+            (quotas[b] - quotas[b].floor())
+                .total_cmp(&(quotas[a] - quotas[a].floor()))
+                .then(a.cmp(&b))
+        });
+        for &device in by_remainder.iter().cycle().take(blocks - assigned) {
+            counts[device] += 1;
+        }
+        let mut assignments = Vec::with_capacity(weights.len());
+        let mut next = 0;
+        for count in counts {
+            assignments.push((next..next + count).collect());
+            next += count;
+        }
+        assignments
+    }
+
+    /// Per-device block assignments, indexed by pool position.
+    pub fn assignments(&self) -> &[Vec<usize>] {
+        &self.assignments
+    }
+
+    /// Number of devices the plan spans.
+    pub fn num_devices(&self) -> usize {
+        self.assignments.len()
+    }
+
+    /// Number of blocks the plan covers.
+    pub fn num_blocks(&self) -> usize {
+        self.blocks
+    }
+
+    /// The device a block index is assigned to, or `None` if the index is
+    /// outside the planned stream.
+    pub fn device_of(&self, block: usize) -> Option<usize> {
+        self.assignments
+            .iter()
+            .position(|blocks| blocks.contains(&block))
+    }
+}
+
+/// One pool member's contribution to a sharded run.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct DeviceShardReport {
+    /// The catalog identifier of the member.
+    pub gpu: Gpu,
+    /// The member's own streaming report (its totals cover only the blocks
+    /// this device executed).
+    pub report: SessionReport,
+}
+
+/// The merged report of a sharded run: a per-device breakdown plus the
+/// pool-level metrics derived from it.
+///
+/// Totals (`total_blocks`, `total_joules`, `total_useful_ops`) are the
+/// sums of the per-device reports.  Throughput is reported two ways:
+/// [`ShardedSessionReport::aggregate_tops`] sums the members' aggregate
+/// TeraOps/s (the devices run concurrently), while the wall clock of the
+/// run is the *straggler's* elapsed time — the slowest member bounds the
+/// pool, exactly as in any data-parallel pipeline.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct ShardedSessionReport {
+    per_device: Vec<DeviceShardReport>,
+    weight_swaps: usize,
+}
+
+impl ShardedSessionReport {
+    /// Builds a merged report from per-device reports and the number of
+    /// pool-wide weight swaps.
+    pub fn new(per_device: Vec<DeviceShardReport>, weight_swaps: usize) -> Self {
+        ShardedSessionReport {
+            per_device,
+            weight_swaps,
+        }
+    }
+
+    /// The per-device breakdown, in pool order.
+    pub fn per_device(&self) -> &[DeviceShardReport] {
+        &self.per_device
+    }
+
+    /// Number of pool-wide weight swaps (each swap counts once, not once
+    /// per member).
+    pub fn weight_swaps(&self) -> usize {
+        self.weight_swaps
+    }
+
+    /// All per-device reports folded into one serial-equivalent
+    /// [`SessionReport`]: totals summed, per-execution extremes merged.
+    pub fn merged_serial(&self) -> SessionReport {
+        let mut merged = SessionReport::default();
+        for shard in &self.per_device {
+            merged.absorb(&shard.report);
+        }
+        merged
+    }
+
+    /// Total blocks processed across the pool.
+    pub fn total_blocks(&self) -> usize {
+        self.per_device.iter().map(|s| s.report.blocks).sum()
+    }
+
+    /// Total energy across the pool in joules.
+    pub fn total_joules(&self) -> f64 {
+        self.per_device.iter().map(|s| s.report.total_joules).sum()
+    }
+
+    /// Total useful operations across the pool.
+    pub fn total_useful_ops(&self) -> f64 {
+        self.per_device
+            .iter()
+            .map(|s| s.report.total_useful_ops)
+            .sum()
+    }
+
+    /// Aggregate pool throughput in TeraOps/s: the sum of the members'
+    /// aggregate throughputs, since the members run concurrently.  Zero
+    /// for an empty run.
+    pub fn aggregate_tops(&self) -> f64 {
+        self.per_device
+            .iter()
+            .map(|s| s.report.aggregate_tops())
+            .sum()
+    }
+
+    /// Wall-clock time of the run in seconds: the straggler's total
+    /// elapsed kernel time (members run concurrently, so the slowest one
+    /// bounds the pool).  Zero for an empty run.
+    pub fn wall_clock_s(&self) -> f64 {
+        self.per_device
+            .iter()
+            .map(|s| s.report.total_elapsed_s)
+            .fold(0.0, f64::max)
+    }
+
+    /// Index of the straggler — the member with the largest elapsed time —
+    /// or `None` for an empty report.
+    pub fn straggler(&self) -> Option<usize> {
+        self.per_device
+            .iter()
+            .enumerate()
+            .max_by(|a, b| {
+                a.1.report
+                    .total_elapsed_s
+                    .total_cmp(&b.1.report.total_elapsed_s)
+            })
+            .map(|(i, _)| i)
+    }
+
+    /// Effective block (frame) rate of the pool: blocks per second of
+    /// wall-clock time.  Zero for a zero-block or zero-elapsed run.
+    pub fn effective_fps(&self) -> f64 {
+        let wall = self.wall_clock_s();
+        if wall > 0.0 {
+            self.total_blocks() as f64 / wall
+        } else {
+            0.0
+        }
+    }
+
+    /// Aggregate energy efficiency in TeraOps/J.  Zero for a zero-energy
+    /// run.
+    pub fn tops_per_joule(&self) -> f64 {
+        let joules = self.total_joules();
+        if joules > 0.0 {
+            self.total_useful_ops() / joules / 1e12
+        } else {
+            0.0
+        }
+    }
+
+    /// Worst per-execution throughput across all members, in TeraOps/s.
+    pub fn worst_tops(&self) -> f64 {
+        self.merged_serial().worst_tops()
+    }
+
+    /// Mean per-execution throughput across all members, in TeraOps/s.
+    pub fn mean_tops(&self) -> f64 {
+        self.merged_serial().mean_tops()
+    }
+
+    /// Best per-execution throughput across all members, in TeraOps/s.
+    pub fn best_tops(&self) -> f64 {
+        self.merged_serial().best_tops()
+    }
+
+    /// Parallel speed-up over running the same stream serially on the
+    /// members: summed elapsed time divided by the straggler's wall clock.
+    /// 1.0 for a single-member pool, 0.0 for an empty run.
+    pub fn speedup_over_serial(&self) -> f64 {
+        let wall = self.wall_clock_s();
+        if wall > 0.0 {
+            let serial: f64 = self
+                .per_device
+                .iter()
+                .map(|s| s.report.total_elapsed_s)
+                .sum();
+            serial / wall
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Output of sharding one block stream across a pool.
+#[derive(Clone, Debug)]
+pub struct ShardedStreamOutput {
+    /// Per-block outputs, in the order of the input stream (not in shard
+    /// order).
+    pub outputs: Vec<BeamformOutput>,
+    /// The merged report of this call.
+    pub report: ShardedSessionReport,
+    /// The plan the stream was executed under.
+    pub plan: ShardPlan,
+}
+
+/// A beamformer spanning every member of a [`DevicePool`]: one identical
+/// [`Beamformer`] per device, a shard policy, and parallel per-shard
+/// execution.
+///
+/// ```
+/// use beamform::{BeamformerConfig, ShardPolicy, ShardedBeamformer, WeightMatrix};
+/// use ccglib::matrix::HostComplexMatrix;
+/// use gpu_sim::{DevicePool, Gpu};
+/// use tcbf_types::Complex;
+///
+/// let weights = WeightMatrix::from_matrix(HostComplexMatrix::from_fn(4, 16, |b, r| {
+///     Complex::from_polar(1.0 / 16.0, (b * r) as f32 * 0.1)
+/// }));
+/// let pool = DevicePool::from_gpus(&[Gpu::A100, Gpu::Gh200]);
+/// let sharded = ShardedBeamformer::new(
+///     &pool, weights, 8, BeamformerConfig::float16(), ShardPolicy::CapacityWeighted,
+/// ).unwrap();
+/// let blocks: Vec<_> = (0..6)
+///     .map(|i| HostComplexMatrix::from_fn(16, 8, |r, s| {
+///         Complex::new((r + s + i) as f32 * 0.05, r as f32 * 0.02)
+///     }))
+///     .collect();
+/// let run = sharded.beamform_stream(&blocks).unwrap();
+/// assert_eq!(run.outputs.len(), 6);
+/// assert!(run.report.aggregate_tops() > 0.0);
+/// ```
+pub struct ShardedBeamformer {
+    members: Vec<Beamformer>,
+    gpus: Vec<Gpu>,
+    capacity_weights: Vec<f64>,
+    policy: ShardPolicy,
+}
+
+impl ShardedBeamformer {
+    /// Builds one beamformer per pool member, all sharing the same
+    /// weights, block length and configuration.
+    ///
+    /// The configuration's batch size must be 1: sharding distributes
+    /// whole blocks across devices, so per-device batching would double
+    /// count.  The calibration cache is warmed for all members in
+    /// parallel before the per-device plans are constructed, so a
+    /// heterogeneous pool pays one parallel enumeration instead of one
+    /// serial enumeration per distinct device.
+    pub fn new(
+        pool: &DevicePool,
+        weights: WeightMatrix,
+        samples_per_block: usize,
+        config: BeamformerConfig,
+        policy: ShardPolicy,
+    ) -> ccglib::Result<Self> {
+        if config.batch != 1 {
+            return Err(ccglib::CcglibError::ShapeMismatch {
+                expected: "batch 1 (sharding distributes whole blocks across devices)".to_string(),
+                actual: format!("batch {}", config.batch),
+            });
+        }
+        ccglib::warm_calibration(&pool.specs(), config.precision);
+        let members = pool
+            .iter()
+            .map(|device| Beamformer::new(device, weights.clone(), samples_per_block, config))
+            .collect::<ccglib::Result<Vec<_>>>()?;
+        let capacity_weights = pool
+            .iter()
+            .map(|device| Self::capacity(device.spec(), config.precision))
+            .collect();
+        Ok(ShardedBeamformer {
+            members,
+            gpus: pool.gpus(),
+            capacity_weights,
+            policy,
+        })
+    }
+
+    /// Peak useful TeraOps/s of one device at a precision — the capacity
+    /// weight of the capacity-weighted policy.
+    fn capacity(spec: &gpu_sim::DeviceSpec, precision: Precision) -> f64 {
+        match precision {
+            Precision::Float16 => spec.f16_peak_tops(),
+            Precision::Int1 => spec.int1_best_useful_peak_tops().unwrap_or(0.0),
+            Precision::Float32Reference => spec.fp32_peak_tops(),
+        }
+    }
+
+    /// Number of pool members.
+    pub fn num_devices(&self) -> usize {
+        self.members.len()
+    }
+
+    /// The catalog identifiers of the members, in pool order.
+    pub fn gpus(&self) -> &[Gpu] {
+        &self.gpus
+    }
+
+    /// The per-member beamformers, in pool order.
+    pub fn members(&self) -> &[Beamformer] {
+        &self.members
+    }
+
+    /// The shard policy in effect.
+    pub fn policy(&self) -> ShardPolicy {
+        self.policy
+    }
+
+    /// The capacity weights (peak TeraOps/s at the session precision) the
+    /// capacity-weighted policy apportions by, in pool order.
+    pub fn capacity_weights(&self) -> &[f64] {
+        &self.capacity_weights
+    }
+
+    /// The plan a stream of `blocks` blocks would be executed under.
+    pub fn plan_shards(&self, blocks: usize) -> ShardPlan {
+        ShardPlan::new(self.policy, &self.capacity_weights, blocks)
+    }
+
+    /// Beamforms a stream of `K × N` sample blocks across the pool: the
+    /// plan assigns each block to one member, the members execute their
+    /// shards in parallel (one worker per device), and the outputs are
+    /// returned in the input order together with the merged report.
+    ///
+    /// Accepts owned matrices or references (`&[HostComplexMatrix]` and
+    /// `&[&HostComplexMatrix]` both work), so callers streaming borrowed
+    /// blocks need not clone them.
+    pub fn beamform_stream<B>(&self, blocks: &[B]) -> ccglib::Result<ShardedStreamOutput>
+    where
+        B: std::borrow::Borrow<HostComplexMatrix> + Sync,
+    {
+        let plan = self.plan_shards(blocks.len());
+        let shards: Vec<(&Beamformer, &Vec<usize>)> =
+            self.members.iter().zip(plan.assignments()).collect();
+        type ShardResult = ccglib::Result<(Vec<(usize, BeamformOutput)>, SessionReport)>;
+        let results: Vec<ShardResult> = shards
+            .par_iter()
+            .map(|(member, assigned)| {
+                let ops = member.shape().complex_ops() as f64;
+                let mut report = SessionReport::default();
+                let mut outputs = Vec::with_capacity(assigned.len());
+                for &block in assigned.iter() {
+                    let output = member.beamform(blocks[block].borrow())?;
+                    report.record(&output.report, ops, 1);
+                    outputs.push((block, output));
+                }
+                Ok((outputs, report))
+            })
+            .collect();
+
+        let mut slots: Vec<Option<BeamformOutput>> = vec![None; blocks.len()];
+        let mut per_device = Vec::with_capacity(self.members.len());
+        for (gpu, result) in self.gpus.iter().zip(results) {
+            let (outputs, report) = result?;
+            for (block, output) in outputs {
+                slots[block] = Some(output);
+            }
+            per_device.push(DeviceShardReport { gpu: *gpu, report });
+        }
+        let outputs = slots
+            .into_iter()
+            .map(|slot| slot.expect("every planned block produces exactly one output"))
+            .collect();
+        Ok(ShardedStreamOutput {
+            outputs,
+            report: ShardedSessionReport::new(per_device, 0),
+            plan,
+        })
+    }
+
+    /// Hot-swaps the beam weights on **every** pool member (same
+    /// `beams × receivers` shape; the per-device GEMM plans are reused
+    /// unchanged).  The shape is validated before any member is touched,
+    /// so a rejected swap leaves the whole pool on the old weights.
+    pub fn swap_weights(&mut self, weights: WeightMatrix) -> ccglib::Result<()> {
+        let current = self.members[0].weights();
+        if weights.num_beams() != current.num_beams()
+            || weights.num_receivers() != current.num_receivers()
+        {
+            return Err(ccglib::CcglibError::ShapeMismatch {
+                expected: format!(
+                    "{} beams x {} receivers",
+                    current.num_beams(),
+                    current.num_receivers()
+                ),
+                actual: format!("{} x {}", weights.num_beams(), weights.num_receivers()),
+            });
+        }
+        for member in &mut self.members {
+            member.set_weights(weights.clone())?;
+        }
+        Ok(())
+    }
+
+    /// Starts a streaming session across the pool (consumes the sharded
+    /// beamformer; the session owns it so weights can be hot-swapped).
+    pub fn into_session(self) -> ShardedSession {
+        ShardedSession::new(self)
+    }
+}
+
+impl std::fmt::Debug for ShardedBeamformer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardedBeamformer")
+            .field("gpus", &self.gpus)
+            .field("policy", &self.policy)
+            .field("capacity_weights", &self.capacity_weights)
+            .finish_non_exhaustive()
+    }
+}
+
+/// A streaming session across a [`DevicePool`]: accumulates one
+/// [`SessionReport`] per member over any number of
+/// [`ShardedSession::process_stream`] calls and supports pool-wide weight
+/// hot-swap between calls.
+pub struct ShardedSession {
+    engine: ShardedBeamformer,
+    per_device: Vec<SessionReport>,
+    weight_swaps: usize,
+}
+
+impl ShardedSession {
+    /// Starts a session on a sharded beamformer.
+    pub fn new(engine: ShardedBeamformer) -> Self {
+        let per_device = vec![SessionReport::default(); engine.num_devices()];
+        ShardedSession {
+            engine,
+            per_device,
+            weight_swaps: 0,
+        }
+    }
+
+    /// The sharded beamformer driving this session.
+    pub fn engine(&self) -> &ShardedBeamformer {
+        &self.engine
+    }
+
+    /// Processes one stream of blocks (one parallel fan-out across the
+    /// pool), returning the per-block outputs in input order.  Blocks
+    /// already processed by earlier calls stay accounted in the report.
+    pub fn process_stream<B>(&mut self, blocks: &[B]) -> ccglib::Result<Vec<BeamformOutput>>
+    where
+        B: std::borrow::Borrow<HostComplexMatrix> + Sync,
+    {
+        let run = self.engine.beamform_stream(blocks)?;
+        for (accumulated, shard) in self.per_device.iter_mut().zip(run.report.per_device()) {
+            accumulated.absorb(&shard.report);
+        }
+        Ok(run.outputs)
+    }
+
+    /// Hot-swaps the weights on every pool member; the next processed
+    /// block on any device uses the new weights.
+    pub fn swap_weights(&mut self, weights: WeightMatrix) -> ccglib::Result<()> {
+        self.engine.swap_weights(weights)?;
+        self.weight_swaps += 1;
+        Ok(())
+    }
+
+    /// The merged report accumulated so far.
+    pub fn report(&self) -> ShardedSessionReport {
+        let per_device = self
+            .engine
+            .gpus()
+            .iter()
+            .zip(&self.per_device)
+            .map(|(gpu, report)| DeviceShardReport {
+                gpu: *gpu,
+                report: *report,
+            })
+            .collect();
+        ShardedSessionReport::new(per_device, self.weight_swaps)
+    }
+
+    /// Ends the session, returning the final merged report.
+    pub fn finish(self) -> ShardedSessionReport {
+        self.report()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_sim::Gpu;
+    use tcbf_types::Complex;
+
+    fn weights(beams: usize, receivers: usize) -> WeightMatrix {
+        WeightMatrix::from_matrix(HostComplexMatrix::from_fn(beams, receivers, |b, r| {
+            Complex::from_polar(1.0 / receivers as f32, (b * r) as f32 * 0.03)
+        }))
+    }
+
+    fn block(receivers: usize, samples: usize, seed: usize) -> HostComplexMatrix {
+        HostComplexMatrix::from_fn(receivers, samples, |r, s| {
+            Complex::new(
+                ((r + s + seed) % 7) as f32 * 0.1 - 0.3,
+                ((r * 3 + s + seed) % 5) as f32 * 0.1,
+            )
+        })
+    }
+
+    fn sharded(gpus: &[Gpu], policy: ShardPolicy) -> ShardedBeamformer {
+        ShardedBeamformer::new(
+            &DevicePool::from_gpus(gpus),
+            weights(4, 16),
+            8,
+            BeamformerConfig::float16(),
+            policy,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn round_robin_strides_blocks_across_devices() {
+        let plan = ShardPlan::new(ShardPolicy::RoundRobin, &[1.0, 1.0, 1.0], 7);
+        assert_eq!(plan.assignments()[0], vec![0, 3, 6]);
+        assert_eq!(plan.assignments()[1], vec![1, 4]);
+        assert_eq!(plan.assignments()[2], vec![2, 5]);
+        assert_eq!(plan.device_of(4), Some(1));
+        assert_eq!(plan.device_of(7), None);
+    }
+
+    #[test]
+    fn capacity_weighted_plan_is_proportional_and_complete() {
+        // 3:1 weights over 8 blocks: 6 and 2.
+        let plan = ShardPlan::new(ShardPolicy::CapacityWeighted, &[3.0, 1.0], 8);
+        assert_eq!(plan.assignments()[0].len(), 6);
+        assert_eq!(plan.assignments()[1].len(), 2);
+        let mut seen: Vec<usize> = plan.assignments().iter().flatten().copied().collect();
+        seen.sort_unstable();
+        assert_eq!(seen, (0..8).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn degenerate_weights_fall_back_to_round_robin() {
+        let plan = ShardPlan::new(ShardPolicy::CapacityWeighted, &[0.0, 0.0], 4);
+        assert_eq!(plan.assignments()[0], vec![0, 2]);
+        assert_eq!(plan.assignments()[1], vec![1, 3]);
+    }
+
+    #[test]
+    fn sharded_stream_matches_single_device_blocks() {
+        let blocks: Vec<HostComplexMatrix> = (0..10).map(|i| block(16, 8, i)).collect();
+        let single = Beamformer::new(
+            &Gpu::A100.device(),
+            weights(4, 16),
+            8,
+            BeamformerConfig::float16(),
+        )
+        .unwrap();
+        for policy in [ShardPolicy::RoundRobin, ShardPolicy::CapacityWeighted] {
+            let engine = sharded(&[Gpu::A100, Gpu::Gh200, Gpu::Mi300x], policy);
+            let run = engine.beamform_stream(&blocks).unwrap();
+            assert_eq!(run.outputs.len(), blocks.len());
+            for (output, samples) in run.outputs.iter().zip(&blocks) {
+                let reference = single.beamform(samples).unwrap();
+                assert_eq!(output.beams, reference.beams, "policy {policy:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn capacity_weighted_pool_loads_the_fast_device_heavier() {
+        let engine = sharded(&[Gpu::Gh200, Gpu::Ad4000], ShardPolicy::CapacityWeighted);
+        let plan = engine.plan_shards(20);
+        // GH200 measures 646 TOPs/s vs the AD4000's 117: roughly 17 vs 3.
+        assert!(
+            plan.assignments()[0].len() > 3 * plan.assignments()[1].len(),
+            "assignments {:?}",
+            plan.assignments()
+        );
+    }
+
+    #[test]
+    fn merged_report_sums_devices_and_takes_the_straggler() {
+        let engine = sharded(&[Gpu::A100, Gpu::A100], ShardPolicy::RoundRobin);
+        let blocks: Vec<HostComplexMatrix> = (0..6).map(|i| block(16, 8, i)).collect();
+        let run = engine.beamform_stream(&blocks).unwrap();
+        let report = &run.report;
+        assert_eq!(report.total_blocks(), 6);
+        let by_hand_joules: f64 = report
+            .per_device()
+            .iter()
+            .map(|s| s.report.total_joules)
+            .sum();
+        assert!((report.total_joules() - by_hand_joules).abs() < 1e-12);
+        let agg: f64 = report
+            .per_device()
+            .iter()
+            .map(|s| s.report.aggregate_tops())
+            .sum();
+        assert!((report.aggregate_tops() - agg).abs() < 1e-9);
+        let straggler = report.straggler().unwrap();
+        assert_eq!(
+            report.wall_clock_s(),
+            report.per_device()[straggler].report.total_elapsed_s
+        );
+        // Identical devices with equal shares: near-2x parallel speed-up.
+        assert!(report.speedup_over_serial() > 1.9);
+        assert!(report.worst_tops() <= report.mean_tops() * (1.0 + 1e-12));
+        assert!(report.mean_tops() <= report.best_tops() * (1.0 + 1e-12));
+    }
+
+    #[test]
+    fn empty_sharded_report_is_all_zeros() {
+        let engine = sharded(&[Gpu::A100, Gpu::Gh200], ShardPolicy::CapacityWeighted);
+        let no_blocks: [HostComplexMatrix; 0] = [];
+        let run = engine.beamform_stream(&no_blocks).unwrap();
+        let report = run.report;
+        assert_eq!(report.total_blocks(), 0);
+        assert_eq!(report.aggregate_tops(), 0.0);
+        assert_eq!(report.wall_clock_s(), 0.0);
+        assert_eq!(report.effective_fps(), 0.0);
+        assert_eq!(report.tops_per_joule(), 0.0);
+        assert_eq!(report.speedup_over_serial(), 0.0);
+        assert_eq!(report.worst_tops(), 0.0);
+        assert_eq!(report.best_tops(), 0.0);
+    }
+
+    #[test]
+    fn session_accumulates_across_calls_and_swaps_weights_everywhere() {
+        let engine = sharded(&[Gpu::A100, Gpu::Gh200], ShardPolicy::RoundRobin);
+        let mut session = engine.into_session();
+        let blocks: Vec<HostComplexMatrix> = (0..4).map(|i| block(16, 8, i)).collect();
+        let before = session.process_stream(&blocks).unwrap();
+        let resteered = WeightMatrix::from_matrix(HostComplexMatrix::from_fn(4, 16, |b, r| {
+            Complex::from_polar(1.0 / 16.0, -((b * r) as f32 * 0.03))
+        }));
+        session.swap_weights(resteered).unwrap();
+        let after = session.process_stream(&blocks).unwrap();
+        // Every block on every device sees the new weights.
+        for (b, a) in before.iter().zip(&after) {
+            assert!(b.beams.max_abs_diff(&a.beams) > 1e-3);
+        }
+        let report = session.finish();
+        assert_eq!(report.total_blocks(), 8);
+        assert_eq!(report.weight_swaps(), 1);
+    }
+
+    #[test]
+    fn shape_changing_swaps_leave_the_pool_untouched() {
+        let engine = sharded(&[Gpu::A100, Gpu::A100], ShardPolicy::RoundRobin);
+        let mut session = engine.into_session();
+        assert!(session.swap_weights(weights(5, 16)).is_err());
+        assert_eq!(session.report().weight_swaps(), 0);
+        // The pool still works on the old shape.
+        let blocks = [block(16, 8, 0)];
+        assert!(session.process_stream(&blocks).is_ok());
+    }
+
+    #[test]
+    fn batched_configs_are_rejected() {
+        let config = BeamformerConfig {
+            batch: 2,
+            ..BeamformerConfig::float16()
+        };
+        let err = ShardedBeamformer::new(
+            &DevicePool::homogeneous(Gpu::A100, 2),
+            weights(4, 16),
+            8,
+            config,
+            ShardPolicy::RoundRobin,
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("batch 1"));
+    }
+}

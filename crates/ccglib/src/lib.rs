@@ -54,7 +54,7 @@ pub mod transpose;
 pub use error::{CcglibError, Result};
 pub use gemm::{ComplexOutput, GemmBatchInput, GemmInput};
 pub use params::{ParameterSpace, TuningParameters};
-pub use plan::{calibration_enumerations, Gemm, GemmPlan, RunReport};
+pub use plan::{calibration_enumerations, warm_calibration, Gemm, GemmPlan, RunReport};
 pub use reference::reference_gemm;
 
 use serde::{Deserialize, Serialize};

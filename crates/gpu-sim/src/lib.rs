@@ -22,6 +22,9 @@
 //! * [`memory`] — shared-memory capacity and asynchronous-copy pipeline
 //!   modelling used by the execution model and by the kernel planner to
 //!   reject invalid tuning configurations.
+//! * [`pool`] — multi-device hosts: a [`DevicePool`] of simulated GPUs
+//!   (heterogeneous mixes allowed) with the per-member peak throughputs the
+//!   sharding layer weights work by.
 //! * [`power`] — a simple utilisation-based power model sampled by the
 //!   `pmt` crate to produce energy-efficiency numbers.
 //! * [`roofline`] — roofline ceilings and attainable-performance queries
@@ -37,6 +40,7 @@ pub mod arch;
 pub mod device;
 pub mod exec;
 pub mod memory;
+pub mod pool;
 pub mod power;
 pub mod roofline;
 pub mod wmma;
@@ -45,6 +49,7 @@ pub use arch::{Architecture, BitOp, Vendor};
 pub use device::{Device, DeviceSpec, Gpu};
 pub use exec::{ExecutionModel, KernelKind, KernelProfile, KernelTimings, LaunchConfig};
 pub use memory::{MemoryModel, SharedMemoryPlan};
+pub use pool::DevicePool;
 pub use power::{PowerModel, PowerSample};
 pub use roofline::{Roofline, RooflinePoint};
 pub use wmma::{BitFragmentShape, FragmentShape};

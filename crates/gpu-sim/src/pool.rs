@@ -1,0 +1,163 @@
+//! Multi-device pools.
+//!
+//! The paper's scale targets (LOFAR's central processor, volumetric
+//! ultrasound) need more than one accelerator; a [`DevicePool`] models a
+//! host with several simulated GPUs attached.  Pools may be heterogeneous —
+//! any mix of catalog entries, e.g. an A100 next to an MI300X — and expose
+//! the per-member peak throughputs the sharding layer uses to weight work
+//! by capacity.
+
+use crate::device::{Device, DeviceSpec, Gpu};
+use std::fmt;
+
+/// A pool of simulated GPUs attached to one host.
+///
+/// Pools are never empty, are cheap to clone, and may mix vendors and
+/// generations freely.  Member order is significant: shard plans address
+/// devices by their index in the pool.
+///
+/// ```
+/// use gpu_sim::{DevicePool, Gpu};
+///
+/// let pool = DevicePool::from_gpus(&[Gpu::A100, Gpu::Mi300x]);
+/// assert_eq!(pool.len(), 2);
+/// assert!(pool.is_heterogeneous());
+/// assert!(pool.total_f16_peak_tops() > Gpu::A100.spec().f16_peak_tops());
+/// ```
+#[derive(Clone, Debug)]
+pub struct DevicePool {
+    devices: Vec<Device>,
+}
+
+impl DevicePool {
+    /// Creates a pool from device instances.
+    ///
+    /// # Panics
+    /// Panics if `devices` is empty: a pool models at least one attached
+    /// accelerator.
+    pub fn new(devices: Vec<Device>) -> Self {
+        assert!(!devices.is_empty(), "a device pool cannot be empty");
+        DevicePool { devices }
+    }
+
+    /// Creates a pool of catalog devices, one per entry of `gpus` (repeats
+    /// allowed: `&[Gpu::A100, Gpu::A100]` is a dual-A100 host).
+    ///
+    /// # Panics
+    /// Panics if `gpus` is empty.
+    pub fn from_gpus(gpus: &[Gpu]) -> Self {
+        Self::new(gpus.iter().map(|g| g.device()).collect())
+    }
+
+    /// Creates a homogeneous pool of `count` identical devices.
+    ///
+    /// # Panics
+    /// Panics if `count` is zero.
+    pub fn homogeneous(gpu: Gpu, count: usize) -> Self {
+        Self::new((0..count).map(|_| gpu.device()).collect())
+    }
+
+    /// Number of devices in the pool.
+    #[allow(clippy::len_without_is_empty)] // pools are never empty
+    pub fn len(&self) -> usize {
+        self.devices.len()
+    }
+
+    /// The pool members, in index order.
+    pub fn devices(&self) -> &[Device] {
+        &self.devices
+    }
+
+    /// The device at `index`.
+    pub fn get(&self, index: usize) -> &Device {
+        &self.devices[index]
+    }
+
+    /// Iterates over the members in index order.
+    pub fn iter(&self) -> std::slice::Iter<'_, Device> {
+        self.devices.iter()
+    }
+
+    /// The catalog identifiers of the members, in index order.
+    pub fn gpus(&self) -> Vec<Gpu> {
+        self.devices.iter().map(|d| d.gpu()).collect()
+    }
+
+    /// Whether the pool mixes different catalog entries.
+    pub fn is_heterogeneous(&self) -> bool {
+        self.devices
+            .iter()
+            .any(|d| d.gpu() != self.devices[0].gpu())
+    }
+
+    /// Whether every member supports 1-bit tensor-core operations.
+    pub fn supports_int1(&self) -> bool {
+        self.devices.iter().all(|d| d.spec().supports_int1())
+    }
+
+    /// Per-member measured float16 tensor-core peaks in TOP/s — a
+    /// convenient capacity summary of the pool.  (The sharding layer
+    /// computes its own weights from each member's peak at the *session
+    /// precision*, which for 1-bit mode differs from these values.)
+    pub fn f16_capacity_weights(&self) -> Vec<f64> {
+        self.devices
+            .iter()
+            .map(|d| d.spec().f16_peak_tops())
+            .collect()
+    }
+
+    /// Sum of the members' measured float16 peaks in TOP/s: the theoretical
+    /// aggregate ceiling of the pool.
+    pub fn total_f16_peak_tops(&self) -> f64 {
+        self.f16_capacity_weights().iter().sum()
+    }
+
+    /// The specifications of the members, in index order.
+    pub fn specs(&self) -> Vec<DeviceSpec> {
+        self.devices.iter().map(|d| d.spec().clone()).collect()
+    }
+}
+
+impl fmt::Display for DevicePool {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let names: Vec<&str> = self.devices.iter().map(|d| d.spec().gpu.name()).collect();
+        write!(f, "pool[{}]", names.join(", "))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn homogeneous_pool_replicates_one_device() {
+        let pool = DevicePool::homogeneous(Gpu::A100, 4);
+        assert_eq!(pool.len(), 4);
+        assert!(!pool.is_heterogeneous());
+        assert!(pool.supports_int1());
+        assert_eq!(
+            pool.total_f16_peak_tops(),
+            4.0 * Gpu::A100.spec().f16_peak_tops()
+        );
+        assert_eq!(pool.gpus(), vec![Gpu::A100; 4]);
+    }
+
+    #[test]
+    fn heterogeneous_pool_mixes_vendors() {
+        let pool = DevicePool::from_gpus(&[Gpu::Gh200, Gpu::Mi300x, Gpu::A100]);
+        assert!(pool.is_heterogeneous());
+        // The AMD member has no 1-bit support, so the pool does not either.
+        assert!(!pool.supports_int1());
+        let weights = pool.f16_capacity_weights();
+        assert_eq!(weights.len(), 3);
+        assert_eq!(weights[1], Gpu::Mi300x.spec().f16_peak_tops());
+        assert_eq!(pool.get(2).gpu(), Gpu::A100);
+        assert!(pool.to_string().contains("MI300X"));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn empty_pools_are_rejected() {
+        DevicePool::new(Vec::new());
+    }
+}

@@ -12,10 +12,13 @@
 
 use crate::station::StationBeamlets;
 use beamform::geometry::SPEED_OF_LIGHT;
-use beamform::{BeamformSession, Beamformer, BeamformerConfig, SessionReport, WeightMatrix};
+use beamform::{
+    BeamformSession, Beamformer, BeamformerConfig, SessionReport, ShardPolicy, ShardedBeamformer,
+    ShardedSessionReport, WeightMatrix,
+};
 use ccglib::matrix::HostComplexMatrix;
 use ccglib::{reference_gemm, RunReport};
-use gpu_sim::Device;
+use gpu_sim::{Device, DevicePool};
 use serde::{Deserialize, Serialize};
 use tcbf_types::Complex;
 
@@ -175,6 +178,63 @@ impl CentralBeamformer {
         Ok((outputs, session.finish()))
     }
 
+    /// Streams a whole observation across a multi-GPU pool: the coherent
+    /// beamforming of consecutive beamlet blocks is sharded over the pool
+    /// members under `policy`, blocks execute in parallel (one worker per
+    /// device) and the merged [`ShardedSessionReport`] retains the
+    /// per-device breakdown.
+    ///
+    /// Functionally identical to [`CentralBeamformer::stream_coherent`]:
+    /// the per-block outputs do not depend on which device computed them.
+    /// Retunes (frequency or station-layout changes) hot-swap the station
+    /// weights on **every** pool member, so the stream is processed as
+    /// consecutive constant-tuning segments, each fanned out across the
+    /// whole pool.
+    pub fn stream_coherent_sharded(
+        &self,
+        pool: &DevicePool,
+        policy: ShardPolicy,
+        blocks: &[StationBeamlets],
+    ) -> ccglib::Result<(Vec<CentralOutput>, ShardedSessionReport)> {
+        let Some(first) = blocks.first() else {
+            return Err(ccglib::CcglibError::ShapeMismatch {
+                expected: "at least one beamlet block".to_string(),
+                actual: "0 blocks".to_string(),
+            });
+        };
+        let engine = ShardedBeamformer::new(
+            pool,
+            WeightMatrix::from_matrix(self.weights(first)),
+            first.num_samples(),
+            BeamformerConfig::float16(),
+            policy,
+        )?;
+        let mut session = engine.into_session();
+        let mut outputs = Vec::with_capacity(blocks.len());
+        let mut tuning = (first.frequency(), first.station_positions_m().to_vec());
+        let mut segment: Vec<&HostComplexMatrix> = Vec::new();
+        let drain = |session: &mut beamform::ShardedSession,
+                     segment: &mut Vec<&HostComplexMatrix>,
+                     outputs: &mut Vec<CentralOutput>|
+         -> ccglib::Result<()> {
+            for output in session.process_stream(segment)? {
+                outputs.push(self.output_from(output.beams, output.report));
+            }
+            segment.clear();
+            Ok(())
+        };
+        for block in blocks {
+            if block.frequency() != tuning.0 || block.station_positions_m() != tuning.1 {
+                drain(&mut session, &mut segment, &mut outputs)?;
+                session.swap_weights(WeightMatrix::from_matrix(self.weights(block)))?;
+                tuning = (block.frequency(), block.station_positions_m().to_vec());
+            }
+            segment.push(block.matrix());
+        }
+        drain(&mut session, &mut segment, &mut outputs)?;
+        Ok((outputs, session.finish()))
+    }
+
     /// Mean power of one beam over all samples.
     pub fn mean_beam_power(output: &CentralOutput, beam: usize) -> f64 {
         let series = &output.power[beam];
@@ -297,6 +357,56 @@ mod tests {
         );
         // Empty observations are rejected.
         assert!(bf.stream_coherent(&[]).is_err());
+    }
+
+    #[test]
+    fn sharded_observation_matches_the_single_device_stream() {
+        let make = |frequency: f64, seed: u64| {
+            StationBeamlets::synthesise(
+                16,
+                32,
+                frequency,
+                &[SkySource {
+                    azimuth: 1e-4,
+                    amplitude: 1.0,
+                }],
+                0.0,
+                32,
+                0.05,
+                seed,
+            )
+        };
+        // Five blocks with a retune after the third: the sharded session
+        // must hot-swap weights on every member and keep outputs identical
+        // to the single-device stream.
+        let blocks = vec![
+            make(FREQ, 1),
+            make(FREQ, 2),
+            make(FREQ, 3),
+            make(1.1 * FREQ, 4),
+            make(1.1 * FREQ, 5),
+        ];
+        let bf = CentralBeamformer::new(&Gpu::A100.device(), beam_grid());
+        let (single, _) = bf.stream_coherent(&blocks).unwrap();
+        let pool = DevicePool::from_gpus(&[Gpu::A100, Gpu::Gh200, Gpu::Mi300x]);
+        let (sharded, report) = bf
+            .stream_coherent_sharded(&pool, ShardPolicy::CapacityWeighted, &blocks)
+            .unwrap();
+        assert_eq!(sharded.len(), single.len());
+        for (s, r) in sharded.iter().zip(&single) {
+            assert_eq!(
+                s.complex_beams.as_ref().unwrap(),
+                r.complex_beams.as_ref().unwrap()
+            );
+        }
+        assert_eq!(report.total_blocks(), 5);
+        assert_eq!(report.weight_swaps(), 1);
+        assert_eq!(report.per_device().len(), 3);
+        assert!(report.aggregate_tops() > 0.0);
+        // Empty observations are rejected, like the single-device path.
+        assert!(bf
+            .stream_coherent_sharded(&pool, ShardPolicy::RoundRobin, &[])
+            .is_err());
     }
 
     #[test]

@@ -8,10 +8,10 @@
 
 use crate::error::{Result, TcbfError};
 use crate::TensorCoreBeamformer;
-use beamform::{Beamformer, BeamformerConfig, WeightMatrix};
+use beamform::{Beamformer, BeamformerConfig, ShardPolicy, ShardedBeamformer, WeightMatrix};
 use ccglib::matrix::HostComplexMatrix;
 use ccglib::{Precision, TuningParameters};
-use gpu_sim::Gpu;
+use gpu_sim::{DevicePool, Gpu};
 
 /// Fluent builder for [`TensorCoreBeamformer`]; obtained from
 /// [`TensorCoreBeamformer::builder`].
@@ -36,6 +36,8 @@ use gpu_sim::Gpu;
 #[derive(Clone, Debug)]
 pub struct BeamformerBuilder {
     gpu: Gpu,
+    devices: Vec<Gpu>,
+    shard_policy: ShardPolicy,
     weights: Option<WeightMatrix>,
     samples_per_block: usize,
     precision: Precision,
@@ -45,17 +47,36 @@ pub struct BeamformerBuilder {
 
 impl BeamformerBuilder {
     /// Starts a configuration for `gpu` with the defaults: float16
-    /// precision, batch 1, shipped tuning parameters, no weights or block
-    /// length yet.
+    /// precision, batch 1, shipped tuning parameters, single device,
+    /// capacity-weighted shard policy, no weights or block length yet.
     pub fn new(gpu: Gpu) -> Self {
         BeamformerBuilder {
             gpu,
+            devices: Vec::new(),
+            shard_policy: ShardPolicy::default(),
             weights: None,
             samples_per_block: 0,
             precision: Precision::Float16,
             batch: 1,
             params: None,
         }
+    }
+
+    /// Configures a multi-device pool (heterogeneous mixes allowed;
+    /// repeats model several identical cards).  A configuration with a
+    /// pool builds through [`BeamformerBuilder::build_sharded`]; an empty
+    /// slice reverts to the single-device path.
+    pub fn devices(mut self, gpus: &[Gpu]) -> Self {
+        self.devices = gpus.to_vec();
+        self
+    }
+
+    /// Sets how block streams are partitioned across the pool (default:
+    /// [`ShardPolicy::CapacityWeighted`]).  Only meaningful together with
+    /// [`BeamformerBuilder::devices`].
+    pub fn shard_policy(mut self, policy: ShardPolicy) -> Self {
+        self.shard_policy = policy;
+        self
     }
 
     /// Sets the beam weights from a raw `beams × receivers` matrix.
@@ -98,14 +119,10 @@ impl BeamformerBuilder {
         self
     }
 
-    /// Validates the whole configuration and constructs the beamformer.
-    ///
-    /// Checks, in order: weights present and non-empty, block length and
-    /// batch non-zero, precision supported on the device, tuning
-    /// parameters launchable, operands within device memory.  The first
-    /// violation is returned as the matching [`TcbfError`] variant.
-    pub fn build(self) -> Result<TensorCoreBeamformer> {
-        let weights = self.weights.ok_or(TcbfError::MissingWeights)?;
+    /// Shared validation of the builder fields every build path performs:
+    /// weights present and non-empty, block length and batch non-zero.
+    fn validated_weights(&self) -> Result<()> {
+        let weights = self.weights.as_ref().ok_or(TcbfError::MissingWeights)?;
         if weights.num_beams() == 0 || weights.num_receivers() == 0 {
             return Err(TcbfError::EmptyWeights {
                 beams: weights.num_beams(),
@@ -118,6 +135,25 @@ impl BeamformerBuilder {
         if self.batch == 0 {
             return Err(TcbfError::ZeroBatch);
         }
+        Ok(())
+    }
+
+    /// Validates the whole configuration and constructs the beamformer.
+    ///
+    /// Checks, in order: no device pool configured (pools build through
+    /// [`BeamformerBuilder::build_sharded`]), weights present and
+    /// non-empty, block length and batch non-zero, precision supported on
+    /// the device, tuning parameters launchable, operands within device
+    /// memory.  The first violation is returned as the matching
+    /// [`TcbfError`] variant.
+    pub fn build(self) -> Result<TensorCoreBeamformer> {
+        if !self.devices.is_empty() {
+            return Err(TcbfError::ShardedConfiguration {
+                devices: self.devices.len(),
+            });
+        }
+        self.validated_weights()?;
+        let weights = self.weights.expect("validated above");
         let config = BeamformerConfig {
             precision: self.precision,
             batch: self.batch,
@@ -125,5 +161,56 @@ impl BeamformerBuilder {
         };
         let inner = Beamformer::new(&self.gpu.device(), weights, self.samples_per_block, config)?;
         Ok(TensorCoreBeamformer::from_parts(inner, self.gpu))
+    }
+
+    /// Validates the whole configuration and constructs a
+    /// [`ShardedBeamformer`] spanning the configured device pool (or a
+    /// single-member pool of the builder's device if
+    /// [`BeamformerBuilder::devices`] was never called).
+    ///
+    /// The batch size must be 1: sharding distributes whole blocks across
+    /// the pool members instead.
+    ///
+    /// ```
+    /// use tcbf::{Gpu, ShardPolicy, TensorCoreBeamformer};
+    /// use ccglib::matrix::HostComplexMatrix;
+    /// use tcbf_types::Complex;
+    ///
+    /// let weights = HostComplexMatrix::from_fn(8, 32, |b, r| {
+    ///     Complex::from_polar(1.0 / 32.0, (b * r) as f32 * 0.01)
+    /// });
+    /// let sharded = TensorCoreBeamformer::builder(Gpu::A100)
+    ///     .weights(weights)
+    ///     .samples_per_block(64)
+    ///     .devices(&[Gpu::A100, Gpu::Gh200])
+    ///     .shard_policy(ShardPolicy::CapacityWeighted)
+    ///     .build_sharded()
+    ///     .unwrap();
+    /// assert_eq!(sharded.num_devices(), 2);
+    /// ```
+    pub fn build_sharded(self) -> Result<ShardedBeamformer> {
+        self.validated_weights()?;
+        if self.batch != 1 {
+            return Err(TcbfError::ShardedBatch { batch: self.batch });
+        }
+        let weights = self.weights.expect("validated above");
+        let gpus = if self.devices.is_empty() {
+            vec![self.gpu]
+        } else {
+            self.devices
+        };
+        let pool = DevicePool::from_gpus(&gpus);
+        let config = BeamformerConfig {
+            precision: self.precision,
+            batch: 1,
+            params: self.params,
+        };
+        Ok(ShardedBeamformer::new(
+            &pool,
+            weights,
+            self.samples_per_block,
+            config,
+            self.shard_policy,
+        )?)
     }
 }

@@ -27,6 +27,19 @@ pub enum TcbfError {
     ZeroSamplesPerBlock,
     /// The batch size is zero.
     ZeroBatch,
+    /// `build()` was called on a configuration with a device pool; a
+    /// multi-device configuration builds a sharded beamformer.
+    ShardedConfiguration {
+        /// Number of devices configured through `.devices(...)`.
+        devices: usize,
+    },
+    /// `build_sharded()` was called with a batch size other than 1:
+    /// sharding distributes whole blocks across the pool, so per-device
+    /// batching is not meaningful.
+    ShardedBatch {
+        /// The configured batch size.
+        batch: usize,
+    },
     /// The requested precision is not supported on the selected device
     /// (1-bit mode on AMD GPUs).
     UnsupportedPrecision {
@@ -111,6 +124,14 @@ impl std::fmt::Display for TcbfError {
             TcbfError::ZeroBatch => {
                 write!(f, "batch size must be non-zero: call .batch(n) with n > 0")
             }
+            TcbfError::ShardedConfiguration { devices } => write!(
+                f,
+                "a {devices}-device pool is configured: call .build_sharded() instead of .build()"
+            ),
+            TcbfError::ShardedBatch { batch } => write!(
+                f,
+                "sharded execution distributes whole blocks across the pool: configure batch 1 instead of {batch}"
+            ),
             TcbfError::UnsupportedPrecision { device, precision } => {
                 write!(f, "{precision} precision is not supported on {device}")
             }

@@ -11,6 +11,12 @@
 //!   receiver samples, supports weight hot-swap mid-stream, and
 //!   accumulates a [`SessionReport`] (aggregate/mean/worst-case TOPs,
 //!   total joules, effective frame rate) over the whole run;
+//! * multi-device scale-out — `.devices(&[...])` and `.shard_policy(...)`
+//!   on the builder configure a [`DevicePool`] and
+//!   [`BeamformerBuilder::build_sharded`] returns a [`ShardedBeamformer`]
+//!   that partitions block streams across the pool (round-robin or
+//!   capacity-weighted) and merges the per-device reports into a
+//!   [`ShardedSessionReport`];
 //! * re-exports of the building blocks (`ccglib`, the device catalog, the
 //!   tuner, the generic beamforming layer) for users who need lower-level
 //!   control;
@@ -27,7 +33,9 @@ mod error;
 
 pub use beamform::{
     ArrayGeometry, BatchBeamformOutput, BeamformOutput, BeamformSession, Beamformer,
-    BeamformerConfig, PlaneWaveSource, SessionReport, SignalGenerator, WeightMatrix,
+    BeamformerConfig, DeviceShardReport, PlaneWaveSource, SessionReport, ShardPlan, ShardPolicy,
+    ShardedBeamformer, ShardedSession, ShardedSessionReport, ShardedStreamOutput, SignalGenerator,
+    WeightMatrix,
 };
 pub use builder::BeamformerBuilder;
 pub use ccglib::{
@@ -35,7 +43,7 @@ pub use ccglib::{
     TuningParameters,
 };
 pub use error::{Result, TcbfError};
-pub use gpu_sim::{Device, DeviceSpec, Gpu};
+pub use gpu_sim::{Device, DevicePool, DeviceSpec, Gpu};
 pub use pmt::{EnergyMeasurement, PowerMeter};
 pub use tuner::{Objective, Strategy, TuneOutcome, Tuner};
 
@@ -328,6 +336,72 @@ mod tests {
         let report = session.finish();
         assert_eq!(report.blocks, 2);
         assert_eq!(report.weight_swaps, 1);
+    }
+
+    #[test]
+    fn builder_configures_a_sharded_pool() {
+        let sharded = TensorCoreBeamformer::builder(Gpu::A100)
+            .weights(weights(4, 16))
+            .samples_per_block(8)
+            .devices(&[Gpu::A100, Gpu::Gh200, Gpu::Mi300x])
+            .shard_policy(ShardPolicy::CapacityWeighted)
+            .build_sharded()
+            .unwrap();
+        assert_eq!(sharded.num_devices(), 3);
+        assert_eq!(sharded.policy(), ShardPolicy::CapacityWeighted);
+        let blocks: Vec<HostComplexMatrix> = (0..5)
+            .map(|i| {
+                HostComplexMatrix::from_fn(16, 8, |r, s| {
+                    Complex::new((r + s + i) as f32 * 0.05, r as f32 * 0.01)
+                })
+            })
+            .collect();
+        let run = sharded.beamform_stream(&blocks).unwrap();
+        assert_eq!(run.outputs.len(), 5);
+        assert_eq!(run.report.total_blocks(), 5);
+        // Without .devices(...), build_sharded() is a single-member pool.
+        let single = TensorCoreBeamformer::builder(Gpu::A100)
+            .weights(weights(4, 16))
+            .samples_per_block(8)
+            .build_sharded()
+            .unwrap();
+        assert_eq!(single.num_devices(), 1);
+    }
+
+    #[test]
+    fn sharded_configurations_reject_the_wrong_build_path() {
+        let pooled = || {
+            TensorCoreBeamformer::builder(Gpu::A100)
+                .weights(weights(4, 16))
+                .samples_per_block(8)
+                .devices(&[Gpu::A100, Gpu::A100])
+        };
+        assert_eq!(
+            pooled().build().unwrap_err(),
+            TcbfError::ShardedConfiguration { devices: 2 }
+        );
+        assert_eq!(
+            pooled().batch(3).build_sharded().unwrap_err(),
+            TcbfError::ShardedBatch { batch: 3 }
+        );
+        // The sharded path still runs the common validations.
+        assert_eq!(
+            TensorCoreBeamformer::builder(Gpu::A100)
+                .devices(&[Gpu::A100])
+                .samples_per_block(8)
+                .build_sharded()
+                .unwrap_err(),
+            TcbfError::MissingWeights
+        );
+        // And precision support is validated per pool member.
+        assert!(matches!(
+            pooled()
+                .devices(&[Gpu::A100, Gpu::Mi300x])
+                .precision(Precision::Int1)
+                .build_sharded()
+                .unwrap_err(),
+            TcbfError::UnsupportedPrecision { .. }
+        ));
     }
 
     #[test]

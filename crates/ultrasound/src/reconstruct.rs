@@ -9,10 +9,13 @@
 //! magnitude and projected to produce the Fig. 6 maximum-intensity images.
 
 use crate::model::AcousticModel;
-use beamform::{BeamformSession, Beamformer, BeamformerConfig, SessionReport, WeightMatrix};
+use beamform::{
+    BeamformSession, Beamformer, BeamformerConfig, SessionReport, ShardPolicy, ShardedBeamformer,
+    ShardedSessionReport, WeightMatrix,
+};
 use ccglib::matrix::HostComplexMatrix;
 use ccglib::RunReport;
-use gpu_sim::Device;
+use gpu_sim::{Device, DevicePool};
 use serde::{Deserialize, Serialize};
 
 /// Precision of the reconstruction GEMM.
@@ -135,19 +138,24 @@ impl Reconstructor {
         }
     }
 
+    /// The beamformer configuration this reconstructor's precision maps
+    /// to.
+    fn config(&self) -> BeamformerConfig {
+        match self.precision {
+            ReconstructionPrecision::Int1 => BeamformerConfig::int1(),
+            ReconstructionPrecision::Float16 => BeamformerConfig::float16(),
+        }
+    }
+
     /// Builds the beamformer for one model/ensemble shape: the model matrix
     /// is the `voxels × K` weight matrix of the GEMM, one ensemble of
     /// `frames` measurements is one sample block.
     fn beamformer(&self, model: &AcousticModel, frames: usize) -> ccglib::Result<Beamformer> {
-        let config = match self.precision {
-            ReconstructionPrecision::Int1 => BeamformerConfig::int1(),
-            ReconstructionPrecision::Float16 => BeamformerConfig::float16(),
-        };
         Beamformer::new(
             &self.device,
             WeightMatrix::from_matrix(model.matrix().clone()),
             frames,
-            config,
+            self.config(),
         )
     }
 
@@ -233,6 +241,46 @@ impl Reconstructor {
             volumes.push(Self::volume_from(&output.beams, dims, output.report));
         }
         Ok((volumes, session.finish()))
+    }
+
+    /// Reconstructs a stream of measurement ensembles across a multi-GPU
+    /// pool: every ensemble is assigned to one pool member under `policy`
+    /// and the members reconstruct their shards in parallel.  The volumes
+    /// come back in acquisition order and are element-wise identical to
+    /// [`Reconstructor::reconstruct_stream`] on a single device; the
+    /// merged [`ShardedSessionReport`] retains the per-device breakdown.
+    pub fn reconstruct_stream_sharded(
+        &self,
+        model: &AcousticModel,
+        ensembles: &[HostComplexMatrix],
+        dims: (usize, usize, usize),
+        pool: &DevicePool,
+        policy: ShardPolicy,
+    ) -> ccglib::Result<(Vec<ReconstructedVolume>, ShardedSessionReport)> {
+        let Some(first) = ensembles.first() else {
+            return Err(ccglib::CcglibError::ShapeMismatch {
+                expected: "at least one measurement ensemble".to_string(),
+                actual: "0 ensembles".to_string(),
+            });
+        };
+        let engine = ShardedBeamformer::new(
+            pool,
+            WeightMatrix::from_matrix(model.matrix().clone()),
+            first.cols(),
+            self.config(),
+            policy,
+        )?;
+        let prepared: Vec<HostComplexMatrix> = ensembles
+            .iter()
+            .map(|ensemble| self.prepare(ensemble, model.config().k_rows()))
+            .collect();
+        let run = engine.beamform_stream(&prepared)?;
+        let volumes = run
+            .outputs
+            .into_iter()
+            .map(|output| Self::volume_from(&output.beams, dims, output.report))
+            .collect();
+        Ok((volumes, run.report))
     }
 }
 
@@ -416,6 +464,40 @@ mod tests {
         assert!(report.aggregate_tops() > 0.0);
         // Empty streams are rejected.
         assert!(rec.reconstruct_stream(&model, &[], dims).is_err());
+    }
+
+    #[test]
+    fn sharded_reconstruction_matches_single_device_and_keeps_order() {
+        let (model, measurements, dims, _) = setup(ReconstructionPrecision::Float16);
+        let rec = Reconstructor::new(
+            &Gpu::A100.device(),
+            ReconstructionPrecision::Float16,
+            DopplerMode::MeanRemoval,
+        );
+        // Four distinguishable acquisitions so order mix-ups would show.
+        let ensembles: Vec<HostComplexMatrix> = (0..4)
+            .map(|i| {
+                HostComplexMatrix::from_fn(measurements.rows(), measurements.cols(), |r, c| {
+                    measurements.get(r, c).scale(1.0 + 0.2 * i as f32)
+                })
+            })
+            .collect();
+        let (single, _) = rec.reconstruct_stream(&model, &ensembles, dims).unwrap();
+        let pool = DevicePool::from_gpus(&[Gpu::A100, Gpu::Mi210]);
+        let (sharded, report) = rec
+            .reconstruct_stream_sharded(&model, &ensembles, dims, &pool, ShardPolicy::RoundRobin)
+            .unwrap();
+        assert_eq!(sharded.len(), 4);
+        for (s, r) in sharded.iter().zip(&single) {
+            assert_eq!(s.intensity, r.intensity);
+        }
+        assert_eq!(report.total_blocks(), 4);
+        assert_eq!(report.per_device().len(), 2);
+        assert!(report.aggregate_tops() > 0.0);
+        // Empty streams are rejected, like the single-device path.
+        assert!(rec
+            .reconstruct_stream_sharded(&model, &[], dims, &pool, ShardPolicy::RoundRobin)
+            .is_err());
     }
 
     #[test]

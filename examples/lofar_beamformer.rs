@@ -1,12 +1,14 @@
 //! LOFAR-style radio-astronomy example: synthesise station beamlets for a
 //! sky with two pulsars, stream a whole observation through the central
-//! tensor-core beamformer (coherently, with a mid-stream retune that
-//! hot-swaps the station weights), localise the sources, and show the
-//! Fig. 7 performance comparison against the float32 reference beamformer.
+//! tensor-core beamformer **sharded across a four-GPU pool** (coherently,
+//! with a mid-stream retune that hot-swaps the station weights on every
+//! pool member), localise the sources, and show the Fig. 7 performance
+//! comparison against the float32 reference beamformer.
 //!
 //! Run with: `cargo run --release --example lofar_beamformer`
 
-use gpu_sim::Gpu;
+use beamform::ShardPolicy;
+use gpu_sim::{DevicePool, Gpu};
 use radioastro::performance::{lofar_sweep, reference_sweep, speedup_over_reference, LofarConfig};
 use radioastro::{CentralBeamformer, CentralMode, SkySource, StationBeamlets};
 
@@ -25,13 +27,14 @@ fn main() {
         },
     ];
     println!(
-        "Synthesising an observation: {stations} stations, 2 sources, 3 blocks x 128 samples…"
+        "Synthesising an observation: {stations} stations, 2 sources, 8 blocks x 128 samples…"
     );
-    let blocks: Vec<StationBeamlets> = (0..3)
+    let blocks: Vec<StationBeamlets> = (0..8)
         .map(|i| {
             // The observation retunes to a neighbouring sub-band for the
-            // final block: the session hot-swaps the station weights.
-            let block_frequency = if i == 2 { 1.02 * frequency } else { frequency };
+            // final blocks: the session hot-swaps the station weights on
+            // every pool member.
+            let block_frequency = if i >= 6 { 1.02 * frequency } else { frequency };
             StationBeamlets::synthesise(
                 stations,
                 48,
@@ -48,8 +51,13 @@ fn main() {
     let beam_azimuths: Vec<f64> = (0..15).map(|i| (i as f64 - 7.0) * 1e-4).collect();
     let central = CentralBeamformer::new(&Gpu::Gh200.device(), beam_azimuths.clone());
 
+    // Shard the observation across a four-GPU pool: blocks are assigned
+    // proportionally to each member's peak throughput and execute in
+    // parallel, one worker per device.
+    let pool = DevicePool::homogeneous(Gpu::Gh200, 4);
+    println!("Device pool: {pool}, capacity-weighted sharding");
     let (outputs, session) = central
-        .stream_coherent(&blocks)
+        .stream_coherent_sharded(&pool, ShardPolicy::CapacityWeighted, &blocks)
         .expect("coherent beamforming");
     let coherent = outputs.into_iter().next().expect("one output per block");
     let incoherent = central
@@ -76,10 +84,23 @@ fn main() {
     }
     println!(
         "Observation session: {} blocks, {} weight swap(s), {:.3} TFLOPs/s aggregate, {:.4} J",
-        session.blocks,
-        session.weight_swaps,
+        session.total_blocks(),
+        session.weight_swaps(),
         session.aggregate_tops(),
-        session.total_joules
+        session.total_joules()
+    );
+    for shard in session.per_device() {
+        println!(
+            "    {:>7}: {} blocks, {:.3} TFLOPs/s aggregate, {:.6} J",
+            shard.gpu.name(),
+            shard.report.blocks,
+            shard.report.aggregate_tops(),
+            shard.report.total_joules
+        );
+    }
+    println!(
+        "Parallel speed-up over one device: {:.2}x (wall clock set by the straggler)",
+        session.speedup_over_serial()
     );
 
     // --- Fig. 7 performance comparison ------------------------------------

@@ -1,11 +1,12 @@
 //! Computational ultrasound imaging example: build a synthetic flow
-//! phantom, reconstruct it with the 1-bit tensor-core path (Doppler
-//! processing before sign extraction) and print maximum-intensity
-//! projections, plus the real-time frame-rate analysis of Fig. 5.
+//! phantom, reconstruct a stream of acquisitions with the 1-bit
+//! tensor-core path (Doppler processing before sign extraction) **sharded
+//! across a two-GPU pool**, print maximum-intensity projections, plus the
+//! real-time frame-rate analysis of Fig. 5.
 //!
 //! Run with: `cargo run --release --example ultrasound_imaging`
 
-use tcbf::Gpu;
+use tcbf::{DevicePool, Gpu, ShardPolicy};
 use ultrasound::{
     offline_comparison, AcousticModel, DopplerMode, FlowPhantom, FrameRateModel, ImagingConfig,
     ReconstructionPrecision, Reconstructor, REAL_TIME_FPS,
@@ -45,24 +46,43 @@ fn main() {
         DopplerMode::MeanRemoval,
     );
     // Continuous imaging: stream consecutive acquisitions against the same
-    // model through one beamforming session.
-    let second_acquisition = phantom.measurements(&model, 20);
-    let ensembles = [measurements, second_acquisition];
+    // model, sharded across a two-GPU pool (one worker per device; the
+    // faster GH200 receives proportionally more acquisitions).
+    let ensembles: Vec<_> = (0..4).map(|_| phantom.measurements(&model, 20)).collect();
+    let mut pool_ensembles = vec![measurements];
+    pool_ensembles.extend(ensembles);
+    let pool = DevicePool::from_gpus(&[Gpu::Gh200, Gpu::A100]);
+    println!("Device pool: {pool}, capacity-weighted sharding");
     let (volumes, session) = reconstructor
-        .reconstruct_stream(&model, &ensembles, dims)
+        .reconstruct_stream_sharded(
+            &model,
+            &pool_ensembles,
+            dims,
+            &pool,
+            ShardPolicy::CapacityWeighted,
+        )
         .expect("reconstruction");
     let volume = &volumes[0];
     println!(
-        "Reconstruction (1-bit, simulated GH200): {:.2} ms predicted, {:.1} TOPs/s",
+        "Reconstruction (1-bit, simulated pool): {:.2} ms predicted, {:.1} TOPs/s",
         volume.report.predicted.elapsed_s * 1e3,
         volume.report.achieved_tops
     );
     println!(
-        "Streaming session: {} ensembles, {:.1} TOPs/s aggregate, {:.2} TOPs/J",
-        session.blocks,
+        "Streaming session: {} ensembles, {:.1} TOPs/s aggregate, {:.2} TOPs/J, {:.2}x over serial",
+        session.total_blocks(),
         session.aggregate_tops(),
-        session.tops_per_joule()
+        session.tops_per_joule(),
+        session.speedup_over_serial()
     );
+    for shard in session.per_device() {
+        println!(
+            "    {:>6}: {} ensembles, {:.1} TOPs/s aggregate",
+            shard.gpu.name(),
+            shard.report.blocks,
+            shard.report.aggregate_tops()
+        );
+    }
     for (axis, name) in [(2usize, "axial (top-down)"), (1, "coronal")] {
         let (img, w, h) = volume.max_intensity_projection(axis);
         println!();

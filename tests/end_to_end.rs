@@ -4,7 +4,8 @@
 
 use beamform::geometry::SPEED_OF_LIGHT;
 use beamform::{
-    ArrayGeometry, Beamformer, BeamformerConfig, PlaneWaveSource, SignalGenerator, WeightMatrix,
+    ArrayGeometry, Beamformer, BeamformerConfig, PlaneWaveSource, ShardPolicy, SignalGenerator,
+    WeightMatrix,
 };
 use ccglib::matrix::HostComplexMatrix;
 use ccglib::{reference_gemm, Gemm, GemmInput, Precision};
@@ -141,6 +142,66 @@ fn batched_beamformer_executes_functionally_and_matches_references() {
     let ops = output.report.achieved_tops * 1e12 * output.report.predicted.elapsed_s;
     let expected_ops = beamformer.shape().complex_ops() as f64;
     assert!((ops - expected_ops).abs() / expected_ops < 1e-6);
+}
+
+#[test]
+fn sharded_session_hot_swaps_weights_on_every_pool_member() {
+    // Acceptance: after a mid-stream swap_weights on a sharded session,
+    // *all* pool members beamform the next blocks with the new weights —
+    // verified by checking every post-swap block (each device owns at
+    // least one) against a single-device beamformer built directly on the
+    // new weights.
+    let geometry = linear_array(32);
+    let azimuths: Vec<f64> = (0..5).map(|i| -0.2 + 0.1 * i as f64).collect();
+    let initial = WeightMatrix::steering(&geometry, FREQ, &azimuths, true);
+    let mirrored: Vec<f64> = azimuths.iter().map(|a| -a).collect();
+    let swapped = WeightMatrix::steering(&geometry, FREQ, &mirrored, true);
+
+    let mut session = TensorCoreBeamformer::builder(Gpu::A100)
+        .weight_matrix(initial.clone())
+        .samples_per_block(16)
+        .devices(&[Gpu::A100, Gpu::Gh200, Gpu::Mi210])
+        .shard_policy(ShardPolicy::RoundRobin)
+        .build_sharded()
+        .unwrap()
+        .into_session();
+
+    // Six blocks over three devices: round robin gives every member two.
+    let mut generator = SignalGenerator::new(geometry.clone(), FREQ, 1e5, 0.1, 41);
+    let source = PlaneWaveSource {
+        azimuth: 0.1,
+        amplitude: 1.0,
+        baseband_frequency: 600.0,
+    };
+    let blocks: Vec<HostComplexMatrix> = (0..6)
+        .map(|_| generator.sensor_samples(&[source], 16))
+        .collect();
+
+    let before = session.process_stream(&blocks).unwrap();
+    session.swap_weights(swapped.clone()).unwrap();
+    let after = session.process_stream(&blocks).unwrap();
+
+    let reference = Beamformer::new(
+        &Gpu::A100.device(),
+        swapped,
+        16,
+        BeamformerConfig::float16(),
+    )
+    .unwrap();
+    for ((post, pre), samples) in after.iter().zip(&before).zip(&blocks) {
+        // The swap changed the output of every block…
+        assert!(pre.beams.max_abs_diff(&post.beams) > 1e-3);
+        // …and every member (each owns blocks in this stream) produces
+        // exactly the new-weights result.
+        assert_eq!(post.beams, reference.beamform(samples).unwrap().beams);
+    }
+    let report = session.finish();
+    assert_eq!(report.total_blocks(), 12);
+    assert_eq!(report.weight_swaps(), 1);
+    // All three members took part both before and after the swap.
+    for shard in report.per_device() {
+        assert_eq!(shard.report.blocks, 4);
+    }
 }
 
 #[test]

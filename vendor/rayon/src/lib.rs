@@ -1,12 +1,23 @@
-//! Offline stand-in for `rayon`, covering the slice of the API the GEMM
-//! reference kernels use: `par_chunks_mut(n).enumerate().for_each(f)`.
+//! Offline stand-in for `rayon`, covering the slices of the API the
+//! workspace uses: `par_chunks_mut(n).enumerate().for_each(f)` for the
+//! GEMM reference kernels and `par_iter().map(f).collect()` for the
+//! per-device fan-out of the sharded beamformer.
 //!
-//! Unlike a purely sequential shim, `for_each` here actually fans the
-//! chunks out over `std::thread::scope` threads (one per available core,
-//! chunks distributed round-robin), so the hot reference GEMM paths keep
-//! their multi-core scaling without the external dependency.
+//! Unlike a purely sequential shim, both surfaces actually fan the work
+//! out over `std::thread::scope` threads (one per available core, items
+//! distributed round-robin), so the hot paths keep their multi-core
+//! scaling without the external dependency.
 
 use std::num::NonZeroUsize;
+
+/// Number of worker threads for `len` work items: one per available core,
+/// never more than there are items.
+fn worker_threads(len: usize) -> usize {
+    std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+        .min(len.max(1))
+}
 
 /// A borrowed sequence of mutable chunks, optionally paired with indices.
 ///
@@ -45,10 +56,7 @@ impl<'a, T: Send> EnumeratedParChunksMut<'a, T> {
     where
         F: Fn((usize, &'a mut [T])) + Sync,
     {
-        let threads = std::thread::available_parallelism()
-            .map(NonZeroUsize::get)
-            .unwrap_or(1)
-            .min(self.chunks.len().max(1));
+        let threads = worker_threads(self.chunks.len());
         if threads <= 1 || self.chunks.len() <= 1 {
             for pair in self.chunks {
                 f(pair);
@@ -75,9 +83,73 @@ impl<'a, T: Send> EnumeratedParChunksMut<'a, T> {
     }
 }
 
+/// A borrowed parallel iterator over the items of a slice, as produced by
+/// `par_iter()`.
+pub struct ParIter<'a, T> {
+    items: Vec<&'a T>,
+}
+
+impl<'a, T: Sync> ParIter<'a, T> {
+    /// Maps every item through `f`, like `ParallelIterator::map`.
+    pub fn map<R, F>(self, f: F) -> ParIterMap<'a, T, F>
+    where
+        R: Send,
+        F: Fn(&'a T) -> R + Sync,
+    {
+        ParIterMap {
+            items: self.items,
+            f,
+        }
+    }
+}
+
+/// The mapped form of a [`ParIter`], ready to be collected.
+pub struct ParIterMap<'a, T, F> {
+    items: Vec<&'a T>,
+    f: F,
+}
+
+impl<'a, T: Sync, F> ParIterMap<'a, T, F> {
+    /// Runs the map on worker threads and collects the results in the
+    /// original item order, like `ParallelIterator::collect`.
+    pub fn collect<R, C>(self) -> C
+    where
+        R: Send,
+        F: Fn(&'a T) -> R + Sync,
+        C: FromIterator<R>,
+    {
+        let len = self.items.len();
+        let threads = worker_threads(len);
+        if threads <= 1 || len <= 1 {
+            return self.items.into_iter().map(self.f).collect();
+        }
+        // Round-robin the items across workers; every worker records the
+        // original index of each result so order can be restored.
+        let mut buckets: Vec<Vec<(usize, &'a T)>> = (0..threads).map(|_| Vec::new()).collect();
+        for (i, item) in self.items.into_iter().enumerate() {
+            buckets[i % threads].push((i, item));
+        }
+        let f = &self.f;
+        let gathered = std::sync::Mutex::new(Vec::with_capacity(len));
+        let sink = &gathered;
+        std::thread::scope(|scope| {
+            for bucket in buckets {
+                scope.spawn(move || {
+                    let produced: Vec<(usize, R)> =
+                        bucket.into_iter().map(|(i, item)| (i, f(item))).collect();
+                    sink.lock().unwrap().extend(produced);
+                });
+            }
+        });
+        let mut results = gathered.into_inner().unwrap();
+        results.sort_by_key(|(i, _)| *i);
+        results.into_iter().map(|(_, r)| r).collect()
+    }
+}
+
 /// Glob-import surface mirroring `rayon::prelude`.
 pub mod prelude {
-    use super::ParChunksMut;
+    use super::{ParChunksMut, ParIter};
 
     /// Parallel chunked iteration over mutable slices.
     pub trait ParallelSliceMut<T: Send> {
@@ -92,5 +164,52 @@ pub mod prelude {
                 chunks: self.chunks_mut(size).collect(),
             }
         }
+    }
+
+    /// Borrowed parallel iteration, mirroring rayon's
+    /// `IntoParallelRefIterator` for slices.
+    pub trait IntoParallelRefIterator<'data, T: Sync + 'data> {
+        /// A parallel iterator over shared references to the items.
+        fn par_iter(&'data self) -> ParIter<'data, T>;
+    }
+
+    impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data, T> for [T] {
+        fn par_iter(&'data self) -> ParIter<'data, T> {
+            ParIter {
+                items: self.iter().collect(),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn par_iter_map_collect_preserves_order() {
+        let items: Vec<usize> = (0..257).collect();
+        let doubled: Vec<usize> = items.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(doubled, (0..257).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn par_iter_handles_empty_and_single_inputs() {
+        let empty: Vec<u32> = Vec::new();
+        let out: Vec<u32> = empty.par_iter().map(|&x| x + 1).collect();
+        assert!(out.is_empty());
+        let one = [41u32];
+        let out: Vec<u32> = one.par_iter().map(|&x| x + 1).collect();
+        assert_eq!(out, vec![42]);
+    }
+
+    #[test]
+    fn par_iter_collects_results() {
+        let items = [1i32, -2, 3];
+        let out: Result<Vec<i32>, &'static str> = items
+            .par_iter()
+            .map(|&x| if x < 0 { Err("negative") } else { Ok(x) })
+            .collect();
+        assert_eq!(out, Err("negative"));
     }
 }
