@@ -12,7 +12,7 @@
 
 use crate::weights::WeightMatrix;
 use ccglib::matrix::HostComplexMatrix;
-use ccglib::{Gemm, GemmInput, Precision, RunReport, TuningParameters};
+use ccglib::{Gemm, GemmInput, Precision, PreparedOperand, RunReport, TuningParameters};
 use gpu_sim::Device;
 use serde::{Deserialize, Serialize};
 use tcbf_types::{Complex32, GemmShape};
@@ -77,9 +77,12 @@ pub struct Beamformer {
     device: Device,
     config: BeamformerConfig,
     weights: WeightMatrix,
-    /// The weights quantised to the operand precision once — every block
-    /// of a streaming session reuses it (rebuilt only on weight hot-swap).
-    quantised_weights: GemmInput,
+    /// The weights quantised to the operand precision *and* prepared for
+    /// the kernel (binary16 weights are bulk-decoded to f32 planes) once —
+    /// every block of a streaming session reuses both, so the hot path
+    /// never converts the `A` operand again (rebuilt only on weight
+    /// hot-swap).
+    prepared_weights: PreparedOperand,
     gemm: Gemm,
     samples_per_block: usize,
 }
@@ -102,12 +105,13 @@ impl Beamformer {
             Some(params) => Gemm::with_params(device, shape, config.precision, params)?,
             None => Gemm::new(device, shape, config.precision)?,
         };
-        let quantised_weights = Self::quantise_for(config.precision, weights.matrix());
+        let prepared_weights =
+            PreparedOperand::new(Self::quantise_for(config.precision, weights.matrix()));
         Ok(Beamformer {
             device: device.clone(),
             config,
             weights,
-            quantised_weights,
+            prepared_weights,
             gemm,
             samples_per_block,
         })
@@ -154,7 +158,8 @@ impl Beamformer {
                 actual: format!("{} x {}", weights.num_beams(), weights.num_receivers()),
             });
         }
-        self.quantised_weights = Self::quantise_for(self.config.precision, weights.matrix());
+        self.prepared_weights =
+            PreparedOperand::new(Self::quantise_for(self.config.precision, weights.matrix()));
         self.weights = weights;
         Ok(())
     }
@@ -217,9 +222,10 @@ impl Beamformer {
             });
         }
         self.validate_block(samples)?;
-        // ccglib consumes B transposed: N×K, one row per output sample.
+        // ccglib consumes B transposed: N×K, one row per output sample; the
+        // weights operand is the cached prepared (pre-decoded) one.
         let b = self.quantise(&samples.transposed());
-        let (beams, report) = self.gemm.run(&self.quantised_weights, &b)?;
+        let (beams, report) = self.gemm.run_prepared(&self.prepared_weights, &b)?;
         Ok(BeamformOutput { beams, report })
     }
 
@@ -244,7 +250,9 @@ impl Beamformer {
             .iter()
             .map(|block| self.quantise(&block.transposed()))
             .collect();
-        let (beams, report) = self.gemm.run_batch_shared(&self.quantised_weights, &b_ts)?;
+        let (beams, report) = self
+            .gemm
+            .run_batch_shared_prepared(&self.prepared_weights, &b_ts)?;
         Ok(BatchBeamformOutput { beams, report })
     }
 

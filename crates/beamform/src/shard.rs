@@ -315,7 +315,10 @@ pub struct ShardedStreamOutput {
 
 /// A beamformer spanning every member of a [`DevicePool`]: one identical
 /// [`Beamformer`] per device, a shard policy, and parallel per-shard
-/// execution.
+/// execution.  Every member caches its own prepared (pre-decoded) weight
+/// operand, so the per-device shard workers run the decode-once hot path:
+/// weights are converted when the pool is built (and on hot-swap), never
+/// per block.
 ///
 /// ```
 /// use beamform::{BeamformerConfig, ShardPolicy, ShardedBeamformer, WeightMatrix};

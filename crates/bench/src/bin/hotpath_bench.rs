@@ -1,0 +1,330 @@
+//! Wall-clock microbenchmark of the functional GEMM hot path.
+//!
+//! Unlike the figure/table binaries, which report *modelled* device
+//! performance, this harness measures the real elapsed time of the
+//! functional kernels that every session, shard and conformance test
+//! executes — the code rewritten for throughput in the hot-path PR.  For
+//! each shape in a small grid, and for both precisions (and both 1-bit
+//! formulations), it times:
+//!
+//! * the **baseline**: the pre-rewrite kernels, reimplemented here
+//!   verbatim — per-element `f16::to_f32` in the innermost loop, and four
+//!   separate masked popcount passes per 1-bit output element;
+//! * the **fused** path: the current `ccglib` kernels (decode-once f32
+//!   planes + blocked micro-kernel, fused `dot4` popcounts).
+//!
+//! Each measurement is a median of `reps` runs after a warmup run, and the
+//! fused output is checked against the baseline before timings are
+//! reported, so the harness cannot record a fast-but-wrong kernel.  The
+//! results are written to `BENCH_gemm.json` at the repository root, giving
+//! subsequent PRs a wall-clock trajectory to regress against.
+//!
+//! Usage: `hotpath_bench [--smoke] [--out PATH]`
+//! `--smoke` shrinks the grid and repetition count for CI.
+
+use ccglib::matrix::{F16Matrix, HostComplexMatrix, Int1Matrix};
+use ccglib::synth::pseudo_random_matrix;
+use ccglib::{gemm, reference_gemm};
+use gpu_sim::BitOp;
+use rayon::prelude::*;
+use std::time::Instant;
+use tcbf_bench::{header, print_table};
+use tcbf_types::Complex32;
+
+/// One measured (kernel, shape, formulation) cell.
+struct BenchEntry {
+    kernel: &'static str,
+    bit_op: Option<BitOp>,
+    m: usize,
+    n: usize,
+    k: usize,
+    baseline_median_s: f64,
+    fused_median_s: f64,
+}
+
+impl BenchEntry {
+    /// Wall-clock speedup of the fused path over the baseline.
+    fn speedup(&self) -> f64 {
+        self.baseline_median_s / self.fused_median_s
+    }
+
+    /// Throughput of the fused path in GElem/s: complex multiply-accumulate
+    /// elements (`M·N·K`) per second of wall-clock time.
+    fn gelems_per_s(&self) -> f64 {
+        (self.m * self.n * self.k) as f64 / self.fused_median_s / 1e9
+    }
+}
+
+/// The pre-rewrite float16 kernel: widens all four operand values to f32
+/// inside the innermost loop (`O(M·N·K)` conversions).
+fn baseline_gemm_f16(a: &F16Matrix, b_t: &F16Matrix) -> HostComplexMatrix {
+    let m = a.rows();
+    let n = b_t.rows();
+    let k = a.cols();
+    let (a_re, a_im) = (a.re(), a.im());
+    let (b_re, b_im) = (b_t.re(), b_t.im());
+    let mut out = vec![Complex32::ZERO; m * n];
+    out.par_chunks_mut(n).enumerate().for_each(|(i, row)| {
+        let a_re_row = &a_re[i * k..(i + 1) * k];
+        let a_im_row = &a_im[i * k..(i + 1) * k];
+        for (j, slot) in row.iter_mut().enumerate() {
+            let b_re_row = &b_re[j * k..(j + 1) * k];
+            let b_im_row = &b_im[j * k..(j + 1) * k];
+            let mut acc_rr = 0.0f32;
+            let mut acc_ii = 0.0f32;
+            let mut acc_ri = 0.0f32;
+            let mut acc_ir = 0.0f32;
+            for kk in 0..k {
+                let ar = a_re_row[kk].to_f32();
+                let ai = a_im_row[kk].to_f32();
+                let br = b_re_row[kk].to_f32();
+                let bi = b_im_row[kk].to_f32();
+                acc_rr += ar * br;
+                acc_ii += ai * bi;
+                acc_ri += ar * bi;
+                acc_ir += ai * br;
+            }
+            *slot = Complex32::new(acc_rr - acc_ii, acc_ri + acc_ir);
+        }
+    });
+    HostComplexMatrix::from_data(m, n, out).expect("baseline shape is consistent")
+}
+
+/// The pre-rewrite 1-bit kernel: four separate dot-product passes per
+/// output element, each re-deriving the tail mask per word, with the
+/// `K_pad` correction re-read inside the element loop.
+fn baseline_gemm_int1(a: &Int1Matrix, b_t: &Int1Matrix, op: BitOp) -> HostComplexMatrix {
+    let m = a.rows();
+    let n = b_t.rows();
+    let dot = |x: &tcbf_types::PackedBits, y: &tcbf_types::PackedBits| -> i32 {
+        match op {
+            BitOp::Xor => x.dot_xor(y),
+            BitOp::And => x.dot_and(y),
+        }
+    };
+    let mut out = vec![Complex32::ZERO; m * n];
+    out.par_chunks_mut(n).enumerate().for_each(|(i, row)| {
+        let ar = a.re_row(i);
+        let ai = a.im_row(i);
+        for (j, slot) in row.iter_mut().enumerate() {
+            let br = b_t.re_row(j);
+            let bi = b_t.im_row(j);
+            let k_pad = a.k_padding() as i32;
+            let rr = dot(ar, br);
+            let ii = dot(ai, bi);
+            let ri = dot(ar, bi);
+            let ir = dot(ai, br);
+            let re = (rr - k_pad) - (ii - k_pad);
+            let im = (ri - k_pad) + (ir - k_pad);
+            *slot = Complex32::new(re as f32, im as f32);
+        }
+    });
+    HostComplexMatrix::from_data(m, n, out).expect("baseline shape is consistent")
+}
+
+/// Median elapsed seconds of `reps` runs of `f` after one warmup run.
+fn median_secs(reps: usize, mut f: impl FnMut()) -> f64 {
+    f(); // warmup: page in operands, spin up the thread pool
+    let mut times: Vec<f64> = (0..reps)
+        .map(|_| {
+            let start = Instant::now();
+            f();
+            start.elapsed().as_secs_f64()
+        })
+        .collect();
+    times.sort_by(f64::total_cmp);
+    times[times.len() / 2]
+}
+
+fn bench_f16(m: usize, n: usize, k: usize, reps: usize) -> BenchEntry {
+    let a_host = pseudo_random_matrix(m, k, 0xF16 + (m * n * k) as u64, 1.0);
+    let b_host = pseudo_random_matrix(n, k, 0xB00 + (m + n + k) as u64, 1.0);
+    let a = F16Matrix::from_host(&a_host);
+    let b = F16Matrix::from_host(&b_host);
+
+    // Correctness guard: the fused kernel must agree with the baseline to
+    // within reassociation-level rounding before its time is recorded.
+    let fused_out = gemm::gemm_f16(&a, &b).expect("shapes agree");
+    let base_out = baseline_gemm_f16(&a, &b);
+    let tol = 1e-3 * k as f32;
+    let diff = fused_out.max_abs_diff(&base_out);
+    assert!(diff < tol, "f16 fused/baseline diverged: {diff} >= {tol}");
+
+    let baseline_median_s = median_secs(reps, || {
+        std::hint::black_box(baseline_gemm_f16(&a, &b));
+    });
+    let fused_median_s = median_secs(reps, || {
+        std::hint::black_box(gemm::gemm_f16(&a, &b).expect("shapes agree"));
+    });
+    BenchEntry {
+        kernel: "f16",
+        bit_op: None,
+        m,
+        n,
+        k,
+        baseline_median_s,
+        fused_median_s,
+    }
+}
+
+fn bench_int1(m: usize, n: usize, k: usize, op: BitOp, reps: usize) -> BenchEntry {
+    let a_host = pseudo_random_matrix(m, k, 0x1B17 + (m * k) as u64, 1.0);
+    let b_host = pseudo_random_matrix(n, k, 0x0B17 + (n * k) as u64, 1.0);
+    let a = Int1Matrix::from_host_padded(&a_host, 256);
+    let b = Int1Matrix::from_host_padded(&b_host, 256);
+
+    // Correctness guard: 1-bit outputs are integers, so the fused kernel
+    // must match the baseline (and the decoded ±1 reference) exactly.
+    let fused_out = gemm::gemm_int1(&a, &b, op).expect("shapes agree");
+    assert_eq!(
+        fused_out,
+        baseline_gemm_int1(&a, &b, op),
+        "int1 fused/baseline diverged"
+    );
+    if m * n * k <= 64 * 64 * 2048 {
+        let reference = reference_gemm(&a.to_host(), &b.to_host()).expect("reference shapes agree");
+        assert!(
+            fused_out.max_abs_diff(&reference) < 0.5,
+            "int1 vs reference"
+        );
+    }
+
+    let baseline_median_s = median_secs(reps, || {
+        std::hint::black_box(baseline_gemm_int1(&a, &b, op));
+    });
+    let fused_median_s = median_secs(reps, || {
+        std::hint::black_box(gemm::gemm_int1(&a, &b, op).expect("shapes agree"));
+    });
+    BenchEntry {
+        kernel: "int1",
+        bit_op: Some(op),
+        m,
+        n,
+        k,
+        baseline_median_s,
+        fused_median_s,
+    }
+}
+
+/// Serialises the results by hand (the workspace has no `serde_json`),
+/// matching the stable schema documented in the README.
+fn to_json(mode: &str, reps: usize, entries: &[BenchEntry]) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"schema\": \"tcbf-hotpath-bench/v1\",\n");
+    out.push_str(&format!("  \"mode\": \"{mode}\",\n"));
+    out.push_str(&format!("  \"reps\": {reps},\n"));
+    out.push_str("  \"entries\": [\n");
+    for (i, e) in entries.iter().enumerate() {
+        let bit_op = match e.bit_op {
+            Some(BitOp::Xor) => "\"xor\"".to_string(),
+            Some(BitOp::And) => "\"and\"".to_string(),
+            None => "null".to_string(),
+        };
+        out.push_str(&format!(
+            "    {{\"kernel\": \"{}\", \"bit_op\": {}, \"m\": {}, \"n\": {}, \"k\": {}, \
+             \"baseline_median_s\": {:.9}, \"fused_median_s\": {:.9}, \"speedup\": {:.3}, \
+             \"gelems_per_s\": {:.4}}}{}\n",
+            e.kernel,
+            bit_op,
+            e.m,
+            e.n,
+            e.k,
+            e.baseline_median_s,
+            e.fused_median_s,
+            e.speedup(),
+            e.gelems_per_s(),
+            if i + 1 < entries.len() { "," } else { "" },
+        ));
+    }
+    out.push_str("  ]\n");
+    out.push_str("}\n");
+    out
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_gemm.json".to_string());
+
+    // The shape grid deliberately includes one K that is not a multiple of
+    // the 256-bit packing granularity or the f16 k-tile, so the tail paths
+    // are timed as well as tested.
+    let (grid, reps, mode) = if smoke {
+        (
+            vec![(64usize, 64usize, 1024usize), (96, 96, 1000)],
+            3,
+            "smoke",
+        )
+    } else {
+        (
+            vec![
+                (256usize, 256usize, 2048usize),
+                (128, 512, 1024),
+                (512, 128, 4096),
+                (96, 96, 1000),
+            ],
+            5,
+            "full",
+        )
+    };
+
+    header(&format!("GEMM hot path wall-clock ({mode} grid)"));
+    let mut entries = Vec::new();
+    for &(m, n, k) in &grid {
+        entries.push(bench_f16(m, n, k, reps));
+        for op in [BitOp::Xor, BitOp::And] {
+            entries.push(bench_int1(m, n, k, op, reps));
+        }
+    }
+
+    let rows: Vec<Vec<String>> = entries
+        .iter()
+        .map(|e| {
+            vec![
+                e.kernel.to_string(),
+                e.bit_op.map_or("—".to_string(), |op| op.to_string()),
+                format!("{}x{}x{}", e.m, e.n, e.k),
+                format!("{:.2}", e.baseline_median_s * 1e3),
+                format!("{:.2}", e.fused_median_s * 1e3),
+                format!("{:.2}x", e.speedup()),
+                format!("{:.2}", e.gelems_per_s()),
+            ]
+        })
+        .collect();
+    print_table(
+        &[
+            "kernel",
+            "bit op",
+            "MxNxK",
+            "baseline ms",
+            "fused ms",
+            "speedup",
+            "GElem/s",
+        ],
+        &rows,
+    );
+
+    let min_speedup = |kernel: &str| -> f64 {
+        entries
+            .iter()
+            .filter(|e| e.kernel == kernel)
+            .map(BenchEntry::speedup)
+            .fold(f64::INFINITY, f64::min)
+    };
+    println!();
+    println!(
+        "headline: f16 min speedup {:.2}x, int1 min speedup {:.2}x over the pre-rewrite kernels",
+        min_speedup("f16"),
+        min_speedup("int1")
+    );
+
+    let json = to_json(mode, reps, &entries);
+    std::fs::write(&out_path, &json).expect("write benchmark JSON");
+    println!("wrote {out_path}");
+}

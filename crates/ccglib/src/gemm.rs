@@ -25,7 +25,7 @@ use crate::matrix::{F16Matrix, HostComplexMatrix, Int1Matrix};
 use crate::Precision;
 use gpu_sim::BitOp;
 use rayon::prelude::*;
-use tcbf_types::Complex32;
+use tcbf_types::{decode_to_f32, Complex32, PackedBits};
 
 /// The beamformed output matrix: `M×N` complex values in single precision
 /// (for 1-bit inputs the components are integers represented exactly).
@@ -109,6 +109,111 @@ impl GemmInput {
     }
 }
 
+/// A binary16 operand bulk-decoded to binary32 planes once, so the GEMM
+/// micro-kernel streams plain `f32` data instead of converting inside the
+/// inner loop.
+///
+/// The decode is exact (binary16 ⊂ binary32) and costs `O(rows·cols)`
+/// table lookups; the naive kernel paid an `O(M·N·K)` conversion tax by
+/// widening all four operand values per multiply-accumulate.
+#[derive(Clone, Debug)]
+pub struct DecodedPlanes {
+    rows: usize,
+    cols: usize,
+    re: Vec<f32>,
+    im: Vec<f32>,
+}
+
+impl DecodedPlanes {
+    /// Decodes both planes of a binary16 matrix in one bulk pass each.
+    pub fn from_f16(matrix: &F16Matrix) -> Self {
+        DecodedPlanes {
+            rows: matrix.rows(),
+            cols: matrix.cols(),
+            re: decode_to_f32(matrix.re()),
+            im: decode_to_f32(matrix.im()),
+        }
+    }
+
+    /// The preparation an operand needs, if any: binary16 operands decode
+    /// to f32 planes, packed 1-bit operands are already in kernel format.
+    /// The single source of truth for the precision→preparation mapping
+    /// (used by [`PreparedOperand::new`] and the decode-once batch paths).
+    pub fn maybe_from(input: &GemmInput) -> Option<Self> {
+        match input {
+            GemmInput::F16(m) => Some(DecodedPlanes::from_f16(m)),
+            GemmInput::Int1(_) => None,
+        }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+    /// Number of columns (the reduction dimension K).
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+    /// Decoded real plane, row-major.
+    pub fn re(&self) -> &[f32] {
+        &self.re
+    }
+    /// Decoded imaginary plane, row-major.
+    pub fn im(&self) -> &[f32] {
+        &self.im
+    }
+}
+
+/// A GEMM operand with its precision-specific pre-processing done once, so
+/// repeated executions (streaming sessions, shared-`A` batches) skip it.
+///
+/// For binary16 operands this holds the bulk-decoded f32 planes alongside
+/// the original operand; 1-bit operands are already in kernel format, so
+/// preparation is free.  Built with [`GemmInput::prepare`] or
+/// [`PreparedOperand::new`] and consumed by [`crate::Gemm::run_prepared`]
+/// and [`crate::Gemm::run_batch_shared_prepared`].
+#[derive(Clone, Debug)]
+pub struct PreparedOperand {
+    input: GemmInput,
+    decoded: Option<DecodedPlanes>,
+}
+
+impl PreparedOperand {
+    /// Prepares an operand, taking ownership.
+    pub fn new(input: GemmInput) -> Self {
+        let decoded = DecodedPlanes::maybe_from(&input);
+        PreparedOperand { input, decoded }
+    }
+
+    /// The quantised operand this preparation wraps.
+    pub fn input(&self) -> &GemmInput {
+        &self.input
+    }
+
+    /// The pre-decoded planes (binary16 operands only).
+    pub fn decoded(&self) -> Option<&DecodedPlanes> {
+        self.decoded.as_ref()
+    }
+}
+
+impl From<GemmInput> for PreparedOperand {
+    fn from(input: GemmInput) -> Self {
+        PreparedOperand::new(input)
+    }
+}
+
+impl GemmInput {
+    /// Pre-processes this operand for repeated kernel executions (bulk
+    /// half→float decode for binary16; a no-op for packed 1-bit data).
+    ///
+    /// This clones the operand so the original stays usable; callers that
+    /// own the operand and are done with it should move it into
+    /// [`PreparedOperand::new`] instead and skip the copy.
+    pub fn prepare(&self) -> PreparedOperand {
+        PreparedOperand::new(self.clone())
+    }
+}
+
 /// The `A` operand of a batched GEMM: either one matrix per batch element
 /// or a single matrix shared by all of them (the beamforming case, where
 /// every frequency channel applies the same weights).
@@ -175,11 +280,136 @@ impl GemmBatchInput {
     pub fn b_t(&self, index: usize) -> &GemmInput {
         &self.b_t[index]
     }
+
+    /// The shared `A` operand, if this batch was built with
+    /// [`GemmBatchInput::with_shared_a`] — the case the execution layer
+    /// prepares (decodes) exactly once for the whole batch.
+    pub fn shared_a(&self) -> Option<&GemmInput> {
+        match &self.a {
+            BatchOperand::Shared(a) => Some(a),
+            BatchOperand::PerBatch(_) => None,
+        }
+    }
+
+    /// All transposed `B` operands, in batch order.
+    pub fn b_ts(&self) -> &[GemmInput] {
+        &self.b_t
+    }
 }
 
-/// float16 complex GEMM: `C[M×N] = A[M×K] · Bᵀ[N×K]` with binary16 inputs
-/// and binary32 accumulation.
-pub fn gemm_f16(a: &F16Matrix, b_t: &F16Matrix) -> Result<ComplexOutput> {
+/// Output columns processed per register tile of the f16 micro-kernel:
+/// enough independent accumulator chains to hide FMA latency, few enough
+/// that 4·`F16_J_TILE` lane-vector accumulators stay in registers.
+const F16_J_TILE: usize = 2;
+
+/// SIMD width of the micro-kernel: each of the four accumulators is a
+/// fixed-size lane vector so the fused multiply-adds vectorise, with the
+/// lanes reduced in a fixed pairwise order at the very end (deterministic
+/// on every target).
+const F16_LANES: usize = 8;
+
+/// Reduction-dimension slice of the f16 micro-kernel: the `A`-row slice
+/// plus `F16_J_TILE` `B`-row slices of this length stay resident in L1
+/// while a tile is accumulated.  A multiple of [`F16_LANES`], so only the
+/// final slice of a ragged `K` has a scalar remainder.
+const F16_K_TILE: usize = 1024;
+
+/// One vectorised fused-multiply-add step over a lane group.
+#[inline(always)]
+fn fma_lanes(acc: &mut [f32; F16_LANES], a: &[f32], b: &[f32]) {
+    for l in 0..F16_LANES {
+        acc[l] = a[l].mul_add(b[l], acc[l]);
+    }
+}
+
+/// Fixed pairwise reduction of one lane vector (plus the scalar-remainder
+/// accumulator), keeping the summation order independent of `K`.
+#[inline(always)]
+fn reduce_lanes(lanes: &[f32; F16_LANES], tail: f32) -> f32 {
+    ((lanes[0] + lanes[1]) + (lanes[2] + lanes[3]))
+        + ((lanes[4] + lanes[5]) + (lanes[6] + lanes[7]))
+        + tail
+}
+
+/// The blocked f16 micro-kernel over pre-decoded f32 planes: one output
+/// row per invocation, tiled over `j` (output columns) and `k` (the
+/// reduction dimension), four lane-vector accumulators per column held in
+/// registers, fused multiply-adds in the inner loop.
+///
+/// Per output element the four real accumulations of Section III-B are
+/// chained in ascending `k` within each lane, and the lanes are combined
+/// in a fixed pairwise order at the end — a deterministic schedule, the
+/// software analogue of the per-fragment accumulators the tensor-core
+/// kernel keeps in flight.  `Im(b)` is negated "in registers" by
+/// subtracting the `ii` accumulator at the end instead of mutating the
+/// operand.
+fn f16_row_kernel(
+    row: &mut [Complex32],
+    a_re_row: &[f32],
+    a_im_row: &[f32],
+    b_re: &[f32],
+    b_im: &[f32],
+    k: usize,
+) {
+    let n = row.len();
+    let mut jt = 0;
+    while jt < n {
+        let jn = F16_J_TILE.min(n - jt);
+        let mut acc = [[[0.0f32; F16_LANES]; 4]; F16_J_TILE];
+        let mut tail = [[0.0f32; 4]; F16_J_TILE];
+        let mut k0 = 0;
+        while k0 < k {
+            let k1 = (k0 + F16_K_TILE).min(k);
+            let ar_slice = &a_re_row[k0..k1];
+            let ai_slice = &a_im_row[k0..k1];
+            for jj in 0..jn {
+                let j = jt + jj;
+                let br_slice = &b_re[j * k + k0..j * k + k1];
+                let bi_slice = &b_im[j * k + k0..j * k + k1];
+                let [rr, ii, ri, ir] = &mut acc[jj];
+                for (((ar, ai), br), bi) in ar_slice
+                    .chunks_exact(F16_LANES)
+                    .zip(ai_slice.chunks_exact(F16_LANES))
+                    .zip(br_slice.chunks_exact(F16_LANES))
+                    .zip(bi_slice.chunks_exact(F16_LANES))
+                {
+                    fma_lanes(rr, ar, br);
+                    fma_lanes(ii, ai, bi);
+                    fma_lanes(ri, ar, bi);
+                    fma_lanes(ir, ai, br);
+                }
+                // Scalar remainder of a ragged K (only the last k-slice
+                // can have one: the tile size is a multiple of the lane
+                // count), accumulated separately and folded in at the
+                // final reduction.
+                let rem = ar_slice.len() - ar_slice.len() % F16_LANES;
+                let [mut t_rr, mut t_ii, mut t_ri, mut t_ir] = tail[jj];
+                for kk in rem..ar_slice.len() {
+                    let (ar, ai) = (ar_slice[kk], ai_slice[kk]);
+                    let (br, bi) = (br_slice[kk], bi_slice[kk]);
+                    t_rr = ar.mul_add(br, t_rr);
+                    t_ii = ai.mul_add(bi, t_ii);
+                    t_ri = ar.mul_add(bi, t_ri);
+                    t_ir = ai.mul_add(br, t_ir);
+                }
+                tail[jj] = [t_rr, t_ii, t_ri, t_ir];
+            }
+            k0 = k1;
+        }
+        for jj in 0..jn {
+            let rr = reduce_lanes(&acc[jj][0], tail[jj][0]);
+            let ii = reduce_lanes(&acc[jj][1], tail[jj][1]);
+            let ri = reduce_lanes(&acc[jj][2], tail[jj][2]);
+            let ir = reduce_lanes(&acc[jj][3], tail[jj][3]);
+            row[jt + jj] = Complex32::new(rr - ii, ri + ir);
+        }
+        jt += jn;
+    }
+}
+
+/// Shared implementation of the f16 paths: `A` is already decoded, `B` is
+/// decoded here (once per operand, never per output element).
+fn gemm_f16_decoded(a: &DecodedPlanes, b_t: &F16Matrix) -> Result<ComplexOutput> {
     if a.cols() != b_t.cols() {
         return Err(CcglibError::ShapeMismatch {
             expected: format!("A and B to share K (A has K={})", a.cols()),
@@ -189,37 +419,34 @@ pub fn gemm_f16(a: &F16Matrix, b_t: &F16Matrix) -> Result<ComplexOutput> {
     let m = a.rows();
     let n = b_t.rows();
     let k = a.cols();
-    let (a_re, a_im) = (a.re(), a.im());
-    let (b_re, b_im) = (b_t.re(), b_t.im());
+    let b = DecodedPlanes::from_f16(b_t);
 
     let mut out = vec![Complex32::ZERO; m * n];
-    out.par_chunks_mut(n).enumerate().for_each(|(i, row)| {
-        let a_re_row = &a_re[i * k..(i + 1) * k];
-        let a_im_row = &a_im[i * k..(i + 1) * k];
-        for (j, slot) in row.iter_mut().enumerate() {
-            let b_re_row = &b_re[j * k..(j + 1) * k];
-            let b_im_row = &b_im[j * k..(j + 1) * k];
-            // Four real accumulations, exactly as the tensor-core kernel
-            // issues them (Section III-B); Im(b) is negated "in registers"
-            // by subtracting the product instead of mutating the operand.
-            let mut acc_rr = 0.0f32;
-            let mut acc_ii = 0.0f32;
-            let mut acc_ri = 0.0f32;
-            let mut acc_ir = 0.0f32;
-            for kk in 0..k {
-                let ar = a_re_row[kk].to_f32();
-                let ai = a_im_row[kk].to_f32();
-                let br = b_re_row[kk].to_f32();
-                let bi = b_im_row[kk].to_f32();
-                acc_rr += ar * br;
-                acc_ii += ai * bi;
-                acc_ri += ar * bi;
-                acc_ir += ai * br;
-            }
-            *slot = Complex32::new(acc_rr - acc_ii, acc_ri + acc_ir);
-        }
-    });
+    out.par_chunks_mut(n.max(1))
+        .enumerate()
+        .for_each(|(i, row)| {
+            f16_row_kernel(
+                row,
+                &a.re()[i * k..(i + 1) * k],
+                &a.im()[i * k..(i + 1) * k],
+                b.re(),
+                b.im(),
+                k,
+            );
+        });
     HostComplexMatrix::from_data(m, n, out)
+}
+
+/// float16 complex GEMM: `C[M×N] = A[M×K] · Bᵀ[N×K]` with binary16 inputs
+/// and binary32 accumulation.
+///
+/// Both operands are bulk-decoded to f32 planes first (`O((M+N)·K)`
+/// conversions instead of the naive kernel's `O(M·N·K)`), then multiplied
+/// by the cache-blocked micro-kernel.  Callers that reuse `A` across many
+/// calls should decode it once via [`GemmInput::prepare`] and the prepared
+/// entry points on [`crate::Gemm`].
+pub fn gemm_f16(a: &F16Matrix, b_t: &F16Matrix) -> Result<ComplexOutput> {
+    gemm_f16_decoded(&DecodedPlanes::from_f16(a), b_t)
 }
 
 /// 1-bit complex GEMM with the XOR or AND formulation.
@@ -243,50 +470,70 @@ pub fn gemm_int1(a: &Int1Matrix, b_t: &Int1Matrix, op: BitOp) -> Result<ComplexO
     let m = a.rows();
     let n = b_t.rows();
     let k_valid = a.k_bits() as i32;
+    // The K_pad correction of Eq. 5 is a property of the operands, not of
+    // any particular output element — hoisted out of both loops.  The
+    // padding value is binary 0 (decimal −1) in every plane, so:
+    //  * the real part  Σ ar·br − Σ ai·bi  sees +K_pad from both terms and
+    //    they cancel (re = rr − ii with no correction);
+    //  * the imaginary part Σ ar·bi + Σ ai·br picks up +K_pad from each
+    //    term, which must be subtracted.
+    let k_pad = a.k_padding() as i32;
 
-    // Real-valued ±1 dot product of two packed planes, through the chosen
-    // bit operation.  The popcount identities are implemented in
-    // `tcbf_types::PackedBits`; the AND variant needs the second pass over
-    // the complemented inputs, doubling the tensor-core instruction count.
-    let dot = |x: &tcbf_types::PackedBits, y: &tcbf_types::PackedBits| -> i32 {
-        match op {
-            BitOp::Xor => x.dot_xor(y),
-            BitOp::And => x.dot_and(y),
-        }
+    // The four plane-pair dot products of one output element, fused: one
+    // pass over the packed words instead of four (the AND variant still
+    // doubles the popcount work per word, mirroring the doubled
+    // tensor-core instruction count on Hopper).
+    let dot4 = |ar: &PackedBits, ai: &PackedBits, br: &PackedBits, bi: &PackedBits| match op {
+        BitOp::Xor => PackedBits::dot4_xor(ar, ai, br, bi),
+        BitOp::And => PackedBits::dot4_and(ar, ai, br, bi),
     };
 
     let mut out = vec![Complex32::ZERO; m * n];
-    out.par_chunks_mut(n).enumerate().for_each(|(i, row)| {
-        let ar = a.re_row(i);
-        let ai = a.im_row(i);
-        for (j, slot) in row.iter_mut().enumerate() {
-            let br = b_t.re_row(j);
-            let bi = b_t.im_row(j);
-            // Dot products over the padded length.  The padding value is
-            // binary 0 (decimal −1) in every plane, so:
-            //  * the real part  Σ ar·br − Σ ai·bi  sees +K_pad from both
-            //    terms and they cancel;
-            //  * the imaginary part Σ ar·bi + Σ ai·br picks up +K_pad from
-            //    each term, which must be subtracted (Eq. 5).
-            let k_pad = a.k_padding() as i32;
-            let rr = dot(ar, br);
-            let ii = dot(ai, bi);
-            let ri = dot(ar, bi);
-            let ir = dot(ai, br);
-            let re = (rr - k_pad) - (ii - k_pad);
-            let im = (ri - k_pad) + (ir - k_pad);
-            debug_assert!(re.abs() <= 2 * k_valid && im.abs() <= 2 * k_valid);
-            *slot = Complex32::new(re as f32, im as f32);
-        }
-    });
+    out.par_chunks_mut(n.max(1))
+        .enumerate()
+        .for_each(|(i, row)| {
+            let ar = a.re_row(i);
+            let ai = a.im_row(i);
+            for (j, slot) in row.iter_mut().enumerate() {
+                let [rr, ii, ri, ir] = dot4(ar, ai, b_t.re_row(j), b_t.im_row(j));
+                let re = rr - ii;
+                let im = (ri - k_pad) + (ir - k_pad);
+                debug_assert!(re.abs() <= 2 * k_valid && im.abs() <= 2 * k_valid);
+                *slot = Complex32::new(re as f32, im as f32);
+            }
+        });
     HostComplexMatrix::from_data(m, n, out)
 }
 
 /// Executes a GEMM on already-quantised operands, dispatching on their
 /// precision.  Both operands must share the same precision.
 pub fn gemm_dispatch(a: &GemmInput, b_t: &GemmInput, op: BitOp) -> Result<ComplexOutput> {
+    gemm_dispatch_decoded(a, None, b_t, op)
+}
+
+/// Executes a GEMM with an operand whose preparation (bulk half→float
+/// decode) was done ahead of time, dispatching on precision.
+pub fn gemm_dispatch_prepared(
+    a: &PreparedOperand,
+    b_t: &GemmInput,
+    op: BitOp,
+) -> Result<ComplexOutput> {
+    gemm_dispatch_decoded(a.input(), a.decoded(), b_t, op)
+}
+
+/// Dispatch core: uses `decoded` for the `A` operand when supplied (the
+/// decode-once paths), decodes on the fly otherwise.
+pub(crate) fn gemm_dispatch_decoded(
+    a: &GemmInput,
+    decoded: Option<&DecodedPlanes>,
+    b_t: &GemmInput,
+    op: BitOp,
+) -> Result<ComplexOutput> {
     match (a, b_t) {
-        (GemmInput::F16(a), GemmInput::F16(b)) => gemm_f16(a, b),
+        (GemmInput::F16(a), GemmInput::F16(b)) => match decoded {
+            Some(planes) => gemm_f16_decoded(planes, b),
+            None => gemm_f16(a, b),
+        },
         (GemmInput::Int1(a), GemmInput::Int1(b)) => gemm_int1(a, b, op),
         (a, b) => Err(CcglibError::PrecisionMismatch {
             expected: a.precision().to_string(),
@@ -299,19 +546,8 @@ pub fn gemm_dispatch(a: &GemmInput, b_t: &GemmInput, op: BitOp) -> Result<Comple
 mod tests {
     use super::*;
     use crate::reference::reference_gemm;
+    use crate::synth::{exact_integer_matrix, pseudo_random_matrix};
     use proptest::prelude::*;
-    use tcbf_types::Complex;
-
-    fn pseudo_random_matrix(rows: usize, cols: usize, seed: u64, scale: f32) -> HostComplexMatrix {
-        let mut state = seed | 1;
-        let mut next = move || {
-            state = state
-                .wrapping_mul(6364136223846793005)
-                .wrapping_add(1442695040888963407);
-            (((state >> 40) & 0xFFFF) as f32 / 32768.0 - 1.0) * scale
-        };
-        HostComplexMatrix::from_fn(rows, cols, |_, _| Complex::new(next(), next()))
-    }
 
     #[test]
     fn f16_gemm_matches_reference_within_half_precision() {
@@ -430,8 +666,58 @@ mod tests {
         assert_eq!(c1, c2);
     }
 
+    #[test]
+    fn prepared_paths_are_bit_identical_to_the_direct_path() {
+        let a_host = pseudo_random_matrix(13, 300, 21, 1.0);
+        let b_host = pseudo_random_matrix(9, 300, 22, 1.0);
+        for (a, b) in [
+            (
+                GemmInput::quantise_f16(&a_host),
+                GemmInput::quantise_f16(&b_host),
+            ),
+            (
+                GemmInput::quantise_int1(&a_host),
+                GemmInput::quantise_int1(&b_host),
+            ),
+        ] {
+            let direct = gemm_dispatch(&a, &b, BitOp::Xor).unwrap();
+            let prepared = gemm_dispatch_prepared(&a.prepare(), &b, BitOp::Xor).unwrap();
+            assert_eq!(direct, prepared);
+        }
+    }
+
+    #[test]
+    fn decoded_planes_are_exact() {
+        let host = pseudo_random_matrix(7, 45, 31, 100.0);
+        let f16m = F16Matrix::from_host(&host);
+        let planes = DecodedPlanes::from_f16(&f16m);
+        assert_eq!(planes.rows(), 7);
+        assert_eq!(planes.cols(), 45);
+        for (idx, (&re, &im)) in planes.re().iter().zip(planes.im()).enumerate() {
+            let v = f16m.get(idx / 45, idx % 45);
+            assert_eq!(re.to_bits(), v.re.to_bits());
+            assert_eq!(im.to_bits(), v.im.to_bits());
+        }
+    }
+
     proptest! {
         #![proptest_config(ProptestConfig::with_cases(24))]
+
+        #[test]
+        fn blocked_f16_kernel_is_bit_identical_to_reference_on_exact_inputs(
+            m in 1usize..10, n in 1usize..10, k in 1usize..600, seed in any::<u64>(),
+        ) {
+            // Integer inputs in ±4 keep every product and partial sum exact
+            // (|Σ| ≤ 600·16 < 2^24), so the blocked micro-kernel must agree
+            // with the f32 reference GEMM bit for bit — across K values
+            // that are not multiples of the k-tile, j-tile or word size.
+            let a_host = exact_integer_matrix(m, k, seed);
+            let b_host = exact_integer_matrix(n, k, seed ^ 0x5A5A);
+            let result = gemm_f16(&F16Matrix::from_host(&a_host), &F16Matrix::from_host(&b_host))
+                .unwrap();
+            let reference = reference_gemm(&a_host, &b_host).unwrap();
+            prop_assert_eq!(result, reference);
+        }
 
         #[test]
         fn int1_gemm_equals_reference_for_random_shapes(

@@ -49,10 +49,11 @@ pub mod pack;
 pub mod params;
 pub mod plan;
 pub mod reference;
+pub mod synth;
 pub mod transpose;
 
 pub use error::{CcglibError, Result};
-pub use gemm::{ComplexOutput, GemmBatchInput, GemmInput};
+pub use gemm::{ComplexOutput, DecodedPlanes, GemmBatchInput, GemmInput, PreparedOperand};
 pub use params::{ParameterSpace, TuningParameters};
 pub use plan::{calibration_enumerations, warm_calibration, Gemm, GemmPlan, RunReport};
 pub use reference::reference_gemm;

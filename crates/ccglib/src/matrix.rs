@@ -218,18 +218,28 @@ impl Int1Matrix {
         let rows = host.rows();
         let k_bits = host.cols();
         let k_padded = round_up(k_bits.max(1), k_granularity.max(Self::WORD_BITS));
+        let words_per_row = k_padded / 32;
         let mut re = Vec::with_capacity(rows);
         let mut im = Vec::with_capacity(rows);
         for r in 0..rows {
-            let mut re_bits = PackedBits::zeros(k_padded);
-            let mut im_bits = PackedBits::zeros(k_padded);
-            for c in 0..k_bits {
-                let v = host.get(r, c);
-                re_bits.set(c, v.re >= 0.0);
-                im_bits.set(c, v.im >= 0.0);
+            // Assemble whole words in registers — one write per 32 samples
+            // instead of one masked read-modify-write per bit.  Words past
+            // the valid samples stay zero: binary 0 is the padding value.
+            let row = &host.data()[r * k_bits..(r + 1) * k_bits];
+            let mut re_words = vec![0u32; words_per_row];
+            let mut im_words = vec![0u32; words_per_row];
+            for (w, chunk) in row.chunks(32).enumerate() {
+                let mut re_word = 0u32;
+                let mut im_word = 0u32;
+                for (i, v) in chunk.iter().enumerate() {
+                    re_word |= u32::from(v.re >= 0.0) << i;
+                    im_word |= u32::from(v.im >= 0.0) << i;
+                }
+                re_words[w] = re_word;
+                im_words[w] = im_word;
             }
-            re.push(re_bits);
-            im.push(im_bits);
+            re.push(PackedBits::from_words(re_words, k_padded));
+            im.push(PackedBits::from_words(im_words, k_padded));
         }
         Int1Matrix {
             rows,
@@ -339,6 +349,30 @@ mod tests {
                 let expect = Complex::new(if (r + c) % 2 == 0 { 1.0 } else { -1.0 }, -1.0);
                 assert_eq!(back.get(r, c), expect);
             }
+        }
+    }
+
+    #[test]
+    fn word_assembled_packing_matches_the_per_bit_layout() {
+        // The fast path must produce the exact word layout of the original
+        // per-bit `PackedBits::set` construction, including padding words.
+        let host = HostComplexMatrix::from_fn(3, 70, |r, c| {
+            Complex::new(
+                ((r * 31 + c * 17) % 7) as f32 - 3.0,
+                ((r * 13 + c * 5) % 11) as f32 - 5.0,
+            )
+        });
+        let fast = Int1Matrix::from_host_padded(&host, 128);
+        for r in 0..3 {
+            let mut re_bits = PackedBits::zeros(fast.k_padded());
+            let mut im_bits = PackedBits::zeros(fast.k_padded());
+            for c in 0..70 {
+                let v = host.get(r, c);
+                re_bits.set(c, v.re >= 0.0);
+                im_bits.set(c, v.im >= 0.0);
+            }
+            assert_eq!(fast.re_row(r), &re_bits, "re row {r}");
+            assert_eq!(fast.im_row(r), &im_bits, "im row {r}");
         }
     }
 

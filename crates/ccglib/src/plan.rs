@@ -28,7 +28,9 @@
 //! the calibration discussion).
 
 use crate::error::{CcglibError, Result};
-use crate::gemm::{gemm_dispatch, ComplexOutput, GemmBatchInput, GemmInput};
+use crate::gemm::{
+    gemm_dispatch_decoded, ComplexOutput, DecodedPlanes, GemmBatchInput, GemmInput, PreparedOperand,
+};
 use crate::params::{ParameterSpace, TuningParameters};
 use crate::reference;
 use crate::Precision;
@@ -510,6 +512,27 @@ impl Gemm {
     /// [`Gemm::run_batch`], or use [`Gemm::predict`] when only performance
     /// numbers are needed.
     pub fn run(&self, a: &GemmInput, b_t: &GemmInput) -> Result<(ComplexOutput, RunReport)> {
+        self.run_decoded(a, None, b_t)
+    }
+
+    /// Runs the GEMM with a pre-prepared `A` operand (bulk-decoded once,
+    /// e.g. cached beamforming weights), skipping the per-call half→float
+    /// decode of the hot path.  Otherwise identical to [`Gemm::run`],
+    /// including bit-identical output.
+    pub fn run_prepared(
+        &self,
+        a: &PreparedOperand,
+        b_t: &GemmInput,
+    ) -> Result<(ComplexOutput, RunReport)> {
+        self.run_decoded(a.input(), a.decoded(), b_t)
+    }
+
+    fn run_decoded(
+        &self,
+        a: &GemmInput,
+        decoded: Option<&DecodedPlanes>,
+        b_t: &GemmInput,
+    ) -> Result<(ComplexOutput, RunReport)> {
         let shape = self.plan.shape();
         if shape.batch != 1 {
             return Err(CcglibError::ShapeMismatch {
@@ -521,16 +544,17 @@ impl Gemm {
             });
         }
         self.validate_pair(a, b_t)?;
-        let output = gemm_dispatch(a, b_t, self.plan.bit_op())?;
+        let output = gemm_dispatch_decoded(a, decoded, b_t, self.plan.bit_op())?;
         let report = self.report(&self.plan.kernel_profile());
         Ok((output, report))
     }
 
     /// Shared core of the batched paths: validates and multiplies every
-    /// operand pair, then emits one report covering the whole batch.
-    fn run_batch_pairs(
+    /// operand pair (reusing one decoded `A` when the batch shares it),
+    /// then emits one report covering the whole batch.
+    fn run_batch_decoded(
         &self,
-        pairs: &[(&GemmInput, &GemmInput)],
+        pairs: &[(&GemmInput, Option<&DecodedPlanes>, &GemmInput)],
     ) -> Result<(Vec<ComplexOutput>, RunReport)> {
         let shape = self.plan.shape();
         if pairs.len() != shape.batch {
@@ -540,9 +564,9 @@ impl Gemm {
             });
         }
         let mut outputs = Vec::with_capacity(pairs.len());
-        for (a, b_t) in pairs {
+        for (a, decoded, b_t) in pairs {
             self.validate_pair(a, b_t)?;
-            outputs.push(gemm_dispatch(a, b_t, self.plan.bit_op())?);
+            outputs.push(gemm_dispatch_decoded(a, *decoded, b_t, self.plan.bit_op())?);
         }
         let report = self.report(&self.plan.kernel_profile());
         Ok((outputs, report))
@@ -553,25 +577,52 @@ impl Gemm {
     /// whole batch (the paper times batched problems as one kernel) is
     /// returned alongside the per-element outputs.
     ///
-    /// The batch size of the input must equal the plan's batch size; every
-    /// operand pair is validated against the per-element shape.
+    /// A batch built with [`GemmBatchInput::with_shared_a`] decodes the
+    /// shared `A` operand exactly once for the whole batch instead of once
+    /// per element.  The batch size of the input must equal the plan's
+    /// batch size; every operand pair is validated against the per-element
+    /// shape.
     pub fn run_batch(&self, batch: &GemmBatchInput) -> Result<(Vec<ComplexOutput>, RunReport)> {
-        let pairs: Vec<(&GemmInput, &GemmInput)> = (0..batch.batch())
-            .map(|index| (batch.a(index), batch.b_t(index)))
-            .collect();
-        self.run_batch_pairs(&pairs)
+        match batch.shared_a() {
+            Some(a) => self.run_batch_shared(a, batch.b_ts()),
+            None => {
+                let pairs: Vec<(&GemmInput, Option<&DecodedPlanes>, &GemmInput)> = (0..batch
+                    .batch())
+                    .map(|index| (batch.a(index), None, batch.b_t(index)))
+                    .collect();
+                self.run_batch_decoded(&pairs)
+            }
+        }
     }
 
     /// Runs a batched GEMM in which every batch element multiplies the same
     /// borrowed `A` operand (shared weights) with its own transposed `B`
     /// operand — the beamforming hot path, without cloning `A` per call.
+    /// The shared `A` is decoded once for the whole batch.
     pub fn run_batch_shared(
         &self,
         a: &GemmInput,
         b_ts: &[GemmInput],
     ) -> Result<(Vec<ComplexOutput>, RunReport)> {
-        let pairs: Vec<(&GemmInput, &GemmInput)> = b_ts.iter().map(|b_t| (a, b_t)).collect();
-        self.run_batch_pairs(&pairs)
+        let decoded = DecodedPlanes::maybe_from(a);
+        let pairs: Vec<(&GemmInput, Option<&DecodedPlanes>, &GemmInput)> =
+            b_ts.iter().map(|b_t| (a, decoded.as_ref(), b_t)).collect();
+        self.run_batch_decoded(&pairs)
+    }
+
+    /// The shared-`A` batched path with the preparation already done —
+    /// streaming sessions cache the prepared weights and skip even the
+    /// once-per-batch decode.
+    pub fn run_batch_shared_prepared(
+        &self,
+        a: &PreparedOperand,
+        b_ts: &[GemmInput],
+    ) -> Result<(Vec<ComplexOutput>, RunReport)> {
+        let pairs: Vec<(&GemmInput, Option<&DecodedPlanes>, &GemmInput)> = b_ts
+            .iter()
+            .map(|b_t| (a.input(), a.decoded(), b_t))
+            .collect();
+        self.run_batch_decoded(&pairs)
     }
 }
 

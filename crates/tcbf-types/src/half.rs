@@ -19,6 +19,7 @@ use std::cmp::Ordering;
 use std::fmt;
 use std::iter::Sum;
 use std::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+use std::sync::OnceLock;
 
 /// IEEE 754 binary16 value stored as its raw bit pattern.
 ///
@@ -252,6 +253,33 @@ impl f16 {
     }
 }
 
+/// Lazily built lookup table mapping every binary16 bit pattern to its
+/// binary32 widening — 256 KiB, shared process-wide.
+static DECODE_TABLE: OnceLock<Vec<f32>> = OnceLock::new();
+
+fn decode_table() -> &'static [f32] {
+    DECODE_TABLE.get_or_init(|| {
+        (0..=u16::MAX)
+            .map(|bits| f16::from_bits(bits).to_f32())
+            .collect()
+    })
+}
+
+/// Decodes a whole plane of binary16 values to binary32 in one bulk pass.
+///
+/// The per-value [`f16::to_f32`](crate::half::f16::to_f32) conversion branches on the exponent field
+/// (normal / subnormal / non-finite); done inside a GEMM inner loop that
+/// cost is paid `O(M·N·K)` times.  This decoder instead pays it once per
+/// distinct bit pattern — a 65 536-entry table built on first use — and
+/// turns every subsequent conversion into a single indexed load, so
+/// half→float conversion of an operand costs `O(rows·cols)` table lookups
+/// done once per plane.  The result is bit-identical to calling
+/// [`f16::to_f32`](crate::half::f16::to_f32) on every element (the table is built from it).
+pub fn decode_to_f32(plane: &[f16]) -> Vec<f32> {
+    let table = decode_table();
+    plane.iter().map(|h| table[h.to_bits() as usize]).collect()
+}
+
 impl From<f32> for f16 {
     fn from(v: f32) -> Self {
         f16::from_f32(v)
@@ -429,6 +457,24 @@ mod tests {
         let v = vec![f16::ONE; 1024];
         let s: f16 = v.into_iter().sum();
         assert_eq!(s.to_f32(), 1024.0);
+    }
+
+    #[test]
+    fn bulk_decoder_is_bit_identical_to_scalar_conversion_everywhere() {
+        // Every one of the 65 536 bit patterns, including NaNs, subnormals
+        // and infinities, must decode to exactly the same f32 bits as the
+        // scalar path.
+        let all: Vec<f16> = (0..=u16::MAX).map(f16::from_bits).collect();
+        let decoded = decode_to_f32(&all);
+        assert_eq!(decoded.len(), 65536);
+        for (h, d) in all.iter().zip(&decoded) {
+            assert_eq!(
+                d.to_bits(),
+                h.to_f32().to_bits(),
+                "bits {:#06x}",
+                h.to_bits()
+            );
+        }
     }
 
     proptest! {

@@ -136,22 +136,59 @@ impl PackedBits {
         }
     }
 
-    /// Packs a slice of sign bits (`true` = +1).
+    /// Packs a slice of sign bits (`true` = +1), assembling each output
+    /// word in a register instead of issuing one read-modify-write per bit.
     pub fn pack(bits: &[bool]) -> Self {
-        let mut packed = PackedBits::zeros(bits.len());
-        for (i, &b) in bits.iter().enumerate() {
-            packed.set(i, b);
+        let mut words = Vec::with_capacity(bits.len().div_ceil(32));
+        for chunk in bits.chunks(32) {
+            let mut word = 0u32;
+            for (i, &b) in chunk.iter().enumerate() {
+                word |= u32::from(b) << i;
+            }
+            words.push(word);
         }
-        packed
+        PackedBits {
+            words,
+            len: bits.len(),
+        }
     }
 
-    /// Packs the signs of a slice of real values (non-negative = +1).
+    /// Packs the signs of a slice of real values (non-negative = +1),
+    /// word-at-a-time like [`PackedBits::pack`].
     pub fn pack_signs(values: &[f32]) -> Self {
-        let mut packed = PackedBits::zeros(values.len());
-        for (i, &v) in values.iter().enumerate() {
-            packed.set(i, v >= 0.0);
+        let mut words = Vec::with_capacity(values.len().div_ceil(32));
+        for chunk in values.chunks(32) {
+            let mut word = 0u32;
+            for (i, &v) in chunk.iter().enumerate() {
+                word |= u32::from(v >= 0.0) << i;
+            }
+            words.push(word);
         }
-        packed
+        PackedBits {
+            words,
+            len: values.len(),
+        }
+    }
+
+    /// Builds a plane from already-assembled words (the fast packing path
+    /// of `ccglib`).  Slack bits beyond `len` in the last word are cleared
+    /// so the whole-word popcount fast path stays exact.
+    ///
+    /// # Panics
+    /// Panics if `words` is not exactly `len.div_ceil(32)` words long.
+    pub fn from_words(mut words: Vec<u32>, len: usize) -> Self {
+        assert_eq!(
+            words.len(),
+            len.div_ceil(32),
+            "a plane of {len} samples needs {} words",
+            len.div_ceil(32)
+        );
+        if !len.is_multiple_of(32) {
+            if let Some(last) = words.last_mut() {
+                *last &= (1u32 << (len % 32)) - 1;
+            }
+        }
+        PackedBits { words, len }
     }
 
     /// Number of valid samples.
@@ -283,6 +320,159 @@ impl PackedBits {
         2 * popc - k
     }
 
+    /// The four real dot products of one complex 1-bit multiply —
+    /// `rr = Re(a)·Re(b)`, `ii = Im(a)·Im(b)`, `ri = Re(a)·Im(b)`,
+    /// `ir = Im(a)·Re(b)` — computed fused via the XOR identity of
+    /// Table II.
+    ///
+    /// The naive formulation calls [`PackedBits::dot_xor`] four times,
+    /// walking the packed words four times and re-deriving the tail mask
+    /// with a branch on every word.  This fused version loads each word of
+    /// the four planes exactly once per pass and accumulates all four
+    /// popcounts together; the tail mask is hoisted out of the loop
+    /// entirely — whole words take the mask-free fast path, and only a
+    /// final partial word (rare: the packing granularity is a multiple of
+    /// the word size) is masked.
+    ///
+    /// # Panics
+    /// Panics if the four planes do not share one length.
+    #[inline]
+    pub fn dot4_xor(
+        a_re: &PackedBits,
+        a_im: &PackedBits,
+        b_re: &PackedBits,
+        b_im: &PackedBits,
+    ) -> [i32; 4] {
+        let [rr, ii, ri, ir] = Self::popc4(
+            a_re,
+            a_im,
+            b_re,
+            b_im,
+            |a, b| (a ^ b).count_ones(),
+            |a, b, mask| ((a ^ b) & mask).count_ones(),
+        );
+        let k = a_re.len as i32;
+        [
+            k - 2 * rr as i32,
+            k - 2 * ii as i32,
+            k - 2 * ri as i32,
+            k - 2 * ir as i32,
+        ]
+    }
+
+    /// The fused complex quadruple of [`PackedBits::dot4_xor`] through the
+    /// AND identity of Eq. 6 (the Hopper-and-newer formulation) — same
+    /// single-pass structure, with the complemented-planes second term
+    /// folded into the same loop.
+    ///
+    /// # Panics
+    /// Panics if the four planes do not share one length.
+    #[inline]
+    pub fn dot4_and(
+        a_re: &PackedBits,
+        a_im: &PackedBits,
+        b_re: &PackedBits,
+        b_im: &PackedBits,
+    ) -> [i32; 4] {
+        let [rr, ii, ri, ir] = Self::popc4(
+            a_re,
+            a_im,
+            b_re,
+            b_im,
+            |a, b| (a & b).count_ones() + (!a & !b).count_ones(),
+            |a, b, mask| ((a & b) & mask).count_ones() + ((!a & !b) & mask).count_ones(),
+        );
+        let k = a_re.len as i32;
+        [
+            2 * rr as i32 - k,
+            2 * ii as i32 - k,
+            2 * ri as i32 - k,
+            2 * ir as i32 - k,
+        ]
+    }
+
+    /// Shared single-pass core of the fused quadruple dot products: walks
+    /// the four planes once and accumulates the rr/ii/ri/ir population
+    /// counts through the supplied combine operations (monomorphised per
+    /// formulation, so this costs nothing at run time).
+    ///
+    /// `combine64` handles the whole-word fast path (two words fused per
+    /// popcount); `combine32(a, b, mask)` handles the leftover single word
+    /// (with `mask == u32::MAX`) and the rare partial tail word — the only
+    /// masked steps, hoisted entirely out of the main loop.
+    #[inline(always)]
+    fn popc4(
+        a_re: &PackedBits,
+        a_im: &PackedBits,
+        b_re: &PackedBits,
+        b_im: &PackedBits,
+        combine64: impl Fn(u64, u64) -> u32,
+        combine32: impl Fn(u32, u32, u32) -> u32,
+    ) -> [u32; 4] {
+        let len = Self::common_len(a_re, a_im, b_re, b_im);
+        let full = len / 32;
+        let (mut rr, mut ii, mut ri, mut ir) = (0u32, 0u32, 0u32, 0u32);
+        // Whole-word fast path, two words per population count: the
+        // bounds-check-free `chunks_exact` pairs are fused into `u64`s so
+        // each popcount covers 64 samples.
+        for (((a, i), b), j) in a_re.words[..full]
+            .chunks_exact(2)
+            .zip(a_im.words[..full].chunks_exact(2))
+            .zip(b_re.words[..full].chunks_exact(2))
+            .zip(b_im.words[..full].chunks_exact(2))
+        {
+            let (ar, ai) = (Self::fuse(a), Self::fuse(i));
+            let (br, bi) = (Self::fuse(b), Self::fuse(j));
+            rr += combine64(ar, br);
+            ii += combine64(ai, bi);
+            ri += combine64(ar, bi);
+            ir += combine64(ai, br);
+        }
+        if full % 2 == 1 {
+            // One leftover whole word below the pairing granularity.
+            let w = full - 1;
+            let (ar, ai) = (a_re.words[w], a_im.words[w]);
+            let (br, bi) = (b_re.words[w], b_im.words[w]);
+            rr += combine32(ar, br, u32::MAX);
+            ii += combine32(ai, bi, u32::MAX);
+            ri += combine32(ar, bi, u32::MAX);
+            ir += combine32(ai, br, u32::MAX);
+        }
+        if !len.is_multiple_of(32) {
+            // Partial tail word (rare: the packing granularity is a
+            // multiple of the word size).
+            let mask = (1u32 << (len % 32)) - 1;
+            let (ar, ai) = (a_re.words[full], a_im.words[full]);
+            let (br, bi) = (b_re.words[full], b_im.words[full]);
+            rr += combine32(ar, br, mask);
+            ii += combine32(ai, bi, mask);
+            ri += combine32(ar, bi, mask);
+            ir += combine32(ai, br, mask);
+        }
+        [rr, ii, ri, ir]
+    }
+
+    /// Fuses a pair of consecutive packed words into one `u64` so a single
+    /// popcount covers 64 samples.
+    #[inline(always)]
+    fn fuse(pair: &[u32]) -> u64 {
+        u64::from(pair[0]) | u64::from(pair[1]) << 32
+    }
+
+    fn common_len(
+        a_re: &PackedBits,
+        a_im: &PackedBits,
+        b_re: &PackedBits,
+        b_im: &PackedBits,
+    ) -> usize {
+        let len = a_re.len;
+        assert!(
+            a_im.len == len && b_re.len == len && b_im.len == len,
+            "fused dot product requires four planes of equal length"
+        );
+        len
+    }
+
     /// Reference dot product computed by decoding every sample — used to
     /// validate the popcount identities in tests.
     pub fn dot_reference(&self, other: &PackedBits) -> i32 {
@@ -393,7 +583,109 @@ mod tests {
         assert_eq!(packed.unpack(), vec![1.0, -1.0, 1.0, -1.0, 1.0]);
     }
 
+    /// The pre-rewrite packing path: zero-fill then one `set` per bit.
+    /// Kept as the layout ground truth for the word-assembling fast path.
+    fn pack_per_bit(bits: &[bool]) -> PackedBits {
+        let mut packed = PackedBits::zeros(bits.len());
+        for (i, &b) in bits.iter().enumerate() {
+            packed.set(i, b);
+        }
+        packed
+    }
+
+    #[test]
+    fn word_assembled_packing_matches_the_per_bit_layout() {
+        for len in [1usize, 31, 32, 33, 64, 100, 255, 256, 300] {
+            let bits: Vec<bool> = (0..len).map(|i| (i * 7 + len) % 3 != 0).collect();
+            let fast = PackedBits::pack(&bits);
+            let slow = pack_per_bit(&bits);
+            assert_eq!(fast, slow, "len {len}");
+            let values: Vec<f32> = bits.iter().map(|&b| if b { 0.5 } else { -0.5 }).collect();
+            assert_eq!(PackedBits::pack_signs(&values), slow, "signs len {len}");
+        }
+    }
+
+    #[test]
+    fn from_words_clears_slack_bits() {
+        let plane = PackedBits::from_words(vec![u32::MAX, u32::MAX], 40);
+        assert_eq!(plane.len(), 40);
+        // Only the 40 valid bits count; the 24 slack bits were cleared.
+        assert_eq!(plane.popcount(), 40);
+        assert_eq!(plane.words()[1], 0xFF);
+        let exact = PackedBits::from_words(vec![7], 32);
+        assert_eq!(exact.words()[0], 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "needs")]
+    fn from_words_rejects_wrong_word_counts() {
+        let _ = PackedBits::from_words(vec![0; 3], 40);
+    }
+
+    #[test]
+    fn fused_dot4_handles_tails_and_whole_words() {
+        for len in [1usize, 5, 32, 33, 64, 95, 256] {
+            let a_re = PackedBits::pack(&(0..len).map(|i| i % 2 == 0).collect::<Vec<_>>());
+            let a_im = PackedBits::pack(&(0..len).map(|i| i % 3 == 0).collect::<Vec<_>>());
+            let b_re = PackedBits::pack(&(0..len).map(|i| i % 5 != 0).collect::<Vec<_>>());
+            let b_im = PackedBits::pack(&(0..len).map(|i| i % 7 == 1).collect::<Vec<_>>());
+            let expected = [
+                a_re.dot_reference(&b_re),
+                a_im.dot_reference(&b_im),
+                a_re.dot_reference(&b_im),
+                a_im.dot_reference(&b_re),
+            ];
+            assert_eq!(
+                PackedBits::dot4_xor(&a_re, &a_im, &b_re, &b_im),
+                expected,
+                "len {len}"
+            );
+            assert_eq!(
+                PackedBits::dot4_and(&a_re, &a_im, &b_re, &b_im),
+                expected,
+                "len {len}"
+            );
+        }
+    }
+
     proptest! {
+        #[test]
+        fn fused_dot4_matches_the_four_single_dots(
+            bits in proptest::collection::vec(any::<bool>(), 4..512),
+            seed_ai in any::<u64>(),
+            seed_br in any::<u64>(),
+            seed_bi in any::<u64>(),
+        ) {
+            let derive = |seed: u64| -> Vec<bool> {
+                bits.iter()
+                    .enumerate()
+                    .map(|(i, &b)| b ^ ((seed >> (i % 64)) & 1 == 1))
+                    .collect()
+            };
+            let a_re = PackedBits::pack(&bits);
+            let a_im = PackedBits::pack(&derive(seed_ai));
+            let b_re = PackedBits::pack(&derive(seed_br));
+            let b_im = PackedBits::pack(&derive(seed_bi));
+            let expected = [
+                a_re.dot_xor(&b_re),
+                a_im.dot_xor(&b_im),
+                a_re.dot_xor(&b_im),
+                a_im.dot_xor(&b_re),
+            ];
+            prop_assert_eq!(PackedBits::dot4_xor(&a_re, &a_im, &b_re, &b_im), expected);
+            prop_assert_eq!(PackedBits::dot4_and(&a_re, &a_im, &b_re, &b_im), expected);
+        }
+
+        #[test]
+        fn fast_packing_roundtrips_for_random_lengths(
+            bits in proptest::collection::vec(any::<bool>(), 1..400),
+        ) {
+            let fast = PackedBits::pack(&bits);
+            prop_assert_eq!(&fast, &pack_per_bit(&bits));
+            let rebuilt = PackedBits::from_words(fast.words().to_vec(), fast.len());
+            prop_assert_eq!(&fast, &rebuilt);
+        }
+
         #[test]
         fn xor_identity_matches_reference(bits_a in proptest::collection::vec(any::<bool>(), 1..300),
                                           seed in any::<u64>()) {
