@@ -207,6 +207,14 @@ impl Beamformer {
         crate::session::BeamformSession::new(self)
     }
 
+    /// Wraps this beamformer as a single-device [`crate::Engine`] — the
+    /// unified streaming interface shared with multi-device pools.  Fails
+    /// for configurations with `batch != 1` (engines stream whole blocks,
+    /// one per execution).
+    pub fn into_engine(self) -> ccglib::Result<crate::engine::SingleEngine> {
+        crate::engine::SingleEngine::new(self)
+    }
+
     /// Beamforms one block of sensor samples (`K` receivers × `N` time
     /// samples).  Configurations with `batch > 1` beamform through
     /// [`Beamformer::beamform_batch`] instead.

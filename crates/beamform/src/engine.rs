@@ -1,0 +1,787 @@
+//! The unified execution engine: one API from a single GPU to a pool.
+//!
+//! The paper's layering — a beamforming pipeline that scales from one
+//! accelerator to a heterogeneous pool without the application noticing —
+//! is expressed here as a single object-safe [`Engine`] trait.  A
+//! [`SingleEngine`] (one [`Beamformer`]) and a
+//! [`crate::ShardedBeamformer`] (one beamformer per pool member) are the
+//! two implementations; downstream code is written once against
+//! `&mut impl Engine` or [`Box<dyn Engine>`] and works on any topology,
+//! including ones added later (async, remote, heterogeneous tiers).
+//!
+//! Every engine accumulates one unified [`Report`]: a per-device breakdown
+//! (with exactly one device in the single case) from which the pool-level
+//! metrics — summed aggregate TeraOps/s, the straggler's wall clock, the
+//! parallel speed-up — are derived uniformly.  The generic
+//! [`Session<E>`] (and its [`DynSession`] alias for boxed engines)
+//! replaces the former `BeamformSession`/`ShardedSession` pair.
+
+use crate::beamformer::{BeamformOutput, Beamformer};
+use crate::session::SessionReport;
+use crate::shard::{ShardPlan, ShardPolicy};
+use crate::weights::WeightMatrix;
+use ccglib::matrix::HostComplexMatrix;
+use gpu_sim::Gpu;
+use serde::{Deserialize, Serialize};
+use std::borrow::Borrow;
+
+/// The shared throughput/energy metric surface of every report type.
+///
+/// [`SessionReport`] (one device, serial totals) and the unified
+/// [`Report`] (per-device breakdown) expose the same five derived metrics
+/// with identical zero-guard behaviour (an empty run reports finite zeros,
+/// never NaN or infinity).  The logic lives once, here: the per-execution
+/// statistics come from the serial-equivalent merge and the rate metrics
+/// divide by [`ThroughputMetrics::time_base_s`] — total kernel time for a
+/// serial report, the straggler's wall clock for a pool.
+pub trait ThroughputMetrics {
+    /// All executions folded into one serial-equivalent [`SessionReport`].
+    fn merged_serial(&self) -> SessionReport;
+
+    /// The time base the rate metrics divide by: total kernel time for a
+    /// serial report, the straggler's wall clock for a pool.
+    fn time_base_s(&self) -> f64;
+
+    /// Worst-case per-execution achieved TeraOps/s (0.0 for an empty run).
+    fn worst_tops(&self) -> f64 {
+        self.merged_serial().worst_tops()
+    }
+
+    /// Mean of the per-execution achieved TeraOps/s (0.0 for an empty
+    /// run).
+    fn mean_tops(&self) -> f64 {
+        self.merged_serial().mean_tops()
+    }
+
+    /// Best-case per-execution achieved TeraOps/s (0.0 for an empty run).
+    fn best_tops(&self) -> f64 {
+        self.merged_serial().best_tops()
+    }
+
+    /// Aggregate energy efficiency in TeraOps/J (0.0 for a zero-energy
+    /// run).
+    fn tops_per_joule(&self) -> f64 {
+        self.merged_serial().tops_per_joule()
+    }
+
+    /// Effective block (frame) rate: blocks per second of
+    /// [`ThroughputMetrics::time_base_s`] (0.0 for a zero-time run).
+    fn effective_fps(&self) -> f64 {
+        let time = self.time_base_s();
+        if time > 0.0 {
+            self.merged_serial().blocks as f64 / time
+        } else {
+            0.0
+        }
+    }
+}
+
+impl ThroughputMetrics for SessionReport {
+    fn merged_serial(&self) -> SessionReport {
+        *self
+    }
+
+    fn time_base_s(&self) -> f64 {
+        self.total_elapsed_s
+    }
+}
+
+/// One device's contribution to an engine run: the member's own streaming
+/// [`SessionReport`], covering exactly the blocks that device executed.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct DeviceShardReport {
+    /// The catalog identifier of the member.
+    pub gpu: Gpu,
+    /// The member's own streaming report (its totals cover only the blocks
+    /// this device executed).
+    pub report: SessionReport,
+}
+
+/// The unified report of an engine run: a per-device breakdown plus the
+/// pool-level metrics derived from it.
+///
+/// This one type covers every topology.  A single-device engine reports a
+/// breakdown with exactly one entry, so its serial metrics embed naturally:
+/// the wall clock equals that device's total kernel time, the aggregate
+/// throughput equals its aggregate throughput and
+/// [`Report::speedup_over_serial`] is 1.0.  For a pool, totals
+/// (`total_blocks`, `total_joules`, `total_useful_ops`) are the sums of
+/// the per-device reports, [`Report::aggregate_tops`] sums the members'
+/// aggregate TeraOps/s (the members run concurrently), and the wall clock
+/// of the run is the *straggler's* elapsed time — the slowest member
+/// bounds the pool, exactly as in any data-parallel pipeline.
+///
+/// Weight swaps are counted once per engine-wide swap (not once per
+/// member); [`Report::merged_serial`] carries them into the
+/// serial-equivalent [`SessionReport`].
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct Report {
+    per_device: Vec<DeviceShardReport>,
+    weight_swaps: usize,
+}
+
+impl Report {
+    /// Builds a report from per-device reports and the number of
+    /// engine-wide weight swaps.
+    pub fn new(per_device: Vec<DeviceShardReport>, weight_swaps: usize) -> Self {
+        Report {
+            per_device,
+            weight_swaps,
+        }
+    }
+
+    /// The per-device breakdown, in pool order (exactly one entry for a
+    /// single-device engine).
+    pub fn per_device(&self) -> &[DeviceShardReport] {
+        &self.per_device
+    }
+
+    /// Number of engine-wide weight swaps (each swap counts once, not once
+    /// per member).
+    pub fn weight_swaps(&self) -> usize {
+        self.weight_swaps
+    }
+
+    /// All per-device reports folded into one serial-equivalent
+    /// [`SessionReport`]: totals summed, per-execution extremes merged,
+    /// engine-wide weight swaps carried over.
+    pub fn merged_serial(&self) -> SessionReport {
+        let mut merged = SessionReport::default();
+        for shard in &self.per_device {
+            merged.absorb(&shard.report);
+        }
+        merged.weight_swaps += self.weight_swaps;
+        merged
+    }
+
+    /// Total blocks processed across all devices.
+    pub fn total_blocks(&self) -> usize {
+        self.per_device.iter().map(|s| s.report.blocks).sum()
+    }
+
+    /// Total energy across all devices in joules.
+    pub fn total_joules(&self) -> f64 {
+        self.per_device.iter().map(|s| s.report.total_joules).sum()
+    }
+
+    /// Total useful operations across all devices.
+    pub fn total_useful_ops(&self) -> f64 {
+        self.per_device
+            .iter()
+            .map(|s| s.report.total_useful_ops)
+            .sum()
+    }
+
+    /// Aggregate throughput in TeraOps/s: the sum of the members'
+    /// aggregate throughputs, since the members run concurrently.  For a
+    /// single device this is simply its aggregate throughput.  Zero for an
+    /// empty run.
+    pub fn aggregate_tops(&self) -> f64 {
+        self.per_device
+            .iter()
+            .map(|s| s.report.aggregate_tops())
+            .sum()
+    }
+
+    /// Wall-clock time of the run in seconds: the straggler's total
+    /// elapsed kernel time (members run concurrently, so the slowest one
+    /// bounds the pool; for a single device this is its total kernel
+    /// time).  Zero for an empty run.
+    pub fn wall_clock_s(&self) -> f64 {
+        self.per_device
+            .iter()
+            .map(|s| s.report.total_elapsed_s)
+            .fold(0.0, f64::max)
+    }
+
+    /// Index of the straggler — the member with the largest elapsed time —
+    /// or `None` for an empty report.
+    pub fn straggler(&self) -> Option<usize> {
+        self.per_device
+            .iter()
+            .enumerate()
+            .max_by(|a, b| {
+                a.1.report
+                    .total_elapsed_s
+                    .total_cmp(&b.1.report.total_elapsed_s)
+            })
+            .map(|(i, _)| i)
+    }
+
+    /// Effective block (frame) rate: blocks per second of wall-clock time.
+    /// Zero for a zero-block or zero-elapsed run.
+    pub fn effective_fps(&self) -> f64 {
+        ThroughputMetrics::effective_fps(self)
+    }
+
+    /// Aggregate energy efficiency in TeraOps/J.  Zero for a zero-energy
+    /// run.
+    pub fn tops_per_joule(&self) -> f64 {
+        ThroughputMetrics::tops_per_joule(self)
+    }
+
+    /// Worst per-execution throughput across all members, in TeraOps/s.
+    pub fn worst_tops(&self) -> f64 {
+        ThroughputMetrics::worst_tops(self)
+    }
+
+    /// Mean per-execution throughput across all members, in TeraOps/s.
+    pub fn mean_tops(&self) -> f64 {
+        ThroughputMetrics::mean_tops(self)
+    }
+
+    /// Best per-execution throughput across all members, in TeraOps/s.
+    pub fn best_tops(&self) -> f64 {
+        ThroughputMetrics::best_tops(self)
+    }
+
+    /// Parallel speed-up over running the same stream serially on the
+    /// members: summed elapsed time divided by the straggler's wall clock.
+    /// 1.0 for a single-member engine, 0.0 for an empty run.
+    pub fn speedup_over_serial(&self) -> f64 {
+        let wall = self.wall_clock_s();
+        if wall > 0.0 {
+            let serial: f64 = self
+                .per_device
+                .iter()
+                .map(|s| s.report.total_elapsed_s)
+                .sum();
+            serial / wall
+        } else {
+            0.0
+        }
+    }
+}
+
+impl ThroughputMetrics for Report {
+    fn merged_serial(&self) -> SessionReport {
+        Report::merged_serial(self)
+    }
+
+    fn time_base_s(&self) -> f64 {
+        self.wall_clock_s()
+    }
+}
+
+/// The device layout of an engine, for introspection.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Topology {
+    /// One device.
+    Single(Gpu),
+    /// A pool of devices sharing a shard policy.
+    Pool {
+        /// The catalog identifiers of the members, in pool order.
+        gpus: Vec<Gpu>,
+        /// How block streams are partitioned across the members.
+        policy: ShardPolicy,
+    },
+}
+
+impl Topology {
+    /// The devices the engine spans, in pool order (a single-device engine
+    /// is a one-element slice).
+    pub fn gpus(&self) -> &[Gpu] {
+        match self {
+            Topology::Single(gpu) => std::slice::from_ref(gpu),
+            Topology::Pool { gpus, .. } => gpus,
+        }
+    }
+
+    /// Number of devices.
+    pub fn num_devices(&self) -> usize {
+        self.gpus().len()
+    }
+
+    /// The shard policy, or `None` for a single device (no partitioning
+    /// happens).
+    pub fn policy(&self) -> Option<ShardPolicy> {
+        match self {
+            Topology::Single(_) => None,
+            Topology::Pool { policy, .. } => Some(*policy),
+        }
+    }
+
+    /// Whether the engine spans a multi-device pool.
+    pub fn is_sharded(&self) -> bool {
+        matches!(self, Topology::Pool { .. })
+    }
+}
+
+/// A streaming beamforming engine, independent of device topology.
+///
+/// The trait is **object safe**: heterogeneous topologies can be driven
+/// through `Box<dyn Engine>` (what
+/// `tcbf::BeamformerBuilder::build_engine()` returns) or `&mut dyn
+/// Engine`.  The two shipped implementations are [`SingleEngine`] (one
+/// [`Beamformer`]) and [`crate::ShardedBeamformer`] (one beamformer per
+/// pool member, parallel shard execution); both accumulate the same
+/// unified [`Report`], so downstream pipelines read one metric surface
+/// regardless of topology.
+///
+/// Engines stream *whole blocks* — one `K × N` sample block per GEMM
+/// execution — so they are constructed from batch-1 configurations.
+pub trait Engine: std::fmt::Debug {
+    /// The device layout of this engine.
+    fn topology(&self) -> Topology;
+
+    /// The [`ShardPlan`] a stream of `blocks` blocks would execute under.
+    /// A single-device engine assigns every block to its only device.
+    fn plan(&self, blocks: usize) -> ShardPlan;
+
+    /// Processes one batch of `K × N` sample blocks, returning the
+    /// per-block outputs in input order and folding the per-execution
+    /// reports into the engine's accumulated [`Report`].  Whether work
+    /// executed before a failure stays accounted is
+    /// implementation-defined: [`SingleEngine`] records block by block,
+    /// so blocks processed before the error remain in the report; a
+    /// sharded fan-out that fails discards the failed call's accounting
+    /// entirely.
+    fn process_batch(
+        &mut self,
+        blocks: &[&HostComplexMatrix],
+    ) -> ccglib::Result<Vec<BeamformOutput>>;
+
+    /// Hot-swaps the beam weights on **every** device of the engine (same
+    /// `beams × receivers` shape; kernel plans are reused unchanged).  A
+    /// rejected swap leaves all devices on the old weights.  Successful
+    /// swaps are counted in [`Report::weight_swaps`].
+    fn swap_weights(&mut self, weights: WeightMatrix) -> ccglib::Result<()>;
+
+    /// The report accumulated since construction or the last
+    /// [`Engine::finish`].
+    fn report(&self) -> Report;
+
+    /// Ends the current run: returns its report and resets the
+    /// accumulation, so the engine can immediately start a fresh run.
+    fn finish(&mut self) -> Report;
+}
+
+impl<E: Engine + ?Sized> Engine for Box<E> {
+    fn topology(&self) -> Topology {
+        (**self).topology()
+    }
+
+    fn plan(&self, blocks: usize) -> ShardPlan {
+        (**self).plan(blocks)
+    }
+
+    fn process_batch(
+        &mut self,
+        blocks: &[&HostComplexMatrix],
+    ) -> ccglib::Result<Vec<BeamformOutput>> {
+        (**self).process_batch(blocks)
+    }
+
+    fn swap_weights(&mut self, weights: WeightMatrix) -> ccglib::Result<()> {
+        (**self).swap_weights(weights)
+    }
+
+    fn report(&self) -> Report {
+        (**self).report()
+    }
+
+    fn finish(&mut self) -> Report {
+        (**self).finish()
+    }
+}
+
+/// The single-device [`Engine`]: one [`Beamformer`] processing every block
+/// itself, reporting a per-device breakdown with exactly one entry.
+///
+/// ```
+/// use beamform::{Beamformer, BeamformerConfig, Engine, SingleEngine, WeightMatrix};
+/// use ccglib::matrix::HostComplexMatrix;
+/// use gpu_sim::Gpu;
+/// use tcbf_types::Complex;
+///
+/// let weights = WeightMatrix::from_matrix(HostComplexMatrix::from_fn(4, 16, |b, r| {
+///     Complex::from_polar(1.0 / 16.0, (b * r) as f32 * 0.1)
+/// }));
+/// let beamformer = Beamformer::new(
+///     &Gpu::A100.device(), weights, 8, BeamformerConfig::float16(),
+/// ).unwrap();
+/// let mut engine = SingleEngine::new(beamformer).unwrap();
+/// let block = HostComplexMatrix::from_fn(16, 8, |r, s| Complex::new(r as f32 * 0.1, s as f32));
+/// engine.process_batch(&[&block, &block]).unwrap();
+/// let report = engine.finish();
+/// assert_eq!(report.total_blocks(), 2);
+/// assert_eq!(report.per_device().len(), 1);
+/// ```
+pub struct SingleEngine {
+    inner: Beamformer,
+    gpu: Gpu,
+    report: SessionReport,
+    weight_swaps: usize,
+}
+
+impl SingleEngine {
+    /// Wraps a beamformer as an engine.  The beamformer must be a batch-1
+    /// configuration: engines stream whole blocks, one per execution.
+    pub fn new(inner: Beamformer) -> ccglib::Result<Self> {
+        if inner.config().batch != 1 {
+            return Err(ccglib::CcglibError::ShapeMismatch {
+                expected: "batch 1 (streaming engines process one block per execution)".to_string(),
+                actual: format!("batch {}", inner.config().batch),
+            });
+        }
+        let gpu = inner.device().gpu();
+        Ok(SingleEngine {
+            inner,
+            gpu,
+            report: SessionReport::default(),
+            weight_swaps: 0,
+        })
+    }
+
+    /// The beamformer driving this engine.
+    pub fn beamformer(&self) -> &Beamformer {
+        &self.inner
+    }
+}
+
+impl std::fmt::Debug for SingleEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SingleEngine")
+            .field("gpu", &self.gpu)
+            .field("shape", &self.inner.shape())
+            .finish_non_exhaustive()
+    }
+}
+
+impl Engine for SingleEngine {
+    fn topology(&self) -> Topology {
+        Topology::Single(self.gpu)
+    }
+
+    fn plan(&self, blocks: usize) -> ShardPlan {
+        ShardPlan::new(ShardPolicy::RoundRobin, &[1.0], blocks)
+    }
+
+    fn process_batch(
+        &mut self,
+        blocks: &[&HostComplexMatrix],
+    ) -> ccglib::Result<Vec<BeamformOutput>> {
+        let ops = self.inner.shape().complex_ops() as f64;
+        let mut outputs = Vec::with_capacity(blocks.len());
+        for block in blocks {
+            let output = self.inner.beamform(block)?;
+            self.report.record(&output.report, ops, 1);
+            outputs.push(output);
+        }
+        Ok(outputs)
+    }
+
+    fn swap_weights(&mut self, weights: WeightMatrix) -> ccglib::Result<()> {
+        self.inner.set_weights(weights)?;
+        self.weight_swaps += 1;
+        Ok(())
+    }
+
+    fn report(&self) -> Report {
+        Report::new(
+            vec![DeviceShardReport {
+                gpu: self.gpu,
+                report: self.report,
+            }],
+            self.weight_swaps,
+        )
+    }
+
+    fn finish(&mut self) -> Report {
+        let report = self.report();
+        self.report = SessionReport::default();
+        self.weight_swaps = 0;
+        report
+    }
+}
+
+/// A streaming session over any [`Engine`]: the one session type for every
+/// topology, replacing the former `BeamformSession`/`ShardedSession` pair.
+///
+/// The session is a thin ergonomic layer — block-at-a-time processing,
+/// borrow-friendly batch submission, weight hot-swap — over the engine,
+/// which owns the [`Report`] accumulation.
+///
+/// ```
+/// use beamform::{Beamformer, BeamformerConfig, Session, SingleEngine, WeightMatrix};
+/// use ccglib::matrix::HostComplexMatrix;
+/// use gpu_sim::Gpu;
+/// use tcbf_types::Complex;
+///
+/// let weights = WeightMatrix::from_matrix(HostComplexMatrix::from_fn(4, 16, |b, r| {
+///     Complex::from_polar(1.0 / 16.0, (b * r) as f32 * 0.1)
+/// }));
+/// let beamformer = Beamformer::new(
+///     &Gpu::A100.device(), weights, 8, BeamformerConfig::float16(),
+/// ).unwrap();
+/// let mut session = Session::new(SingleEngine::new(beamformer).unwrap());
+/// let block = HostComplexMatrix::from_fn(16, 8, |r, s| Complex::new(r as f32 * 0.1, s as f32));
+/// for _ in 0..3 {
+///     session.process_block(&block).unwrap();
+/// }
+/// let report = session.finish();
+/// assert_eq!(report.total_blocks(), 3);
+/// assert!(report.aggregate_tops() > 0.0);
+/// ```
+pub struct Session<E: Engine> {
+    engine: E,
+}
+
+/// A session over a boxed engine of any topology — what
+/// `tcbf::BeamformerBuilder::build_engine()` pairs with.
+pub type DynSession = Session<Box<dyn Engine>>;
+
+impl<E: Engine> Session<E> {
+    /// Starts a session on an engine.  A session's report covers exactly
+    /// the session: any accumulation left on the engine (e.g. blocks
+    /// processed or weights re-steered before the session started) is
+    /// discarded here.
+    pub fn new(mut engine: E) -> Self {
+        let _ = engine.finish();
+        Session { engine }
+    }
+
+    /// The engine driving this session.
+    pub fn engine(&self) -> &E {
+        &self.engine
+    }
+
+    /// Mutable access to the engine (e.g. for implementation-specific
+    /// introspection).
+    pub fn engine_mut(&mut self) -> &mut E {
+        &mut self.engine
+    }
+
+    /// Processes one `K × N` block of sensor samples.
+    pub fn process_block(&mut self, block: &HostComplexMatrix) -> ccglib::Result<BeamformOutput> {
+        let mut outputs = self.engine.process_batch(&[block])?;
+        Ok(outputs.pop().expect("one output per block"))
+    }
+
+    /// Processes one batch of sample blocks (owned matrices or references
+    /// both work), returning the per-block outputs in input order.  Blocks
+    /// already processed by earlier calls stay accounted in the report.
+    pub fn process_batch<B>(&mut self, blocks: &[B]) -> ccglib::Result<Vec<BeamformOutput>>
+    where
+        B: Borrow<HostComplexMatrix>,
+    {
+        let refs: Vec<&HostComplexMatrix> = blocks.iter().map(Borrow::borrow).collect();
+        self.engine.process_batch(&refs)
+    }
+
+    /// Hot-swaps the beam weights on every device of the engine; the next
+    /// processed block anywhere uses the new weights.
+    pub fn swap_weights(&mut self, weights: WeightMatrix) -> ccglib::Result<()> {
+        self.engine.swap_weights(weights)
+    }
+
+    /// The report accumulated so far.
+    pub fn report(&self) -> Report {
+        self.engine.report()
+    }
+
+    /// Ends the session, returning the final report.
+    pub fn finish(mut self) -> Report {
+        self.engine.finish()
+    }
+
+    /// Dissolves the session back into its engine (the accumulated report
+    /// stays on the engine).
+    pub fn into_engine(self) -> E {
+        self.engine
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::beamformer::BeamformerConfig;
+    use crate::shard::ShardedBeamformer;
+    use gpu_sim::DevicePool;
+    use tcbf_types::Complex;
+
+    fn weights(beams: usize, receivers: usize) -> WeightMatrix {
+        WeightMatrix::from_matrix(HostComplexMatrix::from_fn(beams, receivers, |b, r| {
+            Complex::from_polar(1.0 / receivers as f32, (b * r) as f32 * 0.03)
+        }))
+    }
+
+    fn block(receivers: usize, samples: usize, seed: usize) -> HostComplexMatrix {
+        HostComplexMatrix::from_fn(receivers, samples, |r, s| {
+            Complex::new(
+                ((r + s + seed) % 7) as f32 * 0.1 - 0.3,
+                ((r * 3 + s + seed) % 5) as f32 * 0.1,
+            )
+        })
+    }
+
+    fn single_engine(gpu: Gpu) -> SingleEngine {
+        SingleEngine::new(
+            Beamformer::new(
+                &gpu.device(),
+                weights(4, 16),
+                8,
+                BeamformerConfig::float16(),
+            )
+            .unwrap(),
+        )
+        .unwrap()
+    }
+
+    fn pool_engine(gpus: &[Gpu]) -> ShardedBeamformer {
+        ShardedBeamformer::new(
+            &DevicePool::from_gpus(gpus),
+            weights(4, 16),
+            8,
+            BeamformerConfig::float16(),
+            ShardPolicy::RoundRobin,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn single_engine_embeds_its_metrics_in_a_one_device_breakdown() {
+        let mut engine = single_engine(Gpu::A100);
+        let blocks: Vec<HostComplexMatrix> = (0..4).map(|i| block(16, 8, i)).collect();
+        let refs: Vec<&HostComplexMatrix> = blocks.iter().collect();
+        let outputs = engine.process_batch(&refs).unwrap();
+        assert_eq!(outputs.len(), 4);
+        let report = engine.report();
+        assert_eq!(report.per_device().len(), 1);
+        assert_eq!(report.per_device()[0].gpu, Gpu::A100);
+        assert_eq!(report.total_blocks(), 4);
+        // One device: wall clock == its serial kernel time, speed-up 1.0,
+        // aggregate == the device's aggregate.
+        let serial = report.merged_serial();
+        assert_eq!(report.wall_clock_s(), serial.total_elapsed_s);
+        assert!((report.speedup_over_serial() - 1.0).abs() < 1e-12);
+        assert!((report.aggregate_tops() - serial.aggregate_tops()).abs() < 1e-12);
+        assert_eq!(report.straggler(), Some(0));
+    }
+
+    #[test]
+    fn single_engine_rejects_batched_beamformers() {
+        let config = BeamformerConfig {
+            batch: 3,
+            ..BeamformerConfig::float16()
+        };
+        let beamformer = Beamformer::new(&Gpu::A100.device(), weights(4, 16), 8, config).unwrap();
+        let err = SingleEngine::new(beamformer).unwrap_err();
+        assert!(err.to_string().contains("batch 1"));
+    }
+
+    #[test]
+    fn engine_trait_is_object_safe_across_topologies() {
+        let mut engines: Vec<Box<dyn Engine>> = vec![
+            Box::new(single_engine(Gpu::A100)),
+            Box::new(pool_engine(&[Gpu::A100, Gpu::Gh200])),
+        ];
+        let blocks: Vec<HostComplexMatrix> = (0..5).map(|i| block(16, 8, i)).collect();
+        let refs: Vec<&HostComplexMatrix> = blocks.iter().collect();
+        let mut all = Vec::new();
+        for engine in &mut engines {
+            // Introspection through the trait object.
+            let plan = engine.plan(blocks.len());
+            assert_eq!(plan.num_devices(), engine.topology().num_devices());
+            all.push(engine.process_batch(&refs).unwrap());
+            assert_eq!(engine.report().total_blocks(), 5);
+        }
+        // Topology is a scheduling decision only: identical outputs.
+        for (a, b) in all[0].iter().zip(&all[1]) {
+            assert_eq!(a.beams, b.beams);
+        }
+        assert_eq!(engines[0].topology(), Topology::Single(Gpu::A100));
+        assert!(engines[1].topology().is_sharded());
+        assert_eq!(
+            engines[1].topology().policy(),
+            Some(ShardPolicy::RoundRobin)
+        );
+        assert_eq!(engines[0].topology().policy(), None);
+    }
+
+    #[test]
+    fn session_is_generic_over_the_engine_and_counts_swaps() {
+        let run = |mut session: DynSession| -> (Vec<BeamformOutput>, Report) {
+            let blocks: Vec<HostComplexMatrix> = (0..4).map(|i| block(16, 8, i)).collect();
+            let before = session.process_batch(&blocks).unwrap();
+            session.swap_weights(weights(4, 16)).unwrap();
+            let mut outputs = before;
+            outputs.extend(session.process_batch(&blocks).unwrap());
+            (outputs, session.finish())
+        };
+        let (single_out, single_report) = run(Session::new(Box::new(single_engine(Gpu::A100))));
+        let (pool_out, pool_report) =
+            run(Session::new(Box::new(pool_engine(&[Gpu::A100, Gpu::A100]))));
+        for (s, p) in single_out.iter().zip(&pool_out) {
+            assert_eq!(s.beams, p.beams);
+        }
+        for report in [&single_report, &pool_report] {
+            assert_eq!(report.total_blocks(), 8);
+            assert_eq!(report.weight_swaps(), 1);
+            assert_eq!(report.merged_serial().weight_swaps, 1);
+        }
+        assert_eq!(single_report.per_device().len(), 1);
+        assert_eq!(pool_report.per_device().len(), 2);
+    }
+
+    #[test]
+    fn finish_resets_the_engine_for_a_fresh_run() {
+        let mut engine = single_engine(Gpu::Gh200);
+        let b = block(16, 8, 0);
+        engine.process_batch(&[&b]).unwrap();
+        engine.swap_weights(weights(4, 16)).unwrap();
+        let first = engine.finish();
+        assert_eq!(first.total_blocks(), 1);
+        assert_eq!(first.weight_swaps(), 1);
+        // The next run starts from zero.
+        assert_eq!(engine.report().total_blocks(), 0);
+        assert_eq!(engine.report().weight_swaps(), 0);
+        engine.process_batch(&[&b, &b]).unwrap();
+        let second = engine.finish();
+        assert_eq!(second.total_blocks(), 2);
+        assert_eq!(second.weight_swaps(), 0);
+    }
+
+    #[test]
+    fn throughput_metrics_agree_between_report_flavours() {
+        let mut engine = single_engine(Gpu::A100);
+        let blocks: Vec<HostComplexMatrix> = (0..3).map(|i| block(16, 8, i)).collect();
+        let refs: Vec<&HostComplexMatrix> = blocks.iter().collect();
+        engine.process_batch(&refs).unwrap();
+        let report = engine.report();
+        let serial = report.merged_serial();
+        // The trait and the inherent accessors agree on both types.
+        fn metrics<M: ThroughputMetrics>(m: &M) -> [f64; 5] {
+            [
+                m.worst_tops(),
+                m.mean_tops(),
+                m.best_tops(),
+                m.tops_per_joule(),
+                m.effective_fps(),
+            ]
+        }
+        assert_eq!(metrics(&report), metrics(&serial));
+        assert_eq!(report.worst_tops(), serial.worst_tops());
+        assert_eq!(report.effective_fps(), serial.effective_fps());
+    }
+
+    #[test]
+    fn empty_engine_reports_finite_zeros() {
+        let engine = single_engine(Gpu::A100);
+        let report = engine.report();
+        assert_eq!(report.total_blocks(), 0);
+        for metric in [
+            report.aggregate_tops(),
+            report.wall_clock_s(),
+            report.effective_fps(),
+            report.tops_per_joule(),
+            report.speedup_over_serial(),
+            report.worst_tops(),
+            report.mean_tops(),
+            report.best_tops(),
+        ] {
+            assert_eq!(metric, 0.0);
+            assert!(metric.is_finite());
+        }
+    }
+}

@@ -17,17 +17,23 @@
 //!   matrices for many beams;
 //! * [`beamformer`] — the mapping onto the ccglib GEMM, a direct
 //!   delay-and-sum reference implementation, beam patterns and SNR gain;
-//! * [`session`] — streaming sessions: a [`BeamformSession`] consumes a
-//!   stream of sample blocks, supports weight hot-swap mid-stream and
-//!   accumulates a [`SessionReport`] over the whole run;
+//! * [`engine`] — the unified execution API: one object-safe [`Engine`]
+//!   trait spanning every topology, with [`SingleEngine`] (one device) and
+//!   [`ShardedBeamformer`] (a device pool) as the implementations, one
+//!   generic [`Session<E>`] (alias [`DynSession`] for boxed engines), and
+//!   one unified [`Report`] whose per-device breakdown holds exactly one
+//!   entry in the single case;
+//! * [`session`] — the per-block accounting primitive [`SessionReport`]
+//!   and the legacy [`BeamformSession`] (kept for one release; new code
+//!   uses [`Session`]);
 //! * [`shard`] — multi-device scale-out: a [`ShardedBeamformer`] spans a
-//!   `gpu_sim::DevicePool`, partitions block streams across the members
-//!   under a [`ShardPlan`] (round-robin or capacity-weighted) and merges
-//!   the per-device reports into a [`ShardedSessionReport`].
+//!   `gpu_sim::DevicePool` and partitions block streams across the
+//!   members under a [`ShardPlan`] (round-robin or capacity-weighted).
 
 #![deny(missing_docs)]
 
 pub mod beamformer;
+pub mod engine;
 pub mod geometry;
 pub mod session;
 pub mod shard;
@@ -35,11 +41,15 @@ pub mod signal;
 pub mod weights;
 
 pub use beamformer::{BatchBeamformOutput, BeamformOutput, Beamformer, BeamformerConfig};
+pub use engine::{
+    DeviceShardReport, DynSession, Engine, Report, Session, SingleEngine, ThroughputMetrics,
+    Topology,
+};
 pub use geometry::{ArrayGeometry, SPEED_OF_LIGHT, SPEED_OF_SOUND_TISSUE, SPEED_OF_SOUND_WATER};
 pub use session::{BeamformSession, SessionReport};
 pub use shard::{
-    DeviceShardReport, ShardPlan, ShardPolicy, ShardedBeamformer, ShardedSession,
-    ShardedSessionReport, ShardedStreamOutput,
+    ShardPlan, ShardPolicy, ShardedBeamformer, ShardedSession, ShardedSessionReport,
+    ShardedStreamOutput,
 };
 pub use signal::{PlaneWaveSource, SignalGenerator};
 pub use weights::{steering_vector, WeightMatrix};

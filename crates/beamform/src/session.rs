@@ -148,6 +148,12 @@ impl SessionReport {
 /// A streaming beamforming session: owns a [`Beamformer`], processes a
 /// stream of sample blocks and accumulates a [`SessionReport`].
 ///
+/// Legacy single-device session, kept for one release: it is the only
+/// session that drives *batched executions* (`process_batch` maps a whole
+/// batch onto one GEMM).  Block-streaming pipelines use the
+/// topology-agnostic [`crate::Session`] over any [`crate::Engine`]
+/// instead.
+///
 /// ```
 /// use beamform::{Beamformer, BeamformerConfig, BeamformSession, WeightMatrix};
 /// use ccglib::matrix::HostComplexMatrix;

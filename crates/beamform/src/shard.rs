@@ -9,12 +9,17 @@
 //! execute in parallel, one worker per device.  Functional results are
 //! device-independent, so the concatenated shard outputs are element-wise
 //! identical to a single-device run of the same stream; only the
-//! performance accounting changes, which is why the merged
-//! [`ShardedSessionReport`] keeps a per-device breakdown and derives the
-//! pool-level metrics (aggregate TeraOps/s summed across members, wall
-//! clock set by the straggler, joules summed) from it.
+//! performance accounting changes, which is why the merged [`Report`]
+//! keeps a per-device breakdown and derives the pool-level metrics
+//! (aggregate TeraOps/s summed across members, wall clock set by the
+//! straggler, joules summed) from it.
+//!
+//! [`ShardedBeamformer`] implements the unified [`Engine`] trait, so the
+//! pool plugs into the same generic [`crate::Session`] and application
+//! entry points as a single device.
 
 use crate::beamformer::{BeamformOutput, Beamformer, BeamformerConfig};
+use crate::engine::{DeviceShardReport, Engine, Report, Topology};
 use crate::session::SessionReport;
 use crate::weights::WeightMatrix;
 use ccglib::matrix::HostComplexMatrix;
@@ -22,6 +27,17 @@ use ccglib::Precision;
 use gpu_sim::{DevicePool, Gpu};
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
+
+/// Legacy name of the unified [`Report`], kept as a delegating alias for
+/// one release.
+pub type ShardedSessionReport = Report;
+
+/// Legacy name of the generic session over a [`ShardedBeamformer`].  The
+/// type survives for one release but the session methods are the unified
+/// ones: `process_stream` is now [`crate::Session::process_batch`] and
+/// the report type is the unified [`Report`] (see the README migration
+/// table).
+pub type ShardedSession = crate::engine::Session<ShardedBeamformer>;
 
 /// How a block stream is partitioned across the members of a pool.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
@@ -138,169 +154,6 @@ impl ShardPlan {
     }
 }
 
-/// One pool member's contribution to a sharded run.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
-pub struct DeviceShardReport {
-    /// The catalog identifier of the member.
-    pub gpu: Gpu,
-    /// The member's own streaming report (its totals cover only the blocks
-    /// this device executed).
-    pub report: SessionReport,
-}
-
-/// The merged report of a sharded run: a per-device breakdown plus the
-/// pool-level metrics derived from it.
-///
-/// Totals (`total_blocks`, `total_joules`, `total_useful_ops`) are the
-/// sums of the per-device reports.  Throughput is reported two ways:
-/// [`ShardedSessionReport::aggregate_tops`] sums the members' aggregate
-/// TeraOps/s (the devices run concurrently), while the wall clock of the
-/// run is the *straggler's* elapsed time — the slowest member bounds the
-/// pool, exactly as in any data-parallel pipeline.
-#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
-pub struct ShardedSessionReport {
-    per_device: Vec<DeviceShardReport>,
-    weight_swaps: usize,
-}
-
-impl ShardedSessionReport {
-    /// Builds a merged report from per-device reports and the number of
-    /// pool-wide weight swaps.
-    pub fn new(per_device: Vec<DeviceShardReport>, weight_swaps: usize) -> Self {
-        ShardedSessionReport {
-            per_device,
-            weight_swaps,
-        }
-    }
-
-    /// The per-device breakdown, in pool order.
-    pub fn per_device(&self) -> &[DeviceShardReport] {
-        &self.per_device
-    }
-
-    /// Number of pool-wide weight swaps (each swap counts once, not once
-    /// per member).
-    pub fn weight_swaps(&self) -> usize {
-        self.weight_swaps
-    }
-
-    /// All per-device reports folded into one serial-equivalent
-    /// [`SessionReport`]: totals summed, per-execution extremes merged.
-    pub fn merged_serial(&self) -> SessionReport {
-        let mut merged = SessionReport::default();
-        for shard in &self.per_device {
-            merged.absorb(&shard.report);
-        }
-        merged
-    }
-
-    /// Total blocks processed across the pool.
-    pub fn total_blocks(&self) -> usize {
-        self.per_device.iter().map(|s| s.report.blocks).sum()
-    }
-
-    /// Total energy across the pool in joules.
-    pub fn total_joules(&self) -> f64 {
-        self.per_device.iter().map(|s| s.report.total_joules).sum()
-    }
-
-    /// Total useful operations across the pool.
-    pub fn total_useful_ops(&self) -> f64 {
-        self.per_device
-            .iter()
-            .map(|s| s.report.total_useful_ops)
-            .sum()
-    }
-
-    /// Aggregate pool throughput in TeraOps/s: the sum of the members'
-    /// aggregate throughputs, since the members run concurrently.  Zero
-    /// for an empty run.
-    pub fn aggregate_tops(&self) -> f64 {
-        self.per_device
-            .iter()
-            .map(|s| s.report.aggregate_tops())
-            .sum()
-    }
-
-    /// Wall-clock time of the run in seconds: the straggler's total
-    /// elapsed kernel time (members run concurrently, so the slowest one
-    /// bounds the pool).  Zero for an empty run.
-    pub fn wall_clock_s(&self) -> f64 {
-        self.per_device
-            .iter()
-            .map(|s| s.report.total_elapsed_s)
-            .fold(0.0, f64::max)
-    }
-
-    /// Index of the straggler — the member with the largest elapsed time —
-    /// or `None` for an empty report.
-    pub fn straggler(&self) -> Option<usize> {
-        self.per_device
-            .iter()
-            .enumerate()
-            .max_by(|a, b| {
-                a.1.report
-                    .total_elapsed_s
-                    .total_cmp(&b.1.report.total_elapsed_s)
-            })
-            .map(|(i, _)| i)
-    }
-
-    /// Effective block (frame) rate of the pool: blocks per second of
-    /// wall-clock time.  Zero for a zero-block or zero-elapsed run.
-    pub fn effective_fps(&self) -> f64 {
-        let wall = self.wall_clock_s();
-        if wall > 0.0 {
-            self.total_blocks() as f64 / wall
-        } else {
-            0.0
-        }
-    }
-
-    /// Aggregate energy efficiency in TeraOps/J.  Zero for a zero-energy
-    /// run.
-    pub fn tops_per_joule(&self) -> f64 {
-        let joules = self.total_joules();
-        if joules > 0.0 {
-            self.total_useful_ops() / joules / 1e12
-        } else {
-            0.0
-        }
-    }
-
-    /// Worst per-execution throughput across all members, in TeraOps/s.
-    pub fn worst_tops(&self) -> f64 {
-        self.merged_serial().worst_tops()
-    }
-
-    /// Mean per-execution throughput across all members, in TeraOps/s.
-    pub fn mean_tops(&self) -> f64 {
-        self.merged_serial().mean_tops()
-    }
-
-    /// Best per-execution throughput across all members, in TeraOps/s.
-    pub fn best_tops(&self) -> f64 {
-        self.merged_serial().best_tops()
-    }
-
-    /// Parallel speed-up over running the same stream serially on the
-    /// members: summed elapsed time divided by the straggler's wall clock.
-    /// 1.0 for a single-member pool, 0.0 for an empty run.
-    pub fn speedup_over_serial(&self) -> f64 {
-        let wall = self.wall_clock_s();
-        if wall > 0.0 {
-            let serial: f64 = self
-                .per_device
-                .iter()
-                .map(|s| s.report.total_elapsed_s)
-                .sum();
-            serial / wall
-        } else {
-            0.0
-        }
-    }
-}
-
 /// Output of sharding one block stream across a pool.
 #[derive(Clone, Debug)]
 pub struct ShardedStreamOutput {
@@ -308,7 +161,7 @@ pub struct ShardedStreamOutput {
     /// order).
     pub outputs: Vec<BeamformOutput>,
     /// The merged report of this call.
-    pub report: ShardedSessionReport,
+    pub report: Report,
     /// The plan the stream was executed under.
     pub plan: ShardPlan,
 }
@@ -319,6 +172,9 @@ pub struct ShardedStreamOutput {
 /// operand, so the per-device shard workers run the decode-once hot path:
 /// weights are converted when the pool is built (and on hot-swap), never
 /// per block.
+///
+/// Implements the unified [`Engine`] trait — the pool is driven exactly
+/// like a single device, through [`crate::Session`] or `Box<dyn Engine>`.
 ///
 /// ```
 /// use beamform::{BeamformerConfig, ShardPolicy, ShardedBeamformer, WeightMatrix};
@@ -347,6 +203,9 @@ pub struct ShardedBeamformer {
     gpus: Vec<Gpu>,
     capacity_weights: Vec<f64>,
     policy: ShardPolicy,
+    /// Per-member report accumulation of the [`Engine`] run in progress.
+    accumulated: Vec<SessionReport>,
+    weight_swaps: usize,
 }
 
 impl ShardedBeamformer {
@@ -381,11 +240,14 @@ impl ShardedBeamformer {
             .iter()
             .map(|device| Self::capacity(device.spec(), config.precision))
             .collect();
+        let accumulated = vec![SessionReport::default(); members.len()];
         Ok(ShardedBeamformer {
             members,
             gpus: pool.gpus(),
             capacity_weights,
             policy,
+            accumulated,
+            weight_swaps: 0,
         })
     }
 
@@ -437,7 +299,8 @@ impl ShardedBeamformer {
     ///
     /// Accepts owned matrices or references (`&[HostComplexMatrix]` and
     /// `&[&HostComplexMatrix]` both work), so callers streaming borrowed
-    /// blocks need not clone them.
+    /// blocks need not clone them.  This is the stateless one-shot entry
+    /// point; the [`Engine`] implementation accumulates across calls.
     pub fn beamform_stream<B>(&self, blocks: &[B]) -> ccglib::Result<ShardedStreamOutput>
     where
         B: std::borrow::Borrow<HostComplexMatrix> + Sync,
@@ -476,7 +339,7 @@ impl ShardedBeamformer {
             .collect();
         Ok(ShardedStreamOutput {
             outputs,
-            report: ShardedSessionReport::new(per_device, 0),
+            report: Report::new(per_device, 0),
             plan,
         })
     }
@@ -485,6 +348,8 @@ impl ShardedBeamformer {
     /// `beams × receivers` shape; the per-device GEMM plans are reused
     /// unchanged).  The shape is validated before any member is touched,
     /// so a rejected swap leaves the whole pool on the old weights.
+    /// Successful swaps are counted pool-wide (once per swap, not once per
+    /// member) in the accumulated [`Report`].
     pub fn swap_weights(&mut self, weights: WeightMatrix) -> ccglib::Result<()> {
         let current = self.members[0].weights();
         if weights.num_beams() != current.num_beams()
@@ -502,13 +367,62 @@ impl ShardedBeamformer {
         for member in &mut self.members {
             member.set_weights(weights.clone())?;
         }
+        self.weight_swaps += 1;
         Ok(())
     }
 
     /// Starts a streaming session across the pool (consumes the sharded
     /// beamformer; the session owns it so weights can be hot-swapped).
     pub fn into_session(self) -> ShardedSession {
-        ShardedSession::new(self)
+        crate::engine::Session::new(self)
+    }
+}
+
+impl Engine for ShardedBeamformer {
+    fn topology(&self) -> Topology {
+        Topology::Pool {
+            gpus: self.gpus.clone(),
+            policy: self.policy,
+        }
+    }
+
+    fn plan(&self, blocks: usize) -> ShardPlan {
+        self.plan_shards(blocks)
+    }
+
+    fn process_batch(
+        &mut self,
+        blocks: &[&HostComplexMatrix],
+    ) -> ccglib::Result<Vec<BeamformOutput>> {
+        let run = self.beamform_stream(blocks)?;
+        for (accumulated, shard) in self.accumulated.iter_mut().zip(run.report.per_device()) {
+            accumulated.absorb(&shard.report);
+        }
+        Ok(run.outputs)
+    }
+
+    fn swap_weights(&mut self, weights: WeightMatrix) -> ccglib::Result<()> {
+        ShardedBeamformer::swap_weights(self, weights)
+    }
+
+    fn report(&self) -> Report {
+        let per_device = self
+            .gpus
+            .iter()
+            .zip(&self.accumulated)
+            .map(|(gpu, report)| DeviceShardReport {
+                gpu: *gpu,
+                report: *report,
+            })
+            .collect();
+        Report::new(per_device, self.weight_swaps)
+    }
+
+    fn finish(&mut self) -> Report {
+        let report = Engine::report(self);
+        self.accumulated = vec![SessionReport::default(); self.members.len()];
+        self.weight_swaps = 0;
+        report
     }
 }
 
@@ -519,75 +433,6 @@ impl std::fmt::Debug for ShardedBeamformer {
             .field("policy", &self.policy)
             .field("capacity_weights", &self.capacity_weights)
             .finish_non_exhaustive()
-    }
-}
-
-/// A streaming session across a [`DevicePool`]: accumulates one
-/// [`SessionReport`] per member over any number of
-/// [`ShardedSession::process_stream`] calls and supports pool-wide weight
-/// hot-swap between calls.
-pub struct ShardedSession {
-    engine: ShardedBeamformer,
-    per_device: Vec<SessionReport>,
-    weight_swaps: usize,
-}
-
-impl ShardedSession {
-    /// Starts a session on a sharded beamformer.
-    pub fn new(engine: ShardedBeamformer) -> Self {
-        let per_device = vec![SessionReport::default(); engine.num_devices()];
-        ShardedSession {
-            engine,
-            per_device,
-            weight_swaps: 0,
-        }
-    }
-
-    /// The sharded beamformer driving this session.
-    pub fn engine(&self) -> &ShardedBeamformer {
-        &self.engine
-    }
-
-    /// Processes one stream of blocks (one parallel fan-out across the
-    /// pool), returning the per-block outputs in input order.  Blocks
-    /// already processed by earlier calls stay accounted in the report.
-    pub fn process_stream<B>(&mut self, blocks: &[B]) -> ccglib::Result<Vec<BeamformOutput>>
-    where
-        B: std::borrow::Borrow<HostComplexMatrix> + Sync,
-    {
-        let run = self.engine.beamform_stream(blocks)?;
-        for (accumulated, shard) in self.per_device.iter_mut().zip(run.report.per_device()) {
-            accumulated.absorb(&shard.report);
-        }
-        Ok(run.outputs)
-    }
-
-    /// Hot-swaps the weights on every pool member; the next processed
-    /// block on any device uses the new weights.
-    pub fn swap_weights(&mut self, weights: WeightMatrix) -> ccglib::Result<()> {
-        self.engine.swap_weights(weights)?;
-        self.weight_swaps += 1;
-        Ok(())
-    }
-
-    /// The merged report accumulated so far.
-    pub fn report(&self) -> ShardedSessionReport {
-        let per_device = self
-            .engine
-            .gpus()
-            .iter()
-            .zip(&self.per_device)
-            .map(|(gpu, report)| DeviceShardReport {
-                gpu: *gpu,
-                report: *report,
-            })
-            .collect();
-        ShardedSessionReport::new(per_device, self.weight_swaps)
-    }
-
-    /// Ends the session, returning the final merged report.
-    pub fn finish(self) -> ShardedSessionReport {
-        self.report()
     }
 }
 
@@ -735,12 +580,12 @@ mod tests {
         let engine = sharded(&[Gpu::A100, Gpu::Gh200], ShardPolicy::RoundRobin);
         let mut session = engine.into_session();
         let blocks: Vec<HostComplexMatrix> = (0..4).map(|i| block(16, 8, i)).collect();
-        let before = session.process_stream(&blocks).unwrap();
+        let before = session.process_batch(&blocks).unwrap();
         let resteered = WeightMatrix::from_matrix(HostComplexMatrix::from_fn(4, 16, |b, r| {
             Complex::from_polar(1.0 / 16.0, -((b * r) as f32 * 0.03))
         }));
         session.swap_weights(resteered).unwrap();
-        let after = session.process_stream(&blocks).unwrap();
+        let after = session.process_batch(&blocks).unwrap();
         // Every block on every device sees the new weights.
         for (b, a) in before.iter().zip(&after) {
             assert!(b.beams.max_abs_diff(&a.beams) > 1e-3);
@@ -751,6 +596,24 @@ mod tests {
     }
 
     #[test]
+    fn sessions_start_fresh_regardless_of_prior_engine_use() {
+        // Re-steering (or streaming) on the bare engine before the session
+        // starts must not leak into the session's report: a session covers
+        // exactly the session, as the pre-unification ShardedSession did.
+        let mut engine = sharded(&[Gpu::A100, Gpu::A100], ShardPolicy::RoundRobin);
+        engine.swap_weights(weights(4, 16)).unwrap();
+        let pre_blocks = [block(16, 8, 9)];
+        let refs: Vec<&HostComplexMatrix> = pre_blocks.iter().collect();
+        Engine::process_batch(&mut engine, &refs).unwrap();
+        let mut session = engine.into_session();
+        let blocks = [block(16, 8, 0), block(16, 8, 1)];
+        session.process_batch(&blocks).unwrap();
+        let report = session.finish();
+        assert_eq!(report.total_blocks(), 2);
+        assert_eq!(report.weight_swaps(), 0);
+    }
+
+    #[test]
     fn shape_changing_swaps_leave_the_pool_untouched() {
         let engine = sharded(&[Gpu::A100, Gpu::A100], ShardPolicy::RoundRobin);
         let mut session = engine.into_session();
@@ -758,7 +621,7 @@ mod tests {
         assert_eq!(session.report().weight_swaps(), 0);
         // The pool still works on the old shape.
         let blocks = [block(16, 8, 0)];
-        assert!(session.process_stream(&blocks).is_ok());
+        assert!(session.process_batch(&blocks).is_ok());
     }
 
     #[test]

@@ -13,8 +13,8 @@
 use crate::station::StationBeamlets;
 use beamform::geometry::SPEED_OF_LIGHT;
 use beamform::{
-    BeamformSession, Beamformer, BeamformerConfig, SessionReport, ShardPolicy, ShardedBeamformer,
-    ShardedSessionReport, WeightMatrix,
+    Beamformer, BeamformerConfig, Engine, Report, SessionReport, ShardPolicy, ShardedBeamformer,
+    SingleEngine, WeightMatrix,
 };
 use ccglib::matrix::HostComplexMatrix;
 use ccglib::{reference_gemm, RunReport};
@@ -141,83 +141,53 @@ impl CentralBeamformer {
         Ok(self.output_from(output.beams, output.report))
     }
 
-    /// Streams a whole observation — consecutive beamlet blocks from the
-    /// same station array — through one coherent beamforming session,
-    /// returning one [`CentralOutput`] per block plus the aggregate
-    /// [`SessionReport`].
-    ///
-    /// The station count and block length must stay constant over the
-    /// stream; the per-station weights are recomputed whenever a block's
-    /// geometry or observing frequency changes and hot-swapped into the
-    /// running session (counted in
-    /// [`SessionReport::weight_swaps`]).
-    pub fn stream_coherent(
-        &self,
-        blocks: &[StationBeamlets],
-    ) -> ccglib::Result<(Vec<CentralOutput>, SessionReport)> {
-        let Some(first) = blocks.first() else {
-            return Err(ccglib::CcglibError::ShapeMismatch {
+    /// The first block of a non-empty observation.
+    fn first_block(blocks: &[StationBeamlets]) -> ccglib::Result<&StationBeamlets> {
+        blocks
+            .first()
+            .ok_or_else(|| ccglib::CcglibError::ShapeMismatch {
                 expected: "at least one beamlet block".to_string(),
                 actual: "0 blocks".to_string(),
-            });
-        };
-        let mut session = BeamformSession::new(self.beamformer(first)?);
+            })
+    }
+
+    /// Streams a whole observation — consecutive beamlet blocks from the
+    /// same station array — through **any streaming [`Engine`]**: a single
+    /// device and a multi-GPU pool run the exact same code; only the
+    /// engine construction differs.  This is the one streaming
+    /// implementation; the topology-specific entry points are thin shims
+    /// over it.
+    ///
+    /// The station count and block length must stay constant over the
+    /// stream, and the engine must currently hold the station weights of
+    /// the first block (as the shims build it).  Retunes — frequency or
+    /// station-layout changes — recompute the weights and hot-swap them on
+    /// every device of the engine, so the stream is processed as
+    /// consecutive constant-tuning segments, each fanned out across the
+    /// engine's whole topology.  Returns one [`CentralOutput`] per block,
+    /// in observation order, plus a [`Report`] covering exactly this
+    /// observation: the engine's accumulation is reset on entry (any
+    /// report left on it from earlier use is discarded) and
+    /// [`Engine::finish`] is called on return, so a reused engine starts
+    /// its next run fresh.
+    pub fn stream_coherent_with<E: Engine>(
+        &self,
+        engine: &mut E,
+        blocks: &[StationBeamlets],
+    ) -> ccglib::Result<(Vec<CentralOutput>, Report)> {
+        let first = Self::first_block(blocks)?;
+        let _ = engine.finish();
         // The weights depend only on the observing frequency and the
         // station layout, so a retune is detected from that metadata — no
         // per-block weight recomputation while the observation is stable.
         let mut tuning = (first.frequency(), first.station_positions_m().to_vec());
         let mut outputs = Vec::with_capacity(blocks.len());
-        for block in blocks {
-            if block.frequency() != tuning.0 || block.station_positions_m() != tuning.1 {
-                session.set_weights(WeightMatrix::from_matrix(self.weights(block)))?;
-                tuning = (block.frequency(), block.station_positions_m().to_vec());
-            }
-            let output = session.process_block(block.matrix())?;
-            outputs.push(self.output_from(output.beams, output.report));
-        }
-        Ok((outputs, session.finish()))
-    }
-
-    /// Streams a whole observation across a multi-GPU pool: the coherent
-    /// beamforming of consecutive beamlet blocks is sharded over the pool
-    /// members under `policy`, blocks execute in parallel (one worker per
-    /// device) and the merged [`ShardedSessionReport`] retains the
-    /// per-device breakdown.
-    ///
-    /// Functionally identical to [`CentralBeamformer::stream_coherent`]:
-    /// the per-block outputs do not depend on which device computed them.
-    /// Retunes (frequency or station-layout changes) hot-swap the station
-    /// weights on **every** pool member, so the stream is processed as
-    /// consecutive constant-tuning segments, each fanned out across the
-    /// whole pool.
-    pub fn stream_coherent_sharded(
-        &self,
-        pool: &DevicePool,
-        policy: ShardPolicy,
-        blocks: &[StationBeamlets],
-    ) -> ccglib::Result<(Vec<CentralOutput>, ShardedSessionReport)> {
-        let Some(first) = blocks.first() else {
-            return Err(ccglib::CcglibError::ShapeMismatch {
-                expected: "at least one beamlet block".to_string(),
-                actual: "0 blocks".to_string(),
-            });
-        };
-        let engine = ShardedBeamformer::new(
-            pool,
-            WeightMatrix::from_matrix(self.weights(first)),
-            first.num_samples(),
-            BeamformerConfig::float16(),
-            policy,
-        )?;
-        let mut session = engine.into_session();
-        let mut outputs = Vec::with_capacity(blocks.len());
-        let mut tuning = (first.frequency(), first.station_positions_m().to_vec());
         let mut segment: Vec<&HostComplexMatrix> = Vec::new();
-        let drain = |session: &mut beamform::ShardedSession,
+        let drain = |engine: &mut E,
                      segment: &mut Vec<&HostComplexMatrix>,
                      outputs: &mut Vec<CentralOutput>|
          -> ccglib::Result<()> {
-            for output in session.process_stream(segment)? {
+            for output in engine.process_batch(segment)? {
                 outputs.push(self.output_from(output.beams, output.report));
             }
             segment.clear();
@@ -225,14 +195,50 @@ impl CentralBeamformer {
         };
         for block in blocks {
             if block.frequency() != tuning.0 || block.station_positions_m() != tuning.1 {
-                drain(&mut session, &mut segment, &mut outputs)?;
-                session.swap_weights(WeightMatrix::from_matrix(self.weights(block)))?;
+                drain(engine, &mut segment, &mut outputs)?;
+                engine.swap_weights(WeightMatrix::from_matrix(self.weights(block)))?;
                 tuning = (block.frequency(), block.station_positions_m().to_vec());
             }
             segment.push(block.matrix());
         }
-        drain(&mut session, &mut segment, &mut outputs)?;
-        Ok((outputs, session.finish()))
+        drain(engine, &mut segment, &mut outputs)?;
+        Ok((outputs, engine.finish()))
+    }
+
+    /// Single-device shim over
+    /// [`CentralBeamformer::stream_coherent_with`]: builds a
+    /// [`SingleEngine`] on this beamformer's device and returns the
+    /// serial-equivalent [`SessionReport`] (retunes counted in
+    /// [`SessionReport::weight_swaps`]).
+    pub fn stream_coherent(
+        &self,
+        blocks: &[StationBeamlets],
+    ) -> ccglib::Result<(Vec<CentralOutput>, SessionReport)> {
+        let first = Self::first_block(blocks)?;
+        let mut engine = SingleEngine::new(self.beamformer(first)?)?;
+        let (outputs, report) = self.stream_coherent_with(&mut engine, blocks)?;
+        Ok((outputs, report.merged_serial()))
+    }
+
+    /// Multi-GPU shim over [`CentralBeamformer::stream_coherent_with`]:
+    /// builds a [`ShardedBeamformer`] over `pool` under `policy`.
+    /// Functionally identical to [`CentralBeamformer::stream_coherent`]:
+    /// the per-block outputs do not depend on which device computed them.
+    pub fn stream_coherent_sharded(
+        &self,
+        pool: &DevicePool,
+        policy: ShardPolicy,
+        blocks: &[StationBeamlets],
+    ) -> ccglib::Result<(Vec<CentralOutput>, Report)> {
+        let first = Self::first_block(blocks)?;
+        let mut engine = ShardedBeamformer::new(
+            pool,
+            WeightMatrix::from_matrix(self.weights(first)),
+            first.num_samples(),
+            BeamformerConfig::float16(),
+            policy,
+        )?;
+        self.stream_coherent_with(&mut engine, blocks)
     }
 
     /// Mean power of one beam over all samples.
@@ -407,6 +413,57 @@ mod tests {
         assert!(bf
             .stream_coherent_sharded(&pool, ShardPolicy::RoundRobin, &[])
             .is_err());
+    }
+
+    #[test]
+    fn generic_engine_path_drives_any_topology_with_retunes() {
+        // One generic implementation behind both shims: drive it directly
+        // with a single-device engine and a pooled engine and compare to
+        // the shim outputs, retune included.
+        let make = |frequency: f64, seed: u64| {
+            StationBeamlets::synthesise(
+                12,
+                24,
+                frequency,
+                &[SkySource {
+                    azimuth: 1e-4,
+                    amplitude: 1.0,
+                }],
+                0.0,
+                32,
+                0.05,
+                seed,
+            )
+        };
+        let blocks = vec![make(FREQ, 1), make(FREQ, 2), make(1.05 * FREQ, 3)];
+        let bf = CentralBeamformer::new(&Gpu::A100.device(), beam_grid());
+        let (reference, _) = bf.stream_coherent(&blocks).unwrap();
+
+        let mut engines: Vec<Box<dyn Engine>> = vec![
+            Box::new(SingleEngine::new(bf.beamformer(&blocks[0]).unwrap()).unwrap()),
+            Box::new(
+                ShardedBeamformer::new(
+                    &DevicePool::from_gpus(&[Gpu::A100, Gpu::Gh200]),
+                    WeightMatrix::from_matrix(bf.weights(&blocks[0])),
+                    blocks[0].num_samples(),
+                    BeamformerConfig::float16(),
+                    ShardPolicy::RoundRobin,
+                )
+                .unwrap(),
+            ),
+        ];
+        for engine in &mut engines {
+            let (outputs, report) = bf.stream_coherent_with(engine, &blocks).unwrap();
+            assert_eq!(outputs.len(), reference.len());
+            for (o, r) in outputs.iter().zip(&reference) {
+                assert_eq!(
+                    o.complex_beams.as_ref().unwrap(),
+                    r.complex_beams.as_ref().unwrap()
+                );
+            }
+            assert_eq!(report.total_blocks(), 3);
+            assert_eq!(report.weight_swaps(), 1);
+        }
     }
 
     #[test]

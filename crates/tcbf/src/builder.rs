@@ -8,7 +8,10 @@
 
 use crate::error::{Result, TcbfError};
 use crate::TensorCoreBeamformer;
-use beamform::{Beamformer, BeamformerConfig, ShardPolicy, ShardedBeamformer, WeightMatrix};
+use beamform::{
+    Beamformer, BeamformerConfig, Engine, ShardPolicy, ShardedBeamformer, SingleEngine,
+    WeightMatrix,
+};
 use ccglib::matrix::HostComplexMatrix;
 use ccglib::{Precision, TuningParameters};
 use gpu_sim::{DevicePool, Gpu};
@@ -138,9 +141,71 @@ impl BeamformerBuilder {
         Ok(())
     }
 
+    /// Validates the whole configuration and constructs a streaming
+    /// [`Engine`] of the topology the builder describes: a single-device
+    /// engine when [`BeamformerBuilder::devices`] was never called, a
+    /// sharded multi-device engine otherwise.  This is the
+    /// topology-agnostic entry point — downstream code drives the boxed
+    /// engine (e.g. through a [`beamform::DynSession`]) without knowing
+    /// which it got.
+    ///
+    /// Engines stream whole blocks, one per GEMM execution, so the batch
+    /// size must be 1 ([`TcbfError::ShardedBatch`] otherwise); all other
+    /// validations of [`BeamformerBuilder::build`] /
+    /// [`BeamformerBuilder::build_sharded`] apply unchanged.
+    ///
+    /// ```
+    /// use tcbf::prelude::*;
+    ///
+    /// let weights = HostComplexMatrix::from_fn(8, 32, |b, r| {
+    ///     Complex::from_polar(1.0 / 32.0, (b * r) as f32 * 0.01)
+    /// });
+    /// // Same configuration code, two topologies.
+    /// for devices in [Vec::new(), vec![Gpu::A100, Gpu::Gh200]] {
+    ///     let engine = TensorCoreBeamformer::builder(Gpu::A100)
+    ///         .weights(weights.clone())
+    ///         .samples_per_block(64)
+    ///         .devices(&devices)
+    ///         .build_engine()
+    ///         .unwrap();
+    ///     assert_eq!(engine.topology().num_devices(), devices.len().max(1));
+    /// }
+    /// ```
+    pub fn build_engine(self) -> Result<Box<dyn Engine>> {
+        self.validated_weights()?;
+        if self.batch != 1 {
+            return Err(TcbfError::ShardedBatch { batch: self.batch });
+        }
+        let weights = self.weights.expect("validated above");
+        let config = BeamformerConfig {
+            precision: self.precision,
+            batch: 1,
+            params: self.params,
+        };
+        if self.devices.is_empty() {
+            let inner =
+                Beamformer::new(&self.gpu.device(), weights, self.samples_per_block, config)?;
+            Ok(Box::new(SingleEngine::new(inner)?))
+        } else {
+            let pool = DevicePool::from_gpus(&self.devices);
+            Ok(Box::new(ShardedBeamformer::new(
+                &pool,
+                weights,
+                self.samples_per_block,
+                config,
+                self.shard_policy,
+            )?))
+        }
+    }
+
     /// Validates the whole configuration and constructs the beamformer.
     ///
+    /// A thin single-device wrapper kept alongside
+    /// [`BeamformerBuilder::build_engine`] for one release (it remains the
+    /// only path to batched executions, `batch > 1`).
+    ///
     /// Checks, in order: no device pool configured (pools build through
+    /// [`BeamformerBuilder::build_engine`] or
     /// [`BeamformerBuilder::build_sharded`]), weights present and
     /// non-empty, block length and batch non-zero, precision supported on
     /// the device, tuning parameters launchable, operands within device
@@ -167,6 +232,9 @@ impl BeamformerBuilder {
     /// [`ShardedBeamformer`] spanning the configured device pool (or a
     /// single-member pool of the builder's device if
     /// [`BeamformerBuilder::devices`] was never called).
+    ///
+    /// A typed wrapper kept for one release; the topology-agnostic
+    /// [`BeamformerBuilder::build_engine`] is the preferred entry point.
     ///
     /// The batch size must be 1: sharding distributes whole blocks across
     /// the pool members instead.

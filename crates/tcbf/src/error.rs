@@ -33,9 +33,9 @@ pub enum TcbfError {
         /// Number of devices configured through `.devices(...)`.
         devices: usize,
     },
-    /// `build_sharded()` was called with a batch size other than 1:
-    /// sharding distributes whole blocks across the pool, so per-device
-    /// batching is not meaningful.
+    /// `build_engine()` or `build_sharded()` was called with a batch size
+    /// other than 1: streaming engines distribute whole blocks (one per
+    /// execution), so per-device batching is not meaningful.
     ShardedBatch {
         /// The configured batch size.
         batch: usize,
@@ -130,7 +130,7 @@ impl std::fmt::Display for TcbfError {
             ),
             TcbfError::ShardedBatch { batch } => write!(
                 f,
-                "sharded execution distributes whole blocks across the pool: configure batch 1 instead of {batch}"
+                "streaming engines distribute whole blocks (one per execution): configure batch 1 instead of {batch}"
             ),
             TcbfError::UnsupportedPrecision { device, precision } => {
                 write!(f, "{precision} precision is not supported on {device}")

@@ -7,24 +7,26 @@
 //!   that validates the whole configuration (device, weights, block
 //!   length, precision, batch, tuning parameters) in one place and returns
 //!   a single actionable [`TcbfError`] on misuse;
-//! * [`BeamformSession`] — a streaming session that consumes blocks of
-//!   receiver samples, supports weight hot-swap mid-stream, and
-//!   accumulates a [`SessionReport`] (aggregate/mean/worst-case TOPs,
-//!   total joules, effective frame rate) over the whole run;
-//! * multi-device scale-out — `.devices(&[...])` and `.shard_policy(...)`
-//!   on the builder configure a [`DevicePool`] and
-//!   [`BeamformerBuilder::build_sharded`] returns a [`ShardedBeamformer`]
-//!   that partitions block streams across the pool (round-robin or
-//!   capacity-weighted) and merges the per-device reports into a
-//!   [`ShardedSessionReport`];
+//! * one execution API for every topology —
+//!   [`BeamformerBuilder::build_engine`] returns a `Box<dyn `[`Engine`]`>`
+//!   (a single device unless `.devices(&[...])` configured a
+//!   [`DevicePool`]); the generic [`Session`] (alias [`DynSession`] for
+//!   boxed engines) streams blocks through it with mid-stream weight
+//!   hot-swap, and the unified [`Report`] carries a per-device breakdown
+//!   (exactly one entry in the single case) plus the pool-level metrics
+//!   derived from it;
+//! * the typed entry points ([`BeamformerBuilder::build`] →
+//!   [`TensorCoreBeamformer`], [`BeamformerBuilder::build_sharded`] →
+//!   [`ShardedBeamformer`]) remain as thin wrappers for one release;
+//! * [`prelude`] — one `use tcbf::prelude::*;` for the whole surface;
 //! * re-exports of the building blocks (`ccglib`, the device catalog, the
 //!   tuner, the generic beamforming layer) for users who need lower-level
 //!   control;
 //! * [`version`] and [`supported_devices`] introspection helpers.
 //!
 //! The domain applications live in their own crates (`ultrasound`,
-//! `radioastro`) and are thin wrappers around the same pieces, exactly as
-//! the paper describes the layering.
+//! `radioastro`) and are thin generic wrappers over the same [`Engine`]
+//! abstraction, exactly as the paper describes the layering.
 
 #![deny(missing_docs)]
 
@@ -33,9 +35,9 @@ mod error;
 
 pub use beamform::{
     ArrayGeometry, BatchBeamformOutput, BeamformOutput, BeamformSession, Beamformer,
-    BeamformerConfig, DeviceShardReport, PlaneWaveSource, SessionReport, ShardPlan, ShardPolicy,
-    ShardedBeamformer, ShardedSession, ShardedSessionReport, ShardedStreamOutput, SignalGenerator,
-    WeightMatrix,
+    BeamformerConfig, DeviceShardReport, DynSession, Engine, PlaneWaveSource, Report, Session,
+    SessionReport, ShardPlan, ShardPolicy, ShardedBeamformer, ShardedSession, ShardedSessionReport,
+    ShardedStreamOutput, SignalGenerator, SingleEngine, ThroughputMetrics, Topology, WeightMatrix,
 };
 pub use builder::BeamformerBuilder;
 pub use ccglib::{
@@ -46,6 +48,27 @@ pub use error::{Result, TcbfError};
 pub use gpu_sim::{Device, DevicePool, DeviceSpec, Gpu};
 pub use pmt::{EnergyMeasurement, PowerMeter};
 pub use tuner::{Objective, Strategy, TuneOutcome, Tuner};
+
+/// Everything a typical downstream user needs in one import:
+/// `use tcbf::prelude::*;`.
+///
+/// Exports the fluent builder and facade, the unified execution surface
+/// ([`Engine`], [`Session`]/[`DynSession`], [`Report`],
+/// [`ThroughputMetrics`], [`Topology`]), the precision/policy enums, the
+/// error type, the device catalog, weight/signal helpers, the tuner, and
+/// the host matrix type.
+pub mod prelude {
+    pub use crate::{
+        supported_devices, version, ArrayGeometry, BeamformOutput, Beamformer, BeamformerBuilder,
+        BeamformerConfig, Device, DevicePool, DeviceShardReport, DeviceSpec, DynSession, Engine,
+        Gpu, Objective, PlaneWaveSource, Precision, Report, Result, Session, SessionReport,
+        ShardPlan, ShardPolicy, ShardedBeamformer, SignalGenerator, SingleEngine, Strategy,
+        TcbfError, TensorCoreBeamformer, ThroughputMetrics, Topology, TuneOutcome, Tuner,
+        TuningParameters, WeightMatrix,
+    };
+    pub use ccglib::matrix::HostComplexMatrix;
+    pub use tcbf_types::Complex;
+}
 
 use ccglib::matrix::HostComplexMatrix;
 use tcbf_types::GemmShape;
@@ -161,6 +184,13 @@ impl TensorCoreBeamformer {
     /// Turns the beamformer into a streaming [`BeamformSession`].
     pub fn into_session(self) -> BeamformSession {
         self.inner.into_session()
+    }
+
+    /// Wraps the beamformer as a single-device streaming [`Engine`] —
+    /// the same interface a sharded pool implements.  Fails for batched
+    /// configurations (engines stream whole blocks, one per execution).
+    pub fn into_engine(self) -> Result<SingleEngine> {
+        Ok(self.inner.into_engine()?)
     }
 
     /// Predicted performance of one block without computing data.
@@ -366,6 +396,68 @@ mod tests {
             .build_sharded()
             .unwrap();
         assert_eq!(single.num_devices(), 1);
+    }
+
+    #[test]
+    fn build_engine_picks_the_topology_from_the_builder() {
+        let configured = || {
+            TensorCoreBeamformer::builder(Gpu::A100)
+                .weights(weights(4, 16))
+                .samples_per_block(8)
+        };
+        // No .devices(...): a single-device engine.
+        let mut single = configured().build_engine().unwrap();
+        assert_eq!(single.topology(), Topology::Single(Gpu::A100));
+        assert_eq!(single.plan(3).num_devices(), 1);
+        // With .devices(...): a sharded engine over the pool.
+        let mut pooled = configured()
+            .devices(&[Gpu::A100, Gpu::Gh200])
+            .shard_policy(ShardPolicy::RoundRobin)
+            .build_engine()
+            .unwrap();
+        assert_eq!(pooled.topology().num_devices(), 2);
+        assert_eq!(pooled.topology().policy(), Some(ShardPolicy::RoundRobin));
+        // Both run the same blocks to identical results through the trait.
+        let blocks: Vec<HostComplexMatrix> = (0..4)
+            .map(|i| {
+                HostComplexMatrix::from_fn(16, 8, |r, s| {
+                    Complex::new((r + s + i) as f32 * 0.05, r as f32 * 0.01)
+                })
+            })
+            .collect();
+        let refs: Vec<&HostComplexMatrix> = blocks.iter().collect();
+        let a = single.process_batch(&refs).unwrap();
+        let b = pooled.process_batch(&refs).unwrap();
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.beams, y.beams);
+        }
+        assert_eq!(single.report().per_device().len(), 1);
+        assert_eq!(pooled.report().per_device().len(), 2);
+        // Engines stream whole blocks: batched configurations are rejected.
+        assert_eq!(
+            configured().batch(2).build_engine().unwrap_err(),
+            TcbfError::ShardedBatch { batch: 2 }
+        );
+        // The common validations still run first.
+        assert_eq!(
+            TensorCoreBeamformer::builder(Gpu::A100)
+                .samples_per_block(8)
+                .build_engine()
+                .unwrap_err(),
+            TcbfError::MissingWeights
+        );
+    }
+
+    #[test]
+    fn facade_converts_into_a_single_engine() {
+        let engine = TensorCoreBeamformer::builder(Gpu::Gh200)
+            .weights(weights(4, 16))
+            .samples_per_block(8)
+            .build()
+            .unwrap()
+            .into_engine()
+            .unwrap();
+        assert_eq!(engine.topology(), Topology::Single(Gpu::Gh200));
     }
 
     #[test]

@@ -10,8 +10,8 @@
 
 use crate::model::AcousticModel;
 use beamform::{
-    BeamformSession, Beamformer, BeamformerConfig, SessionReport, ShardPolicy, ShardedBeamformer,
-    ShardedSessionReport, WeightMatrix,
+    Beamformer, BeamformerConfig, Engine, Report, SessionReport, ShardPolicy, ShardedBeamformer,
+    SingleEngine, WeightMatrix,
 };
 use ccglib::matrix::HostComplexMatrix;
 use ccglib::RunReport;
@@ -217,38 +217,83 @@ impl Reconstructor {
     }
 
     /// Reconstructs a stream of measurement ensembles (continuous imaging:
-    /// one acquisition after another against the same model) through a
-    /// single [`BeamformSession`], returning one volume per ensemble plus
-    /// the aggregate [`SessionReport`] of the whole run.  Every ensemble
-    /// must have the same number of frames.
+    /// one acquisition after another against the same model) through **any
+    /// streaming [`Engine`]** — a single device and a multi-GPU pool run
+    /// the exact same code; only the engine construction differs.  This is
+    /// the one streaming implementation; the topology-specific entry
+    /// points are thin shims over it.
+    ///
+    /// Each ensemble is Doppler-filtered (and, in float16 mode,
+    /// normalised) before quantisation, then streamed as one block.  The
+    /// whole stream is prepared up front so the engine can fan it out in
+    /// one call — peak memory is the input stream plus one prepared copy
+    /// of it; chunk very long acquisitions into several calls if that
+    /// matters.  The
+    /// engine must have been built on this model's matrix as weights, the
+    /// ensembles' frame count as block length, and this reconstructor's
+    /// precision.  The volumes come back in acquisition order — the result
+    /// is element-wise independent of the engine's topology — together
+    /// with a [`Report`] covering exactly this stream: the engine's
+    /// accumulation is reset on entry (any report left on it from earlier
+    /// use is discarded) and [`Engine::finish`] is called on return, so a
+    /// reused engine starts its next run fresh.
+    pub fn reconstruct_stream_with<E: Engine>(
+        &self,
+        engine: &mut E,
+        model: &AcousticModel,
+        ensembles: &[HostComplexMatrix],
+        dims: (usize, usize, usize),
+    ) -> ccglib::Result<(Vec<ReconstructedVolume>, Report)> {
+        if ensembles.is_empty() {
+            return Err(ccglib::CcglibError::ShapeMismatch {
+                expected: "at least one measurement ensemble".to_string(),
+                actual: "0 ensembles".to_string(),
+            });
+        }
+        let _ = engine.finish();
+        let prepared: Vec<HostComplexMatrix> = ensembles
+            .iter()
+            .map(|ensemble| self.prepare(ensemble, model.config().k_rows()))
+            .collect();
+        let refs: Vec<&HostComplexMatrix> = prepared.iter().collect();
+        let outputs = engine.process_batch(&refs)?;
+        let volumes = outputs
+            .into_iter()
+            .map(|output| Self::volume_from(&output.beams, dims, output.report))
+            .collect();
+        Ok((volumes, engine.finish()))
+    }
+
+    /// The frame count shared by a non-empty stream of ensembles.
+    fn ensemble_frames(ensembles: &[HostComplexMatrix]) -> ccglib::Result<usize> {
+        ensembles
+            .first()
+            .map(HostComplexMatrix::cols)
+            .ok_or_else(|| ccglib::CcglibError::ShapeMismatch {
+                expected: "at least one measurement ensemble".to_string(),
+                actual: "0 ensembles".to_string(),
+            })
+    }
+
+    /// Single-device shim over
+    /// [`Reconstructor::reconstruct_stream_with`]: builds a
+    /// [`SingleEngine`] on this reconstructor's device and returns the
+    /// serial-equivalent [`SessionReport`].
     pub fn reconstruct_stream(
         &self,
         model: &AcousticModel,
         ensembles: &[HostComplexMatrix],
         dims: (usize, usize, usize),
     ) -> ccglib::Result<(Vec<ReconstructedVolume>, SessionReport)> {
-        let Some(first) = ensembles.first() else {
-            return Err(ccglib::CcglibError::ShapeMismatch {
-                expected: "at least one measurement ensemble".to_string(),
-                actual: "0 ensembles".to_string(),
-            });
-        };
-        let mut session = BeamformSession::new(self.beamformer(model, first.cols())?);
-        let mut volumes = Vec::with_capacity(ensembles.len());
-        for ensemble in ensembles {
-            let block = self.prepare(ensemble, model.config().k_rows());
-            let output = session.process_block(&block)?;
-            volumes.push(Self::volume_from(&output.beams, dims, output.report));
-        }
-        Ok((volumes, session.finish()))
+        let frames = Self::ensemble_frames(ensembles)?;
+        let mut engine = SingleEngine::new(self.beamformer(model, frames)?)?;
+        let (volumes, report) =
+            self.reconstruct_stream_with(&mut engine, model, ensembles, dims)?;
+        Ok((volumes, report.merged_serial()))
     }
 
-    /// Reconstructs a stream of measurement ensembles across a multi-GPU
-    /// pool: every ensemble is assigned to one pool member under `policy`
-    /// and the members reconstruct their shards in parallel.  The volumes
-    /// come back in acquisition order and are element-wise identical to
-    /// [`Reconstructor::reconstruct_stream`] on a single device; the
-    /// merged [`ShardedSessionReport`] retains the per-device breakdown.
+    /// Multi-GPU shim over [`Reconstructor::reconstruct_stream_with`]:
+    /// builds a [`ShardedBeamformer`] over `pool` under `policy`.
     pub fn reconstruct_stream_sharded(
         &self,
         model: &AcousticModel,
@@ -256,31 +301,16 @@ impl Reconstructor {
         dims: (usize, usize, usize),
         pool: &DevicePool,
         policy: ShardPolicy,
-    ) -> ccglib::Result<(Vec<ReconstructedVolume>, ShardedSessionReport)> {
-        let Some(first) = ensembles.first() else {
-            return Err(ccglib::CcglibError::ShapeMismatch {
-                expected: "at least one measurement ensemble".to_string(),
-                actual: "0 ensembles".to_string(),
-            });
-        };
-        let engine = ShardedBeamformer::new(
+    ) -> ccglib::Result<(Vec<ReconstructedVolume>, Report)> {
+        let frames = Self::ensemble_frames(ensembles)?;
+        let mut engine = ShardedBeamformer::new(
             pool,
             WeightMatrix::from_matrix(model.matrix().clone()),
-            first.cols(),
+            frames,
             self.config(),
             policy,
         )?;
-        let prepared: Vec<HostComplexMatrix> = ensembles
-            .iter()
-            .map(|ensemble| self.prepare(ensemble, model.config().k_rows()))
-            .collect();
-        let run = engine.beamform_stream(&prepared)?;
-        let volumes = run
-            .outputs
-            .into_iter()
-            .map(|output| Self::volume_from(&output.beams, dims, output.report))
-            .collect();
-        Ok((volumes, run.report))
+        self.reconstruct_stream_with(&mut engine, model, ensembles, dims)
     }
 }
 
@@ -498,6 +528,46 @@ mod tests {
         assert!(rec
             .reconstruct_stream_sharded(&model, &[], dims, &pool, ShardPolicy::RoundRobin)
             .is_err());
+    }
+
+    #[test]
+    fn generic_engine_path_is_topology_independent_and_reusable() {
+        // The single and sharded entry points are shims over one generic
+        // implementation: driving it directly with either engine type
+        // yields the same volumes, and a finished engine can be reused
+        // for a fresh run.
+        let (model, measurements, dims, _) = setup(ReconstructionPrecision::Float16);
+        let rec = Reconstructor::new(
+            &Gpu::A100.device(),
+            ReconstructionPrecision::Float16,
+            DopplerMode::MeanRemoval,
+        );
+        let ensembles = vec![measurements.clone(), measurements];
+        let (reference, _) = rec.reconstruct_stream(&model, &ensembles, dims).unwrap();
+
+        let mut engine =
+            beamform::SingleEngine::new(rec.beamformer(&model, ensembles[0].cols()).unwrap())
+                .unwrap();
+        for _ in 0..2 {
+            let (volumes, report) = rec
+                .reconstruct_stream_with(&mut engine, &model, &ensembles, dims)
+                .unwrap();
+            assert_eq!(volumes.len(), 2);
+            for (v, r) in volumes.iter().zip(&reference) {
+                assert_eq!(v.intensity, r.intensity);
+            }
+            // finish() resets the engine, so each run reports only itself.
+            assert_eq!(report.total_blocks(), 2);
+            assert_eq!(report.per_device().len(), 1);
+        }
+        // Activity accumulated on the engine *outside* the entry point is
+        // discarded on entry: the returned report covers exactly the run.
+        let prepared = rec.prepare(&ensembles[0], model.config().k_rows());
+        engine.process_batch(&[&prepared]).unwrap();
+        let (_, report) = rec
+            .reconstruct_stream_with(&mut engine, &model, &ensembles, dims)
+            .unwrap();
+        assert_eq!(report.total_blocks(), 2);
     }
 
     #[test]

@@ -4,9 +4,8 @@
 //!
 //! Run with: `cargo run --release --example autotune`
 
-use ccglib::matrix::HostComplexMatrix;
-use tcbf::{Gpu, Objective, Precision, Strategy, TensorCoreBeamformer, Tuner, TuningParameters};
-use tcbf_types::{Complex, GemmShape};
+use tcbf::prelude::*;
+use tcbf_types::GemmShape;
 
 fn main() {
     let shape = GemmShape::new(8192, 8192, 8192);

@@ -5,12 +5,16 @@
 //! pool member), localise the sources, and show the Fig. 7 performance
 //! comparison against the float32 reference beamformer.
 //!
+//! The observation is driven through the unified `Engine` API: the
+//! builder's `.devices(&[...])` picks the topology and the generic
+//! `stream_coherent_with` entry point does the rest — drop the
+//! `.devices(...)` line and the identical code runs on one GPU.
+//!
 //! Run with: `cargo run --release --example lofar_beamformer`
 
-use beamform::ShardPolicy;
-use gpu_sim::{DevicePool, Gpu};
 use radioastro::performance::{lofar_sweep, reference_sweep, speedup_over_reference, LofarConfig};
 use radioastro::{CentralBeamformer, CentralMode, SkySource, StationBeamlets};
+use tcbf::prelude::*;
 
 fn main() {
     // --- Functional pipeline at reduced scale -----------------------------
@@ -51,13 +55,20 @@ fn main() {
     let beam_azimuths: Vec<f64> = (0..15).map(|i| (i as f64 - 7.0) * 1e-4).collect();
     let central = CentralBeamformer::new(&Gpu::Gh200.device(), beam_azimuths.clone());
 
-    // Shard the observation across a four-GPU pool: blocks are assigned
-    // proportionally to each member's peak throughput and execute in
-    // parallel, one worker per device.
-    let pool = DevicePool::homogeneous(Gpu::Gh200, 4);
-    println!("Device pool: {pool}, capacity-weighted sharding");
+    // Shard the observation across a four-GPU pool: the builder picks the
+    // topology, the engine assigns blocks proportionally to each member's
+    // peak throughput and the shards execute in parallel, one worker per
+    // device.
+    let mut engine = TensorCoreBeamformer::builder(Gpu::Gh200)
+        .weights(central.weights(&blocks[0]))
+        .samples_per_block(128)
+        .devices(&[Gpu::Gh200; 4])
+        .shard_policy(ShardPolicy::CapacityWeighted)
+        .build_engine()
+        .expect("a valid pool configuration");
+    println!("Engine topology: {:?}", engine.topology());
     let (outputs, session) = central
-        .stream_coherent_sharded(&pool, ShardPolicy::CapacityWeighted, &blocks)
+        .stream_coherent_with(&mut engine, &blocks)
         .expect("coherent beamforming");
     let coherent = outputs.into_iter().next().expect("one output per block");
     let incoherent = central

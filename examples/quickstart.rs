@@ -1,15 +1,15 @@
-//! Quickstart: configure a beamformer with the fluent builder, stream
-//! blocks of sensor samples through a session — re-steering the beams
-//! mid-stream — and read the aggregate session report, on the simulated
-//! A100 in 16-bit tensor-core mode.
+//! Quickstart: configure a streaming engine with the fluent builder,
+//! stream blocks of sensor samples through a topology-agnostic session —
+//! re-steering the beams mid-stream — and read the unified report, on the
+//! simulated A100 in 16-bit tensor-core mode.
+//!
+//! The same code drives a multi-GPU pool: add `.devices(&[...])` to the
+//! builder and `build_engine()` hands back a sharded engine instead.
 //!
 //! Run with: `cargo run --release --example quickstart`
 
 use beamform::geometry::SPEED_OF_LIGHT;
-use tcbf::{
-    ArrayGeometry, Beamformer, Gpu, PlaneWaveSource, Precision, SignalGenerator,
-    TensorCoreBeamformer, WeightMatrix,
-};
+use tcbf::prelude::*;
 
 fn main() {
     let frequency = 150e6; // 150 MHz observing frequency
@@ -24,18 +24,21 @@ fn main() {
     // 2. Steering weights for a fan of beams — the M x K matrix of the GEMM.
     let weights = WeightMatrix::uniform_fan(&geometry, frequency, beams, -0.5, 0.5);
 
-    // 3. Configure the beamformer with the fluent builder: device, weights,
-    //    block length and precision are validated together at build().
-    let beamformer = TensorCoreBeamformer::builder(Gpu::A100)
+    // 3. Configure a streaming engine with the fluent builder: device,
+    //    weights, block length and precision are validated together at
+    //    build_engine().  No `.devices(...)` here, so the boxed engine is
+    //    a single A100 — the session code below would not change for a
+    //    pool.
+    let engine = TensorCoreBeamformer::builder(Gpu::A100)
         .weight_matrix(weights.clone())
         .samples_per_block(samples_per_block)
         .precision(Precision::Float16)
-        .build()
+        .build_engine()
         .expect("a valid beamformer configuration");
-    println!("Device:        {}", beamformer.gpu().device());
+    println!("Topology:      {:?}", engine.topology());
     println!(
-        "GEMM shape:    {} (beams x samples x receivers)",
-        beamformer.shape()
+        "Shard plan:    {} device(s) over an 8-block stream",
+        engine.plan(8).num_devices()
     );
 
     // 4. Synthetic sky: one plane-wave source at +0.2 rad plus noise.
@@ -46,8 +49,8 @@ fn main() {
         baseband_frequency: 1e3,
     };
 
-    // 5. Stream a pipeline of sample blocks through a session.
-    let mut session = beamformer.into_session();
+    // 5. Stream a pipeline of sample blocks through the generic session.
+    let mut session: DynSession = Session::new(engine);
     let samples = generator.sensor_samples(&[source], samples_per_block);
     let output = session.process_block(&samples).expect("beamforming");
     for _ in 0..3 {
@@ -68,7 +71,14 @@ fn main() {
     }
 
     // 7. Cross-check against the full-precision delay-and-sum reference.
-    let reference = session.beamformer().delay_and_sum_reference(&samples);
+    let reference = Beamformer::new(
+        &Gpu::A100.device(),
+        weights,
+        samples_per_block,
+        BeamformerConfig::float16(),
+    )
+    .expect("reference beamformer")
+    .delay_and_sum_reference(&samples);
     println!();
     println!(
         "max |tensor-core − delay-and-sum| = {:.4}",
@@ -76,20 +86,26 @@ fn main() {
     );
 
     // 8. Re-steer mid-stream: hot-swap a narrower fan of beams into the
-    //    running session (the GEMM plan is reused) and keep streaming.
+    //    running session (the GEMM plan is reused — on a pool, every
+    //    member would swap) and keep streaming.
     let narrow = WeightMatrix::uniform_fan(&geometry, frequency, beams, 0.0, 0.4);
-    session.set_weights(narrow).expect("same beams x receivers");
+    session
+        .swap_weights(narrow)
+        .expect("same beams x receivers");
     for _ in 0..4 {
         let block = generator.sensor_samples(&[source], samples_per_block);
         session.process_block(&block).expect("beamforming");
     }
 
-    // 9. The session report aggregates the whole run.
+    // 9. The unified report aggregates the whole run — per-device
+    //    breakdown (one entry here) plus the derived pool-level metrics.
     let report = session.finish();
     println!();
     println!(
-        "Session:       {} blocks, {} weight swap(s)",
-        report.blocks, report.weight_swaps
+        "Session:       {} blocks on {} device(s), {} weight swap(s)",
+        report.total_blocks(),
+        report.per_device().len(),
+        report.weight_swaps()
     );
     println!(
         "Throughput:    {:.3} TOPs/s aggregate, {:.3} mean, {:.3} worst-case",
@@ -99,7 +115,7 @@ fn main() {
     );
     println!(
         "Energy:        {:.4} J total, {:.3} TOPs/J",
-        report.total_joules,
+        report.total_joules(),
         report.tops_per_joule()
     );
     println!(

@@ -4,7 +4,7 @@
 //! Run with: `cargo run --release --example roofline`
 
 use ccglib::benchmark::roofline_points;
-use tcbf::{supported_devices, Gpu};
+use tcbf::prelude::*;
 
 fn main() {
     println!("Supported devices: {}", supported_devices().len());

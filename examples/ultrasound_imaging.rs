@@ -4,9 +4,14 @@
 //! across a two-GPU pool**, print maximum-intensity projections, plus the
 //! real-time frame-rate analysis of Fig. 5.
 //!
+//! The acquisitions stream through the unified `Engine` API: the builder's
+//! `.devices(&[...])` picks the topology and the generic
+//! `reconstruct_stream_with` entry point does the rest — drop the
+//! `.devices(...)` line and the identical code runs on one GPU.
+//!
 //! Run with: `cargo run --release --example ultrasound_imaging`
 
-use tcbf::{DevicePool, Gpu, ShardPolicy};
+use tcbf::prelude::*;
 use ultrasound::{
     offline_comparison, AcousticModel, DopplerMode, FlowPhantom, FrameRateModel, ImagingConfig,
     ReconstructionPrecision, Reconstructor, REAL_TIME_FPS,
@@ -46,21 +51,23 @@ fn main() {
         DopplerMode::MeanRemoval,
     );
     // Continuous imaging: stream consecutive acquisitions against the same
-    // model, sharded across a two-GPU pool (one worker per device; the
-    // faster GH200 receives proportionally more acquisitions).
+    // model through a unified engine, sharded across a two-GPU pool (one
+    // worker per device; the faster GH200 receives proportionally more
+    // acquisitions).
     let ensembles: Vec<_> = (0..4).map(|_| phantom.measurements(&model, 20)).collect();
     let mut pool_ensembles = vec![measurements];
     pool_ensembles.extend(ensembles);
-    let pool = DevicePool::from_gpus(&[Gpu::Gh200, Gpu::A100]);
-    println!("Device pool: {pool}, capacity-weighted sharding");
+    let mut engine = TensorCoreBeamformer::builder(Gpu::Gh200)
+        .weights(model.matrix().clone())
+        .samples_per_block(pool_ensembles[0].cols())
+        .precision(Precision::Int1)
+        .devices(&[Gpu::Gh200, Gpu::A100])
+        .shard_policy(ShardPolicy::CapacityWeighted)
+        .build_engine()
+        .expect("a valid pool configuration");
+    println!("Engine topology: {:?}", engine.topology());
     let (volumes, session) = reconstructor
-        .reconstruct_stream_sharded(
-            &model,
-            &pool_ensembles,
-            dims,
-            &pool,
-            ShardPolicy::CapacityWeighted,
-        )
+        .reconstruct_stream_with(&mut engine, &model, &pool_ensembles, dims)
         .expect("reconstruction");
     let volume = &volumes[0];
     println!(

@@ -10,7 +10,7 @@ use beamform::{
 use ccglib::matrix::HostComplexMatrix;
 use ccglib::{reference_gemm, Gemm, GemmInput, Precision};
 use gpu_sim::Gpu;
-use tcbf::TensorCoreBeamformer;
+use tcbf::{DynSession, Session, TensorCoreBeamformer};
 use tcbf_types::{Complex, GemmShape};
 
 const FREQ: f64 = 150e6;
@@ -56,16 +56,17 @@ fn facade_and_low_level_api_agree() {
 
 #[test]
 fn session_streams_blocks_with_mid_stream_weight_swap() {
-    // Acceptance: a session streams several blocks, swaps the weights
-    // mid-stream, and its report aggregates exactly the per-block reports.
+    // Acceptance: a generic session over a builder-built engine streams
+    // several blocks, swaps the weights mid-stream, and its unified report
+    // aggregates exactly the per-block reports.
     let geometry = linear_array(48);
     let azimuths: Vec<f64> = (0..6).map(|i| -0.25 + 0.1 * i as f64).collect();
     let fan = WeightMatrix::steering(&geometry, FREQ, &azimuths, true);
-    let beamformer = TensorCoreBeamformer::builder(Gpu::Gh200)
+    let engine = TensorCoreBeamformer::builder(Gpu::Gh200)
         .weight_matrix(fan)
         .samples_per_block(32)
         .precision(Precision::Float16)
-        .build()
+        .build_engine()
         .unwrap();
     let mut generator = SignalGenerator::new(geometry.clone(), FREQ, 1e5, 0.1, 29);
     let source = PlaneWaveSource {
@@ -74,7 +75,7 @@ fn session_streams_blocks_with_mid_stream_weight_swap() {
         baseband_frequency: 800.0,
     };
 
-    let mut session = beamformer.into_session();
+    let mut session: DynSession = Session::new(engine);
     let mut per_block = Vec::new();
     for _ in 0..2 {
         let block = generator.sensor_samples(&[source], 32);
@@ -83,7 +84,7 @@ fn session_streams_blocks_with_mid_stream_weight_swap() {
     // Re-steer to a mirrored fan without re-planning the kernel.
     let mirrored: Vec<f64> = azimuths.iter().map(|a| -a).collect();
     session
-        .set_weights(WeightMatrix::steering(&geometry, FREQ, &mirrored, true))
+        .swap_weights(WeightMatrix::steering(&geometry, FREQ, &mirrored, true))
         .unwrap();
     for _ in 0..2 {
         let block = generator.sensor_samples(&[source], 32);
@@ -91,18 +92,22 @@ fn session_streams_blocks_with_mid_stream_weight_swap() {
     }
 
     let report = session.finish();
-    assert_eq!(report.blocks, 4);
-    assert_eq!(report.weight_swaps, 1);
+    assert_eq!(report.total_blocks(), 4);
+    assert_eq!(report.weight_swaps(), 1);
+    assert_eq!(report.per_device().len(), 1);
+    let serial = report.merged_serial();
     let elapsed: f64 = per_block.iter().map(|o| o.report.predicted.elapsed_s).sum();
     let joules: f64 = per_block.iter().map(|o| o.report.energy.joules).sum();
     let worst = per_block
         .iter()
         .map(|o| o.report.achieved_tops)
         .fold(f64::INFINITY, f64::min);
-    assert!((report.total_elapsed_s - elapsed).abs() < 1e-15);
-    assert!((report.total_joules - joules).abs() < 1e-12);
+    assert!((serial.total_elapsed_s - elapsed).abs() < 1e-15);
+    assert!((serial.total_joules - joules).abs() < 1e-12);
     assert!((report.worst_tops() - worst).abs() < 1e-9);
     assert!(report.aggregate_tops() > 0.0);
+    // Single device: wall clock is that device's serial kernel time.
+    assert_eq!(report.wall_clock_s(), serial.total_elapsed_s);
 }
 
 #[test]
@@ -177,9 +182,9 @@ fn sharded_session_hot_swaps_weights_on_every_pool_member() {
         .map(|_| generator.sensor_samples(&[source], 16))
         .collect();
 
-    let before = session.process_stream(&blocks).unwrap();
+    let before = session.process_batch(&blocks).unwrap();
     session.swap_weights(swapped.clone()).unwrap();
-    let after = session.process_stream(&blocks).unwrap();
+    let after = session.process_batch(&blocks).unwrap();
 
     let reference = Beamformer::new(
         &Gpu::A100.device(),
