@@ -12,7 +12,10 @@
 
 use crate::weights::WeightMatrix;
 use ccglib::matrix::HostComplexMatrix;
-use ccglib::{Gemm, GemmInput, Precision, PreparedOperand, RunReport, TuningParameters};
+use ccglib::{
+    Gemm, GemmInput, GemmPlan, MicroKernelConfig, Precision, PreparedOperand, RunReport,
+    TuningParameters,
+};
 use gpu_sim::Device;
 use serde::{Deserialize, Serialize};
 use tcbf_types::{Complex32, GemmShape};
@@ -28,6 +31,9 @@ pub struct BeamformerConfig {
     /// Optional explicit kernel parameters; `None` uses the shipped
     /// per-GPU defaults.
     pub params: Option<TuningParameters>,
+    /// Optional host micro-kernel blocking (an autotuned winner or a
+    /// pinned choice); `None` runs the default blocking.
+    pub micro: Option<MicroKernelConfig>,
 }
 
 impl BeamformerConfig {
@@ -38,6 +44,7 @@ impl BeamformerConfig {
             precision: Precision::Float16,
             batch: 1,
             params: None,
+            micro: None,
         }
     }
 
@@ -47,6 +54,7 @@ impl BeamformerConfig {
             precision: Precision::Int1,
             batch: 1,
             params: None,
+            micro: None,
         }
     }
 }
@@ -101,10 +109,14 @@ impl Beamformer {
             samples_per_block,
             weights.num_receivers(),
         );
-        let gemm = match config.params {
-            Some(params) => Gemm::with_params(device, shape, config.precision, params)?,
-            None => Gemm::new(device, shape, config.precision)?,
+        let mut plan = match config.params {
+            Some(params) => GemmPlan::with_params(device, shape, config.precision, params)?,
+            None => GemmPlan::new(device, shape, config.precision)?,
         };
+        if let Some(micro) = config.micro {
+            plan = plan.with_micro(micro)?;
+        }
+        let gemm = Gemm::from_plan(plan);
         let prepared_weights =
             PreparedOperand::new(Self::quantise_for(config.precision, weights.matrix()));
         Ok(Beamformer {
@@ -140,6 +152,13 @@ impl Beamformer {
     /// Number of time samples per block.
     pub fn samples_per_block(&self) -> usize {
         self.samples_per_block
+    }
+
+    /// The host micro-kernel blocking the underlying GEMM plan executes
+    /// with — the default unless the configuration pinned one (or the
+    /// builder's autotune lookup supplied a cached winner).
+    pub fn micro(&self) -> MicroKernelConfig {
+        self.gemm.plan().micro()
     }
 
     /// Replaces the beam weights without re-planning the GEMM (weight
@@ -424,6 +443,7 @@ mod tests {
             precision: Precision::Float16,
             batch: 256,
             params: None,
+            micro: None,
         };
         let beamformer = Beamformer::new(&device(), weights, 1024, config).unwrap();
         assert_eq!(beamformer.shape(), GemmShape::batched(256, 1024, 1024, 512));

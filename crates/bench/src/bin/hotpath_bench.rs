@@ -11,7 +11,12 @@
 //!   verbatim — per-element `f16::to_f32` in the innermost loop, and four
 //!   separate masked popcount passes per 1-bit output element;
 //! * the **fused** path: the current `ccglib` kernels (decode-once f32
-//!   planes + blocked micro-kernel, fused `dot4` popcounts).
+//!   planes + blocked micro-kernel, fused `dot4` popcounts) under the
+//!   default [`MicroKernelConfig`];
+//! * the **tuned** path: every other blocking on the per-precision
+//!   [`MicroKernelConfig::menu_for`] menu, keeping the fastest.  The
+//!   default seeds the comparison, so `tuned <= fused` on every shape by
+//!   construction — the JSON records the winning config and its gain.
 //!
 //! Each measurement is a median of `reps` runs after a warmup run, and the
 //! fused output is checked against the baseline before timings are
@@ -24,7 +29,7 @@
 
 use ccglib::matrix::{F16Matrix, HostComplexMatrix, Int1Matrix};
 use ccglib::synth::pseudo_random_matrix;
-use ccglib::{gemm, reference_gemm};
+use ccglib::{gemm, reference_gemm, MicroKernelConfig, Precision};
 use gpu_sim::BitOp;
 use rayon::prelude::*;
 use std::time::Instant;
@@ -40,6 +45,8 @@ struct BenchEntry {
     k: usize,
     baseline_median_s: f64,
     fused_median_s: f64,
+    tuned_median_s: f64,
+    tuned_config: MicroKernelConfig,
 }
 
 impl BenchEntry {
@@ -53,6 +60,36 @@ impl BenchEntry {
     fn gelems_per_s(&self) -> f64 {
         (self.m * self.n * self.k) as f64 / self.fused_median_s / 1e9
     }
+
+    /// Wall-clock gain of the best menu blocking over the default one.
+    /// `>= 1.0` by construction: the default is a member of the menu, so
+    /// the winner is never slower than it.
+    fn tuned_speedup_vs_default(&self) -> f64 {
+        self.fused_median_s / self.tuned_median_s
+    }
+}
+
+/// Times every micro-kernel blocking on the menu for `precision` with
+/// `run(config)` and returns the winner `(median_s, config)`.  The default
+/// blocking's already-measured `default_median_s` seeds the comparison, so
+/// the tuned time can only improve on it.
+fn best_menu_config(
+    precision: Precision,
+    default_median_s: f64,
+    reps: usize,
+    mut run: impl FnMut(&MicroKernelConfig),
+) -> (f64, MicroKernelConfig) {
+    let mut best = (default_median_s, MicroKernelConfig::default());
+    for config in MicroKernelConfig::menu_for(precision) {
+        if config == MicroKernelConfig::default() {
+            continue;
+        }
+        let median = median_secs(reps, || run(&config));
+        if median < best.0 {
+            best = (median, config);
+        }
+    }
+    best
 }
 
 /// The pre-rewrite float16 kernel: widens all four operand values to f32
@@ -156,6 +193,10 @@ fn bench_f16(m: usize, n: usize, k: usize, reps: usize) -> BenchEntry {
     let fused_median_s = median_secs(reps, || {
         std::hint::black_box(gemm::gemm_f16(&a, &b).expect("shapes agree"));
     });
+    let (tuned_median_s, tuned_config) =
+        best_menu_config(Precision::Float16, fused_median_s, reps, |config| {
+            std::hint::black_box(gemm::gemm_f16_with(&a, &b, config).expect("shapes agree"));
+        });
     BenchEntry {
         kernel: "f16",
         bit_op: None,
@@ -164,6 +205,8 @@ fn bench_f16(m: usize, n: usize, k: usize, reps: usize) -> BenchEntry {
         k,
         baseline_median_s,
         fused_median_s,
+        tuned_median_s,
+        tuned_config,
     }
 }
 
@@ -195,6 +238,10 @@ fn bench_int1(m: usize, n: usize, k: usize, op: BitOp, reps: usize) -> BenchEntr
     let fused_median_s = median_secs(reps, || {
         std::hint::black_box(gemm::gemm_int1(&a, &b, op).expect("shapes agree"));
     });
+    let (tuned_median_s, tuned_config) =
+        best_menu_config(Precision::Int1, fused_median_s, reps, |config| {
+            std::hint::black_box(gemm::gemm_int1_with(&a, &b, op, config).expect("shapes agree"));
+        });
     BenchEntry {
         kernel: "int1",
         bit_op: Some(op),
@@ -203,6 +250,8 @@ fn bench_int1(m: usize, n: usize, k: usize, op: BitOp, reps: usize) -> BenchEntr
         k,
         baseline_median_s,
         fused_median_s,
+        tuned_median_s,
+        tuned_config,
     }
 }
 
@@ -211,7 +260,7 @@ fn bench_int1(m: usize, n: usize, k: usize, op: BitOp, reps: usize) -> BenchEntr
 fn to_json(mode: &str, reps: usize, entries: &[BenchEntry]) -> String {
     let mut out = String::new();
     out.push_str("{\n");
-    out.push_str("  \"schema\": \"tcbf-hotpath-bench/v1\",\n");
+    out.push_str("  \"schema\": \"tcbf-hotpath-bench/v2\",\n");
     out.push_str(&format!("  \"mode\": \"{mode}\",\n"));
     out.push_str(&format!("  \"reps\": {reps},\n"));
     out.push_str("  \"entries\": [\n");
@@ -224,7 +273,8 @@ fn to_json(mode: &str, reps: usize, entries: &[BenchEntry]) -> String {
         out.push_str(&format!(
             "    {{\"kernel\": \"{}\", \"bit_op\": {}, \"m\": {}, \"n\": {}, \"k\": {}, \
              \"baseline_median_s\": {:.9}, \"fused_median_s\": {:.9}, \"speedup\": {:.3}, \
-             \"gelems_per_s\": {:.4}}}{}\n",
+             \"gelems_per_s\": {:.4}, \"tuned_median_s\": {:.9}, \"tuned_config\": \"{}\", \
+             \"tuned_speedup_vs_default\": {:.3}}}{}\n",
             e.kernel,
             bit_op,
             e.m,
@@ -234,6 +284,9 @@ fn to_json(mode: &str, reps: usize, entries: &[BenchEntry]) -> String {
             e.fused_median_s,
             e.speedup(),
             e.gelems_per_s(),
+            e.tuned_median_s,
+            e.tuned_config,
+            e.tuned_speedup_vs_default(),
             if i + 1 < entries.len() { "," } else { "" },
         ));
     }
@@ -294,6 +347,9 @@ fn main() {
                 format!("{:.2}", e.fused_median_s * 1e3),
                 format!("{:.2}x", e.speedup()),
                 format!("{:.2}", e.gelems_per_s()),
+                format!("{:.2}", e.tuned_median_s * 1e3),
+                e.tuned_config.to_string(),
+                format!("{:.2}x", e.tuned_speedup_vs_default()),
             ]
         })
         .collect();
@@ -306,6 +362,9 @@ fn main() {
             "fused ms",
             "speedup",
             "GElem/s",
+            "tuned ms",
+            "tuned cfg",
+            "vs default",
         ],
         &rows,
     );
@@ -317,11 +376,20 @@ fn main() {
             .map(BenchEntry::speedup)
             .fold(f64::INFINITY, f64::min)
     };
+    let max_tuned_gain = entries
+        .iter()
+        .map(BenchEntry::tuned_speedup_vs_default)
+        .fold(1.0f64, f64::max);
     println!();
     println!(
         "headline: f16 min speedup {:.2}x, int1 min speedup {:.2}x over the pre-rewrite kernels",
         min_speedup("f16"),
         min_speedup("int1")
+    );
+    println!(
+        "autotune: best menu blocking gains up to {:.2}x over the default (never slower: \
+         the default is on the menu)",
+        max_tuned_gain
     );
 
     let json = to_json(mode, reps, &entries);

@@ -22,6 +22,7 @@
 
 use crate::error::{CcglibError, Result};
 use crate::matrix::{F16Matrix, HostComplexMatrix, Int1Matrix};
+use crate::micro::MicroKernelConfig;
 use crate::Precision;
 use gpu_sim::BitOp;
 use rayon::prelude::*;
@@ -297,44 +298,40 @@ impl GemmBatchInput {
     }
 }
 
-/// Output columns processed per register tile of the f16 micro-kernel:
-/// enough independent accumulator chains to hide FMA latency, few enough
-/// that 4·`F16_J_TILE` lane-vector accumulators stay in registers.
-const F16_J_TILE: usize = 2;
-
-/// SIMD width of the micro-kernel: each of the four accumulators is a
-/// fixed-size lane vector so the fused multiply-adds vectorise, with the
-/// lanes reduced in a fixed pairwise order at the very end (deterministic
-/// on every target).
-const F16_LANES: usize = 8;
-
-/// Reduction-dimension slice of the f16 micro-kernel: the `A`-row slice
-/// plus `F16_J_TILE` `B`-row slices of this length stay resident in L1
-/// while a tile is accumulated.  A multiple of [`F16_LANES`], so only the
-/// final slice of a ragged `K` has a scalar remainder.
-const F16_K_TILE: usize = 1024;
-
 /// One vectorised fused-multiply-add step over a lane group.
 #[inline(always)]
-fn fma_lanes(acc: &mut [f32; F16_LANES], a: &[f32], b: &[f32]) {
-    for l in 0..F16_LANES {
+fn fma_lanes<const LANES: usize>(acc: &mut [f32; LANES], a: &[f32], b: &[f32]) {
+    for l in 0..LANES {
         acc[l] = a[l].mul_add(b[l], acc[l]);
     }
 }
 
 /// Fixed pairwise reduction of one lane vector (plus the scalar-remainder
 /// accumulator), keeping the summation order independent of `K`.
+///
+/// Adjacent lanes are halved pairwise — `buf[i] = buf[2i] + buf[2i+1]` —
+/// until one value remains, the same summation tree at every power-of-two
+/// width.  For 8 lanes this is exactly the historical hand-written order
+/// `((l0+l1)+(l2+l3)) + ((l4+l5)+(l6+l7))`, so the default configuration
+/// is bit-for-bit the pre-refactor kernel.
 #[inline(always)]
-fn reduce_lanes(lanes: &[f32; F16_LANES], tail: f32) -> f32 {
-    ((lanes[0] + lanes[1]) + (lanes[2] + lanes[3]))
-        + ((lanes[4] + lanes[5]) + (lanes[6] + lanes[7]))
-        + tail
+fn reduce_lanes<const LANES: usize>(lanes: &[f32; LANES], tail: f32) -> f32 {
+    let mut buf = *lanes;
+    let mut width = LANES;
+    while width > 1 {
+        width /= 2;
+        for i in 0..width {
+            buf[i] = buf[2 * i] + buf[2 * i + 1];
+        }
+    }
+    buf[0] + tail
 }
 
 /// The blocked f16 micro-kernel over pre-decoded f32 planes: one output
-/// row per invocation, tiled over `j` (output columns) and `k` (the
-/// reduction dimension), four lane-vector accumulators per column held in
-/// registers, fused multiply-adds in the inner loop.
+/// row per invocation, tiled over `j` (output columns, `JT` at a time) and
+/// `k` (the reduction dimension, `k_tile` at a time), four lane-vector
+/// accumulators of `LANES` lanes per column held in registers, fused
+/// multiply-adds in the inner loop.
 ///
 /// Per output element the four real accumulations of Section III-B are
 /// chained in ascending `k` within each lane, and the lanes are combined
@@ -343,23 +340,32 @@ fn reduce_lanes(lanes: &[f32; F16_LANES], tail: f32) -> f32 {
 /// kernel keeps in flight.  `Im(b)` is negated "in registers" by
 /// subtracting the `ii` accumulator at the end instead of mutating the
 /// operand.
-fn f16_row_kernel(
+///
+/// The blocking factors only change which dot products are in flight
+/// together and how the reduction interleaves with memory traffic; the
+/// per-element summation order is identical for every `(JT, LANES,
+/// k_tile)` with the same `LANES`, and across `LANES` the pairwise tree
+/// differs only where floating-point addition is exact on the conformance
+/// input family — which is why every menu configuration is bit-identical
+/// on the inputs the proptests use.
+fn f16_row_kernel<const JT: usize, const LANES: usize>(
     row: &mut [Complex32],
     a_re_row: &[f32],
     a_im_row: &[f32],
     b_re: &[f32],
     b_im: &[f32],
     k: usize,
+    k_tile: usize,
 ) {
     let n = row.len();
     let mut jt = 0;
     while jt < n {
-        let jn = F16_J_TILE.min(n - jt);
-        let mut acc = [[[0.0f32; F16_LANES]; 4]; F16_J_TILE];
-        let mut tail = [[0.0f32; 4]; F16_J_TILE];
+        let jn = JT.min(n - jt);
+        let mut acc = [[[0.0f32; LANES]; 4]; JT];
+        let mut tail = [[0.0f32; 4]; JT];
         let mut k0 = 0;
         while k0 < k {
-            let k1 = (k0 + F16_K_TILE).min(k);
+            let k1 = (k0 + k_tile).min(k);
             let ar_slice = &a_re_row[k0..k1];
             let ai_slice = &a_im_row[k0..k1];
             for jj in 0..jn {
@@ -368,10 +374,10 @@ fn f16_row_kernel(
                 let bi_slice = &b_im[j * k + k0..j * k + k1];
                 let [rr, ii, ri, ir] = &mut acc[jj];
                 for (((ar, ai), br), bi) in ar_slice
-                    .chunks_exact(F16_LANES)
-                    .zip(ai_slice.chunks_exact(F16_LANES))
-                    .zip(br_slice.chunks_exact(F16_LANES))
-                    .zip(bi_slice.chunks_exact(F16_LANES))
+                    .chunks_exact(LANES)
+                    .zip(ai_slice.chunks_exact(LANES))
+                    .zip(br_slice.chunks_exact(LANES))
+                    .zip(bi_slice.chunks_exact(LANES))
                 {
                     fma_lanes(rr, ar, br);
                     fma_lanes(ii, ai, bi);
@@ -382,7 +388,7 @@ fn f16_row_kernel(
                 // can have one: the tile size is a multiple of the lane
                 // count), accumulated separately and folded in at the
                 // final reduction.
-                let rem = ar_slice.len() - ar_slice.len() % F16_LANES;
+                let rem = ar_slice.len() - ar_slice.len() % LANES;
                 let [mut t_rr, mut t_ii, mut t_ri, mut t_ir] = tail[jj];
                 for kk in rem..ar_slice.len() {
                     let (ar, ai) = (ar_slice[kk], ai_slice[kk]);
@@ -407,9 +413,34 @@ fn f16_row_kernel(
     }
 }
 
+/// The signature of one monomorphised f16 row kernel.
+type F16RowKernel = fn(&mut [Complex32], &[f32], &[f32], &[f32], &[f32], usize, usize);
+
+/// Resolves a configuration's `(j-tile, lanes)` pair to its compiled
+/// kernel instance.  The menu is closed — [`MicroKernelConfig::validate`]
+/// admits only these pairs — so the fallback arm is unreachable for
+/// validated configs and conservatively selects the default instance.
+fn f16_row_dispatch(micro: &MicroKernelConfig) -> F16RowKernel {
+    match (micro.f16_j_tile, micro.f16_lanes) {
+        (1, 4) => f16_row_kernel::<1, 4>,
+        (1, 8) => f16_row_kernel::<1, 8>,
+        (1, 16) => f16_row_kernel::<1, 16>,
+        (2, 4) => f16_row_kernel::<2, 4>,
+        (2, 16) => f16_row_kernel::<2, 16>,
+        (4, 4) => f16_row_kernel::<4, 4>,
+        (4, 8) => f16_row_kernel::<4, 8>,
+        (4, 16) => f16_row_kernel::<4, 16>,
+        _ => f16_row_kernel::<2, 8>,
+    }
+}
+
 /// Shared implementation of the f16 paths: `A` is already decoded, `B` is
 /// decoded here (once per operand, never per output element).
-fn gemm_f16_decoded(a: &DecodedPlanes, b_t: &F16Matrix) -> Result<ComplexOutput> {
+pub(crate) fn gemm_f16_decoded_with(
+    a: &DecodedPlanes,
+    b_t: &F16Matrix,
+    micro: &MicroKernelConfig,
+) -> Result<ComplexOutput> {
     if a.cols() != b_t.cols() {
         return Err(CcglibError::ShapeMismatch {
             expected: format!("A and B to share K (A has K={})", a.cols()),
@@ -420,18 +451,21 @@ fn gemm_f16_decoded(a: &DecodedPlanes, b_t: &F16Matrix) -> Result<ComplexOutput>
     let n = b_t.rows();
     let k = a.cols();
     let b = DecodedPlanes::from_f16(b_t);
+    let kernel = f16_row_dispatch(micro);
+    let k_tile = micro.f16_k_tile;
 
     let mut out = vec![Complex32::ZERO; m * n];
     out.par_chunks_mut(n.max(1))
         .enumerate()
         .for_each(|(i, row)| {
-            f16_row_kernel(
+            kernel(
                 row,
                 &a.re()[i * k..(i + 1) * k],
                 &a.im()[i * k..(i + 1) * k],
                 b.re(),
                 b.im(),
                 k,
+                k_tile,
             );
         });
     HostComplexMatrix::from_data(m, n, out)
@@ -445,8 +479,23 @@ fn gemm_f16_decoded(a: &DecodedPlanes, b_t: &F16Matrix) -> Result<ComplexOutput>
 /// by the cache-blocked micro-kernel.  Callers that reuse `A` across many
 /// calls should decode it once via [`GemmInput::prepare`] and the prepared
 /// entry points on [`crate::Gemm`].
+///
+/// Runs the default [`MicroKernelConfig`]; [`gemm_f16_with`] selects a
+/// tuned blocking.
 pub fn gemm_f16(a: &F16Matrix, b_t: &F16Matrix) -> Result<ComplexOutput> {
-    gemm_f16_decoded(&DecodedPlanes::from_f16(a), b_t)
+    gemm_f16_with(a, b_t, &MicroKernelConfig::default())
+}
+
+/// [`gemm_f16`] under an explicit micro-kernel blocking configuration —
+/// the entry point the real-measurement autotuner benchmarks and the
+/// tuned plans execute.  Every menu configuration produces bit-identical
+/// output on the conformance input family; only wall clock changes.
+pub fn gemm_f16_with(
+    a: &F16Matrix,
+    b_t: &F16Matrix,
+    micro: &MicroKernelConfig,
+) -> Result<ComplexOutput> {
+    gemm_f16_decoded_with(&DecodedPlanes::from_f16(a), b_t, micro)
 }
 
 /// 1-bit complex GEMM with the XOR or AND formulation.
@@ -456,7 +505,39 @@ pub fn gemm_f16(a: &F16Matrix, b_t: &F16Matrix) -> Result<ComplexOutput> {
 /// two formulations produce bit-identical results (a property the test
 /// suite asserts); the AND path exists because XOR is deprecated from the
 /// Hopper architecture on.
+///
+/// Runs the default [`MicroKernelConfig`]; [`gemm_int1_with`] selects a
+/// tuned word-unroll depth.
 pub fn gemm_int1(a: &Int1Matrix, b_t: &Int1Matrix, op: BitOp) -> Result<ComplexOutput> {
+    gemm_int1_with(a, b_t, op, &MicroKernelConfig::default())
+}
+
+/// The signature of one monomorphised fused quadruple dot product.
+type Dot4 = fn(&PackedBits, &PackedBits, &PackedBits, &PackedBits) -> [i32; 4];
+
+/// Resolves `(formulation, unroll depth)` to its compiled fused-popcount
+/// instance.  Integer-exact at every depth, so all choices agree on all
+/// inputs; unvalidated depths conservatively fall back to no unrolling.
+fn dot4_dispatch(op: BitOp, unroll: usize) -> Dot4 {
+    match (op, unroll) {
+        (BitOp::Xor, 2) => PackedBits::dot4_xor_unrolled::<2>,
+        (BitOp::Xor, 4) => PackedBits::dot4_xor_unrolled::<4>,
+        (BitOp::And, 2) => PackedBits::dot4_and_unrolled::<2>,
+        (BitOp::And, 4) => PackedBits::dot4_and_unrolled::<4>,
+        (BitOp::Xor, _) => PackedBits::dot4_xor,
+        (BitOp::And, _) => PackedBits::dot4_and,
+    }
+}
+
+/// [`gemm_int1`] under an explicit micro-kernel configuration (only the
+/// word-unroll depth applies to the 1-bit path) — the entry point the
+/// real-measurement autotuner benchmarks and the tuned plans execute.
+pub fn gemm_int1_with(
+    a: &Int1Matrix,
+    b_t: &Int1Matrix,
+    op: BitOp,
+    micro: &MicroKernelConfig,
+) -> Result<ComplexOutput> {
     if a.k_bits() != b_t.k_bits() || a.k_padded() != b_t.k_padded() {
         return Err(CcglibError::ShapeMismatch {
             expected: format!(
@@ -482,11 +563,9 @@ pub fn gemm_int1(a: &Int1Matrix, b_t: &Int1Matrix, op: BitOp) -> Result<ComplexO
     // The four plane-pair dot products of one output element, fused: one
     // pass over the packed words instead of four (the AND variant still
     // doubles the popcount work per word, mirroring the doubled
-    // tensor-core instruction count on Hopper).
-    let dot4 = |ar: &PackedBits, ai: &PackedBits, br: &PackedBits, bi: &PackedBits| match op {
-        BitOp::Xor => PackedBits::dot4_xor(ar, ai, br, bi),
-        BitOp::And => PackedBits::dot4_and(ar, ai, br, bi),
-    };
+    // tensor-core instruction count on Hopper), at the configured unroll
+    // depth.
+    let dot4 = dot4_dispatch(op, micro.int1_unroll);
 
     let mut out = vec![Complex32::ZERO; m * n];
     out.par_chunks_mut(n.max(1))
@@ -506,9 +585,11 @@ pub fn gemm_int1(a: &Int1Matrix, b_t: &Int1Matrix, op: BitOp) -> Result<ComplexO
 }
 
 /// Executes a GEMM on already-quantised operands, dispatching on their
-/// precision.  Both operands must share the same precision.
+/// precision.  Both operands must share the same precision.  Runs the
+/// default [`MicroKernelConfig`]; tuned configurations flow through
+/// [`crate::GemmPlan`] and the [`crate::Gemm`] entry points.
 pub fn gemm_dispatch(a: &GemmInput, b_t: &GemmInput, op: BitOp) -> Result<ComplexOutput> {
-    gemm_dispatch_decoded(a, None, b_t, op)
+    gemm_dispatch_decoded(a, None, b_t, op, &MicroKernelConfig::default())
 }
 
 /// Executes a GEMM with an operand whose preparation (bulk half→float
@@ -518,23 +599,32 @@ pub fn gemm_dispatch_prepared(
     b_t: &GemmInput,
     op: BitOp,
 ) -> Result<ComplexOutput> {
-    gemm_dispatch_decoded(a.input(), a.decoded(), b_t, op)
+    gemm_dispatch_decoded(
+        a.input(),
+        a.decoded(),
+        b_t,
+        op,
+        &MicroKernelConfig::default(),
+    )
 }
 
 /// Dispatch core: uses `decoded` for the `A` operand when supplied (the
-/// decode-once paths), decodes on the fly otherwise.
+/// decode-once paths), decodes on the fly otherwise, and runs the kernel
+/// instance `micro` selects — the point where a plan's tuned blocking
+/// reaches the hot path.
 pub(crate) fn gemm_dispatch_decoded(
     a: &GemmInput,
     decoded: Option<&DecodedPlanes>,
     b_t: &GemmInput,
     op: BitOp,
+    micro: &MicroKernelConfig,
 ) -> Result<ComplexOutput> {
     match (a, b_t) {
         (GemmInput::F16(a), GemmInput::F16(b)) => match decoded {
-            Some(planes) => gemm_f16_decoded(planes, b),
-            None => gemm_f16(a, b),
+            Some(planes) => gemm_f16_decoded_with(planes, b, micro),
+            None => gemm_f16_with(a, b, micro),
         },
-        (GemmInput::Int1(a), GemmInput::Int1(b)) => gemm_int1(a, b, op),
+        (GemmInput::Int1(a), GemmInput::Int1(b)) => gemm_int1_with(a, b, op, micro),
         (a, b) => Err(CcglibError::PrecisionMismatch {
             expected: a.precision().to_string(),
             actual: b.precision().to_string(),
@@ -717,6 +807,33 @@ mod tests {
                 .unwrap();
             let reference = reference_gemm(&a_host, &b_host).unwrap();
             prop_assert_eq!(result, reference);
+        }
+
+        #[test]
+        fn every_menu_config_is_bit_identical_to_the_default(
+            m in 1usize..8, n in 1usize..8, k in 1usize..600, seed in any::<u64>(),
+        ) {
+            // f16: exact integer inputs make every summation order exact,
+            // so all blockings must agree bit for bit.  int1: outputs are
+            // exact integers on every input, so all unroll depths must.
+            let a_host = exact_integer_matrix(m, k, seed);
+            let b_host = exact_integer_matrix(n, k, seed ^ 0x33CC);
+            let a = F16Matrix::from_host(&a_host);
+            let b = F16Matrix::from_host(&b_host);
+            let f16_default = gemm_f16(&a, &b).unwrap();
+            for config in MicroKernelConfig::menu_for(Precision::Float16) {
+                let tuned = gemm_f16_with(&a, &b, &config).unwrap();
+                prop_assert_eq!(&tuned, &f16_default, "f16 config {}", config);
+            }
+            let ai = Int1Matrix::from_host_padded(&a_host, 128);
+            let bi = Int1Matrix::from_host_padded(&b_host, 128);
+            for op in [BitOp::Xor, BitOp::And] {
+                let int1_default = gemm_int1(&ai, &bi, op).unwrap();
+                for config in MicroKernelConfig::menu_for(Precision::Int1) {
+                    let tuned = gemm_int1_with(&ai, &bi, op, &config).unwrap();
+                    prop_assert_eq!(&tuned, &int1_default, "int1 config {} op {}", config, op);
+                }
+            }
         }
 
         #[test]

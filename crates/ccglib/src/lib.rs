@@ -45,6 +45,7 @@ pub mod benchmark;
 pub mod error;
 pub mod gemm;
 pub mod matrix;
+pub mod micro;
 pub mod pack;
 pub mod params;
 pub mod plan;
@@ -54,8 +55,11 @@ pub mod transpose;
 
 pub use error::{CcglibError, Result};
 pub use gemm::{ComplexOutput, DecodedPlanes, GemmBatchInput, GemmInput, PreparedOperand};
+pub use micro::MicroKernelConfig;
 pub use params::{ParameterSpace, TuningParameters};
-pub use plan::{calibration_enumerations, warm_calibration, Gemm, GemmPlan, RunReport};
+pub use plan::{
+    calibration_enumerations, calibration_shape, warm_calibration, Gemm, GemmPlan, RunReport,
+};
 pub use reference::reference_gemm;
 
 use serde::{Deserialize, Serialize};

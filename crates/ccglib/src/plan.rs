@@ -31,6 +31,7 @@ use crate::error::{CcglibError, Result};
 use crate::gemm::{
     gemm_dispatch_decoded, ComplexOutput, DecodedPlanes, GemmBatchInput, GemmInput, PreparedOperand,
 };
+use crate::micro::MicroKernelConfig;
 use crate::params::{ParameterSpace, TuningParameters};
 use crate::reference;
 use crate::Precision;
@@ -144,18 +145,31 @@ pub struct GemmPlan {
     bit_op: BitOp,
     bit_fragment: Option<BitFragmentShape>,
     config_efficiency: f64,
+    micro: MicroKernelConfig,
+}
+
+/// The paper's tuning shape for `precision` — the single source of truth
+/// behind both the efficiency-model calibration points and the simulated
+/// tuner's search shape (`M = N = K = 8192` for float16; `M = 32768,
+/// N = 8192, K = 524288` for 1-bit; the float16 shape for the scalar
+/// reference, which shares its calibration point).
+pub fn calibration_shape(precision: Precision) -> GemmShape {
+    match precision {
+        Precision::Int1 => GemmShape::new(32_768, 8192, 524_288),
+        _ => GemmShape::new(8192, 8192, 8192),
+    }
 }
 
 impl GemmPlan {
-    /// The paper's float16 tuning shape (`M = N = K = 8192`), used as the
-    /// calibration point of the efficiency model.
+    /// The paper's float16 tuning shape, used as the calibration point of
+    /// the efficiency model.  Delegates to [`calibration_shape`].
     pub fn f16_calibration_shape() -> GemmShape {
-        GemmShape::new(8192, 8192, 8192)
+        calibration_shape(Precision::Float16)
     }
 
-    /// The paper's 1-bit tuning shape (`M = 32768, N = 8192, K = 524288`).
+    /// The paper's 1-bit tuning shape.  Delegates to [`calibration_shape`].
     pub fn int1_calibration_shape() -> GemmShape {
-        GemmShape::new(32_768, 8192, 524_288)
+        calibration_shape(Precision::Int1)
     }
 
     /// Plans a GEMM with the shipped per-GPU default parameters.
@@ -211,7 +225,19 @@ impl GemmPlan {
             bit_op,
             bit_fragment,
             config_efficiency,
+            micro: MicroKernelConfig::default(),
         })
+    }
+
+    /// Returns the plan with a validated host micro-kernel configuration —
+    /// the point where an autotuned (or explicitly pinned) blocking is
+    /// attached.  The micro-kernel configuration selects which compiled
+    /// kernel instance executes the functional hot path; it does not enter
+    /// the analytic GPU model, so predictions are unchanged.
+    pub fn with_micro(mut self, micro: MicroKernelConfig) -> Result<Self> {
+        micro.validate()?;
+        self.micro = micro;
+        Ok(self)
     }
 
     /// Total device-memory footprint of the operands and the output.
@@ -419,6 +445,12 @@ impl GemmPlan {
     pub fn config_efficiency(&self) -> f64 {
         self.config_efficiency
     }
+    /// Host micro-kernel configuration the functional hot path executes
+    /// with (the default blocking unless [`GemmPlan::with_micro`] attached
+    /// a tuned one).
+    pub fn micro(&self) -> MicroKernelConfig {
+        self.micro
+    }
 }
 
 /// The user-facing GEMM handle: owns the plan, the execution model and a
@@ -453,6 +485,14 @@ impl Gemm {
         let exec = ExecutionModel::new(plan.spec().clone());
         let meter = PowerMeter::for_device(plan.spec());
         Gemm { plan, exec, meter }
+    }
+
+    /// Returns the handle with a validated host micro-kernel configuration
+    /// attached to its plan — the builder-level hook for pinning or
+    /// applying an autotuned blocking.
+    pub fn with_micro(mut self, micro: MicroKernelConfig) -> Result<Self> {
+        self.plan = self.plan.with_micro(micro)?;
+        Ok(self)
     }
 
     /// The underlying plan.
@@ -544,7 +584,7 @@ impl Gemm {
             });
         }
         self.validate_pair(a, b_t)?;
-        let output = gemm_dispatch_decoded(a, decoded, b_t, self.plan.bit_op())?;
+        let output = gemm_dispatch_decoded(a, decoded, b_t, self.plan.bit_op(), &self.plan.micro)?;
         let report = self.report(&self.plan.kernel_profile());
         Ok((output, report))
     }
@@ -566,7 +606,13 @@ impl Gemm {
         let mut outputs = Vec::with_capacity(pairs.len());
         for (a, decoded, b_t) in pairs {
             self.validate_pair(a, b_t)?;
-            outputs.push(gemm_dispatch_decoded(a, *decoded, b_t, self.plan.bit_op())?);
+            outputs.push(gemm_dispatch_decoded(
+                a,
+                *decoded,
+                b_t,
+                self.plan.bit_op(),
+                &self.plan.micro,
+            )?);
         }
         let report = self.report(&self.plan.kernel_profile());
         Ok((outputs, report))

@@ -343,7 +343,26 @@ impl PackedBits {
         b_re: &PackedBits,
         b_im: &PackedBits,
     ) -> [i32; 4] {
-        let [rr, ii, ri, ir] = Self::popc4(
+        Self::dot4_xor_unrolled::<1>(a_re, a_im, b_re, b_im)
+    }
+
+    /// [`PackedBits::dot4_xor`] with the whole-word fast path unrolled `U`
+    /// fused 64-bit popcounts deep (`U ∈ {1, 2, 4}` in practice; `U = 1`
+    /// is the exact loop of [`PackedBits::dot4_xor`]).  Every variant is
+    /// integer-exact, so all unroll factors produce identical results on
+    /// all inputs — the factor only changes instruction-level parallelism,
+    /// which is why it is a searchable micro-kernel parameter.
+    ///
+    /// # Panics
+    /// Panics if the four planes do not share one length.
+    #[inline]
+    pub fn dot4_xor_unrolled<const U: usize>(
+        a_re: &PackedBits,
+        a_im: &PackedBits,
+        b_re: &PackedBits,
+        b_im: &PackedBits,
+    ) -> [i32; 4] {
+        let [rr, ii, ri, ir] = Self::popc4::<U>(
             a_re,
             a_im,
             b_re,
@@ -374,7 +393,25 @@ impl PackedBits {
         b_re: &PackedBits,
         b_im: &PackedBits,
     ) -> [i32; 4] {
-        let [rr, ii, ri, ir] = Self::popc4(
+        Self::dot4_and_unrolled::<1>(a_re, a_im, b_re, b_im)
+    }
+
+    /// [`PackedBits::dot4_and`] with the whole-word fast path unrolled `U`
+    /// fused 64-bit popcounts deep — the AND-identity twin of
+    /// [`PackedBits::dot4_xor_unrolled`], with the same exactness
+    /// guarantee: every unroll factor produces identical results on all
+    /// inputs.
+    ///
+    /// # Panics
+    /// Panics if the four planes do not share one length.
+    #[inline]
+    pub fn dot4_and_unrolled<const U: usize>(
+        a_re: &PackedBits,
+        a_im: &PackedBits,
+        b_re: &PackedBits,
+        b_im: &PackedBits,
+    ) -> [i32; 4] {
+        let [rr, ii, ri, ir] = Self::popc4::<U>(
             a_re,
             a_im,
             b_re,
@@ -397,11 +434,12 @@ impl PackedBits {
     /// formulation, so this costs nothing at run time).
     ///
     /// `combine64` handles the whole-word fast path (two words fused per
-    /// popcount); `combine32(a, b, mask)` handles the leftover single word
+    /// popcount, `U` fused popcounts per loop iteration); `combine32(a, b,
+    /// mask)` handles the leftover whole words below the unroll granularity
     /// (with `mask == u32::MAX`) and the rare partial tail word — the only
     /// masked steps, hoisted entirely out of the main loop.
     #[inline(always)]
-    fn popc4(
+    fn popc4<const U: usize>(
         a_re: &PackedBits,
         a_im: &PackedBits,
         b_re: &PackedBits,
@@ -411,26 +449,30 @@ impl PackedBits {
     ) -> [u32; 4] {
         let len = Self::common_len(a_re, a_im, b_re, b_im);
         let full = len / 32;
+        let group = 2 * U;
         let (mut rr, mut ii, mut ri, mut ir) = (0u32, 0u32, 0u32, 0u32);
         // Whole-word fast path, two words per population count: the
-        // bounds-check-free `chunks_exact` pairs are fused into `u64`s so
-        // each popcount covers 64 samples.
+        // bounds-check-free `chunks_exact` groups are fused into `u64`s so
+        // each popcount covers 64 samples, and each iteration issues `U`
+        // independent popcounts per plane pair (the compiler unrolls the
+        // inner loop because `U` is a constant).
         for (((a, i), b), j) in a_re.words[..full]
-            .chunks_exact(2)
-            .zip(a_im.words[..full].chunks_exact(2))
-            .zip(b_re.words[..full].chunks_exact(2))
-            .zip(b_im.words[..full].chunks_exact(2))
+            .chunks_exact(group)
+            .zip(a_im.words[..full].chunks_exact(group))
+            .zip(b_re.words[..full].chunks_exact(group))
+            .zip(b_im.words[..full].chunks_exact(group))
         {
-            let (ar, ai) = (Self::fuse(a), Self::fuse(i));
-            let (br, bi) = (Self::fuse(b), Self::fuse(j));
-            rr += combine64(ar, br);
-            ii += combine64(ai, bi);
-            ri += combine64(ar, bi);
-            ir += combine64(ai, br);
+            for p in 0..U {
+                let (ar, ai) = (Self::fuse(&a[2 * p..]), Self::fuse(&i[2 * p..]));
+                let (br, bi) = (Self::fuse(&b[2 * p..]), Self::fuse(&j[2 * p..]));
+                rr += combine64(ar, br);
+                ii += combine64(ai, bi);
+                ri += combine64(ar, bi);
+                ir += combine64(ai, br);
+            }
         }
-        if full % 2 == 1 {
-            // One leftover whole word below the pairing granularity.
-            let w = full - 1;
+        // Leftover whole words below the unroll granularity.
+        for w in (full - full % group)..full {
             let (ar, ai) = (a_re.words[w], a_im.words[w]);
             let (br, bi) = (b_re.words[w], b_im.words[w]);
             rr += combine32(ar, br, u32::MAX);
@@ -674,6 +716,31 @@ mod tests {
             ];
             prop_assert_eq!(PackedBits::dot4_xor(&a_re, &a_im, &b_re, &b_im), expected);
             prop_assert_eq!(PackedBits::dot4_and(&a_re, &a_im, &b_re, &b_im), expected);
+        }
+
+        #[test]
+        fn unrolled_dot4_is_identical_for_every_unroll_factor(
+            bits in proptest::collection::vec(any::<bool>(), 4..640),
+            seed_ai in any::<u64>(),
+            seed_br in any::<u64>(),
+            seed_bi in any::<u64>(),
+        ) {
+            let derive = |seed: u64| -> Vec<bool> {
+                bits.iter()
+                    .enumerate()
+                    .map(|(i, &b)| b ^ ((seed >> (i % 64)) & 1 == 1))
+                    .collect()
+            };
+            let a_re = PackedBits::pack(&bits);
+            let a_im = PackedBits::pack(&derive(seed_ai));
+            let b_re = PackedBits::pack(&derive(seed_br));
+            let b_im = PackedBits::pack(&derive(seed_bi));
+            let xor = PackedBits::dot4_xor(&a_re, &a_im, &b_re, &b_im);
+            let and = PackedBits::dot4_and(&a_re, &a_im, &b_re, &b_im);
+            prop_assert_eq!(PackedBits::dot4_xor_unrolled::<2>(&a_re, &a_im, &b_re, &b_im), xor);
+            prop_assert_eq!(PackedBits::dot4_xor_unrolled::<4>(&a_re, &a_im, &b_re, &b_im), xor);
+            prop_assert_eq!(PackedBits::dot4_and_unrolled::<2>(&a_re, &a_im, &b_re, &b_im), and);
+            prop_assert_eq!(PackedBits::dot4_and_unrolled::<4>(&a_re, &a_im, &b_re, &b_im), and);
         }
 
         #[test]

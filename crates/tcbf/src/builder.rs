@@ -13,8 +13,10 @@ use beamform::{
     WeightMatrix,
 };
 use ccglib::matrix::HostComplexMatrix;
-use ccglib::{Precision, TuningParameters};
+use ccglib::{MicroKernelConfig, Precision, TuningParameters};
 use gpu_sim::{DevicePool, Gpu};
+use std::path::PathBuf;
+use tcbf_types::GemmShape;
 
 /// Fluent builder for [`TensorCoreBeamformer`]; obtained from
 /// [`TensorCoreBeamformer::builder`].
@@ -46,12 +48,17 @@ pub struct BeamformerBuilder {
     precision: Precision,
     batch: usize,
     params: Option<TuningParameters>,
+    micro: Option<MicroKernelConfig>,
+    micro_cache: Option<PathBuf>,
 }
 
 impl BeamformerBuilder {
     /// Starts a configuration for `gpu` with the defaults: float16
     /// precision, batch 1, shipped tuning parameters, single device,
     /// capacity-weighted shard policy, no weights or block length yet.
+    /// The host micro-kernel blocking is looked up in the autotuning
+    /// cache at build time unless pinned with
+    /// [`BeamformerBuilder::micro_config`].
     pub fn new(gpu: Gpu) -> Self {
         BeamformerBuilder {
             gpu,
@@ -62,6 +69,8 @@ impl BeamformerBuilder {
             precision: Precision::Float16,
             batch: 1,
             params: None,
+            micro: None,
+            micro_cache: None,
         }
     }
 
@@ -122,6 +131,38 @@ impl BeamformerBuilder {
         self
     }
 
+    /// Pins the host micro-kernel blocking explicitly, bypassing the
+    /// autotuning-cache lookup (validated at build time).
+    pub fn micro_config(mut self, micro: MicroKernelConfig) -> Self {
+        self.micro = Some(micro);
+        self
+    }
+
+    /// Reads the autotuning cache from an explicit path instead of the
+    /// default location ([`tuner::default_cache_path`]).
+    pub fn micro_cache(mut self, path: impl Into<PathBuf>) -> Self {
+        self.micro_cache = Some(path.into());
+        self
+    }
+
+    /// The micro-kernel blocking this build will run: the pinned one if
+    /// [`BeamformerBuilder::micro_config`] was called, else the
+    /// autotuning-cache winner for this host, precision and shape band,
+    /// else `None` (the default blocking).  Missing, corrupt or
+    /// foreign-host caches all fall back silently — autotuning may never
+    /// break engine construction.
+    fn resolved_micro(&self, weights: &WeightMatrix, batch: usize) -> Option<MicroKernelConfig> {
+        self.micro.or_else(|| {
+            let shape = GemmShape::batched(
+                batch,
+                weights.num_beams(),
+                self.samples_per_block,
+                weights.num_receivers(),
+            );
+            tuner::tuned_micro_config(self.micro_cache.as_deref(), self.precision, shape)
+        })
+    }
+
     /// Shared validation of the builder fields every build path performs:
     /// weights present and non-empty, block length and batch non-zero.
     fn validated_weights(&self) -> Result<()> {
@@ -176,11 +217,13 @@ impl BeamformerBuilder {
         if self.batch != 1 {
             return Err(TcbfError::ShardedBatch { batch: self.batch });
         }
+        let micro = self.resolved_micro(self.weights.as_ref().expect("validated above"), 1);
         let weights = self.weights.expect("validated above");
         let config = BeamformerConfig {
             precision: self.precision,
             batch: 1,
             params: self.params,
+            micro,
         };
         if self.devices.is_empty() {
             let inner =
@@ -218,11 +261,14 @@ impl BeamformerBuilder {
             });
         }
         self.validated_weights()?;
+        let micro =
+            self.resolved_micro(self.weights.as_ref().expect("validated above"), self.batch);
         let weights = self.weights.expect("validated above");
         let config = BeamformerConfig {
             precision: self.precision,
             batch: self.batch,
             params: self.params,
+            micro,
         };
         let inner = Beamformer::new(&self.gpu.device(), weights, self.samples_per_block, config)?;
         Ok(TensorCoreBeamformer::from_parts(inner, self.gpu))
@@ -261,6 +307,7 @@ impl BeamformerBuilder {
         if self.batch != 1 {
             return Err(TcbfError::ShardedBatch { batch: self.batch });
         }
+        let micro = self.resolved_micro(self.weights.as_ref().expect("validated above"), 1);
         let weights = self.weights.expect("validated above");
         let gpus = if self.devices.is_empty() {
             vec![self.gpu]
@@ -272,6 +319,7 @@ impl BeamformerBuilder {
             precision: self.precision,
             batch: 1,
             params: self.params,
+            micro,
         };
         Ok(ShardedBeamformer::new(
             &pool,

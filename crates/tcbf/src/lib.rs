@@ -41,13 +41,16 @@ pub use beamform::{
 };
 pub use builder::BeamformerBuilder;
 pub use ccglib::{
-    benchmark, Gemm, GemmBatchInput, GemmInput, ParameterSpace, Precision, RunReport,
-    TuningParameters,
+    benchmark, Gemm, GemmBatchInput, GemmInput, MicroKernelConfig, ParameterSpace, Precision,
+    RunReport, TuningParameters,
 };
 pub use error::{Result, TcbfError};
 pub use gpu_sim::{Device, DevicePool, DeviceSpec, Gpu};
 pub use pmt::{EnergyMeasurement, PowerMeter};
-pub use tuner::{Objective, Strategy, TuneOutcome, Tuner};
+pub use tuner::{
+    MicroTuneCache, MicroTuneOutcome, MicroTuner, Objective, ShapeClass, Strategy, TuneOutcome,
+    Tuner,
+};
 
 /// Everything a typical downstream user needs in one import:
 /// `use tcbf::prelude::*;`.
@@ -61,9 +64,9 @@ pub mod prelude {
     pub use crate::{
         supported_devices, version, ArrayGeometry, BeamformOutput, Beamformer, BeamformerBuilder,
         BeamformerConfig, Device, DevicePool, DeviceShardReport, DeviceSpec, DynSession, Engine,
-        Gpu, Objective, PlaneWaveSource, Precision, Report, Result, Session, SessionReport,
-        ShardPlan, ShardPolicy, ShardedBeamformer, SignalGenerator, SingleEngine, Strategy,
-        TcbfError, TensorCoreBeamformer, ThroughputMetrics, Topology, TuneOutcome, Tuner,
+        Gpu, MicroKernelConfig, Objective, PlaneWaveSource, Precision, Report, Result, Session,
+        SessionReport, ShardPlan, ShardPolicy, ShardedBeamformer, SignalGenerator, SingleEngine,
+        Strategy, TcbfError, TensorCoreBeamformer, ThroughputMetrics, Topology, TuneOutcome, Tuner,
         TuningParameters, WeightMatrix,
     };
     pub use ccglib::matrix::HostComplexMatrix;
@@ -191,6 +194,13 @@ impl TensorCoreBeamformer {
     /// configurations (engines stream whole blocks, one per execution).
     pub fn into_engine(self) -> Result<SingleEngine> {
         Ok(self.inner.into_engine()?)
+    }
+
+    /// The host micro-kernel blocking this beamformer executes with —
+    /// the builder-pinned config, the autotuning-cache winner, or the
+    /// default.
+    pub fn micro(&self) -> MicroKernelConfig {
+        self.inner.micro()
     }
 
     /// Predicted performance of one block without computing data.

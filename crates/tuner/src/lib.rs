@@ -19,6 +19,13 @@
 
 #![deny(missing_docs)]
 
+pub mod micro;
+
+pub use micro::{
+    default_cache_path, tuned_micro_config, HostFingerprint, MicroCacheEntry, MicroTuneCache,
+    MicroTuneOutcome, MicroTuneResult, MicroTuner, ShapeClass, MICRO_CACHE_SCHEMA,
+};
+
 use ccglib::benchmark::{measure_with_params, ThroughputResult};
 use ccglib::{ParameterSpace, Precision, TuningParameters};
 use gpu_sim::{Device, Gpu};
@@ -120,12 +127,28 @@ impl TuneOutcome {
     /// The best configuration under a *different* objective than the one
     /// tuned for (the paper observes that the fastest configuration is
     /// typically also the most energy efficient).
+    ///
+    /// Ties are broken deterministically towards the earliest evaluated
+    /// configuration, so the selection is stable across runs regardless
+    /// of how many candidates measure identically.
     pub fn best_under(&self, objective: Objective) -> Option<TuneResult> {
-        self.evaluated.iter().copied().max_by(|a, b| {
-            a.objective_value(objective)
-                .total_cmp(&b.objective_value(objective))
-        })
+        best_result(&self.evaluated, objective)
     }
+}
+
+/// First-wins selection of the best result: strictly better candidates
+/// replace the incumbent, equal ones do not — so the earliest evaluated
+/// configuration wins ties deterministically.  (`Iterator::max_by`
+/// returns the *last* maximum, which made tie-breaking depend on
+/// evaluation order tail-first.)
+fn best_result(evaluated: &[TuneResult], objective: Objective) -> Option<TuneResult> {
+    evaluated.iter().copied().reduce(|best, candidate| {
+        if candidate.objective_value(objective) > best.objective_value(objective) {
+            candidate
+        } else {
+            best
+        }
+    })
 }
 
 /// The auto-tuner for one (device, shape, precision) combination.
@@ -155,12 +178,11 @@ impl Tuner {
     }
 
     /// The paper's tuning shape for a precision (Section IV-A): `8192³` for
-    /// float16, `32768×8192×524288` for 1-bit.
+    /// float16, `32768×8192×524288` for 1-bit.  Delegates to
+    /// [`ccglib::calibration_shape`], the single source of truth shared
+    /// with the efficiency-model calibration points.
     pub fn paper_tuning_shape(precision: Precision) -> GemmShape {
-        match precision {
-            Precision::Int1 => GemmShape::new(32_768, 8192, 524_288),
-            _ => GemmShape::new(8192, 8192, 8192),
-        }
+        ccglib::calibration_shape(precision)
     }
 
     /// Evaluates a single configuration, returning `None` if it is not
@@ -196,10 +218,7 @@ impl Tuner {
             }
             Strategy::GreedyLocalSearch { max_steps } => self.greedy_search(max_steps, objective),
         };
-        let best = evaluated.iter().copied().max_by(|a, b| {
-            a.objective_value(objective)
-                .total_cmp(&b.objective_value(objective))
-        })?;
+        let best = best_result(&evaluated, objective)?;
         Some(TuneOutcome {
             device: self.device.gpu().name().to_string(),
             precision: self.precision.to_string(),
@@ -412,6 +431,95 @@ pub mod json {
             write_result(&o.best, "  "),
             evaluated.join(",\n")
         )
+    }
+
+    // ---- micro-kernel tuning cache ----------------------------------------
+
+    use crate::micro::{
+        precision_from_str, HostFingerprint, MicroCacheEntry, MicroTuneCache, ShapeClass,
+        MICRO_CACHE_SCHEMA,
+    };
+    use ccglib::MicroKernelConfig;
+
+    fn write_micro_config(c: &MicroKernelConfig) -> String {
+        format!(
+            "{{\"f16_j_tile\": {}, \"f16_lanes\": {}, \"f16_k_tile\": {}, \"int1_unroll\": {}}}",
+            c.f16_j_tile, c.f16_lanes, c.f16_k_tile, c.int1_unroll
+        )
+    }
+
+    /// Serialises a [`MicroTuneCache`] under the `tcbf-microtune/v1`
+    /// schema: a schema tag, the host fingerprint, and one flat entry per
+    /// (precision, shape class) winner.
+    pub(crate) fn write_micro_cache(cache: &MicroTuneCache) -> String {
+        let entries: Vec<String> = cache
+            .entries
+            .iter()
+            .map(|e| {
+                format!(
+                    "    {{\"precision\": {}, \"shape_class\": {}, \"config\": {}, \"gelems_per_s\": {}}}",
+                    write_string(&e.precision.to_string()),
+                    write_string(e.shape_class.as_str()),
+                    write_micro_config(&e.config),
+                    write_f64(e.gelems_per_s)
+                )
+            })
+            .collect();
+        format!(
+            "{{\n  \"schema\": {},\n  \"fingerprint\": {{\"arch\": {}, \"threads\": {}}},\n  \"entries\": [\n{}\n  ]\n}}",
+            write_string(MICRO_CACHE_SCHEMA),
+            write_string(&cache.fingerprint.arch),
+            cache.fingerprint.threads,
+            entries.join(",\n")
+        )
+    }
+
+    fn read_micro_entry(v: &Value) -> Result<MicroCacheEntry, JsonError> {
+        let precision_text = as_string(get(v, "precision")?)?;
+        let precision = precision_from_str(&precision_text)
+            .ok_or_else(|| JsonError(format!("unknown precision '{precision_text}'")))?;
+        let class_text = as_string(get(v, "shape_class")?)?;
+        let shape_class = ShapeClass::parse(&class_text)
+            .ok_or_else(|| JsonError(format!("unknown shape class '{class_text}'")))?;
+        let c = get(v, "config")?;
+        Ok(MicroCacheEntry {
+            precision,
+            shape_class,
+            config: MicroKernelConfig {
+                f16_j_tile: as_usize(get(c, "f16_j_tile")?)?,
+                f16_lanes: as_usize(get(c, "f16_lanes")?)?,
+                f16_k_tile: as_usize(get(c, "f16_k_tile")?)?,
+                int1_unroll: as_usize(get(c, "int1_unroll")?)?,
+            },
+            gelems_per_s: as_f64(get(v, "gelems_per_s")?)?,
+        })
+    }
+
+    /// Parses a `tcbf-microtune/v1` document, rejecting other schemas.
+    pub(crate) fn read_micro_cache(text: &str) -> Result<MicroTuneCache, JsonError> {
+        let mut parser = Parser::new(text);
+        let root = parser.value()?;
+        let schema = as_string(get(&root, "schema")?)?;
+        if schema != MICRO_CACHE_SCHEMA {
+            return Err(JsonError(format!(
+                "unsupported schema '{schema}' (expected '{MICRO_CACHE_SCHEMA}')"
+            )));
+        }
+        let fp = get(&root, "fingerprint")?;
+        let entries = match get(&root, "entries")? {
+            Value::Array(items) => items
+                .iter()
+                .map(read_micro_entry)
+                .collect::<Result<Vec<_>, _>>()?,
+            _ => return Err(JsonError("'entries' must be an array".into())),
+        };
+        Ok(MicroTuneCache {
+            fingerprint: HostFingerprint {
+                arch: as_string(get(fp, "arch")?)?,
+                threads: as_usize(get(fp, "threads")?)?,
+            },
+            entries,
+        })
     }
 
     // ---- parsing ----------------------------------------------------------
@@ -778,6 +886,56 @@ mod tests {
         assert!(greedy.evaluated.len() < exhaustive.evaluated.len());
         // Local search should get within 15% of the global optimum.
         assert!(greedy.best.tops >= 0.85 * exhaustive.best.tops);
+    }
+
+    #[test]
+    fn best_under_breaks_ties_towards_the_first_evaluated() {
+        // Two configurations with identical objective values: the stable
+        // choice is the first one evaluated, not the last.
+        let params_a = TuningParameters::default_for(Gpu::A100, Precision::Float16);
+        let params_b = TuningParameters {
+            buffers: params_a.buffers + 1,
+            ..params_a
+        };
+        let result = |params: TuningParameters| TuneResult {
+            params,
+            tops: 100.0,
+            tops_per_joule: 2.0,
+            elapsed_s: 0.5,
+        };
+        let outcome = TuneOutcome {
+            device: "A100".to_string(),
+            precision: "float16".to_string(),
+            shape: small_shape(),
+            best: result(params_a),
+            evaluated: vec![result(params_a), result(params_b)],
+        };
+        for objective in [Objective::Performance, Objective::EnergyEfficiency] {
+            let best = outcome.best_under(objective).unwrap();
+            assert_eq!(best.params, params_a, "{objective:?}");
+        }
+        // A strictly better late candidate still wins.
+        let mut improved = outcome.clone();
+        improved.evaluated.push(TuneResult {
+            tops: 101.0,
+            ..result(params_b)
+        });
+        assert_eq!(
+            improved.best_under(Objective::Performance).unwrap().params,
+            params_b
+        );
+    }
+
+    #[test]
+    fn paper_tuning_shape_matches_the_calibration_points() {
+        assert_eq!(
+            Tuner::paper_tuning_shape(Precision::Float16),
+            ccglib::GemmPlan::f16_calibration_shape()
+        );
+        assert_eq!(
+            Tuner::paper_tuning_shape(Precision::Int1),
+            ccglib::GemmPlan::int1_calibration_shape()
+        );
     }
 
     #[test]

@@ -1,0 +1,732 @@
+//! Real-measurement autotuning of the host micro-kernels.
+//!
+//! The [`crate::Tuner`] searches the *simulated* GPU kernel's parameters
+//! against the analytic execution model.  This module retargets the same
+//! search machinery ([`Strategy`], [`Objective`]) at the kernels that
+//! actually burn wall clock: every candidate
+//! [`MicroKernelConfig`] is benchmarked by running the real
+//! [`ccglib::gemm::gemm_f16_with`] / [`ccglib::gemm::gemm_int1_with`]
+//! hot path on deterministic synthetic operands and timing it with a
+//! monotonic clock.  Winners are persisted per (host fingerprint,
+//! precision, shape class) in a hand-rolled JSON cache — the Kernel Tuner
+//! cache-file analogue — and looked up automatically by the beamformer
+//! builder, with graceful fallback to the default blocking whenever the
+//! cache is missing, corrupt or was tuned on a different host.
+//!
+//! Both objectives select by measured throughput: the host has no energy
+//! counter, and the paper observes that the fastest configuration is
+//! typically also the most energy-efficient one (Section IV-A).
+
+use crate::{Objective, Strategy};
+use ccglib::gemm::{gemm_f16_with, gemm_int1_with};
+use ccglib::matrix::{F16Matrix, Int1Matrix};
+use ccglib::micro::{F16_J_TILES, F16_K_TILES, F16_LANE_WIDTHS, INT1_UNROLLS};
+use ccglib::synth::pseudo_random_matrix;
+use ccglib::{GemmInput, MicroKernelConfig, Precision};
+use gpu_sim::BitOp;
+use rand::prelude::*;
+use rand::rngs::StdRng;
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+use tcbf_types::GemmShape;
+
+/// Schema identifier written into (and required from) every micro-tuning
+/// cache file.
+pub const MICRO_CACHE_SCHEMA: &str = "tcbf-microtune/v1";
+
+/// Identity of the machine a tuning result was measured on.  Tuned
+/// blockings are CPU-specific (cache sizes, SIMD width, core count), so a
+/// cache written on one host is ignored — without error — on another.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HostFingerprint {
+    /// Target architecture the binary was compiled for (`x86_64`,
+    /// `aarch64`, …).
+    pub arch: String,
+    /// Available hardware parallelism (the rayon pool the kernels span).
+    pub threads: usize,
+}
+
+impl HostFingerprint {
+    /// Fingerprints the current host.
+    pub fn detect() -> Self {
+        HostFingerprint {
+            arch: std::env::consts::ARCH.to_string(),
+            threads: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+        }
+    }
+}
+
+impl std::fmt::Display for HostFingerprint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}/{}t", self.arch, self.threads)
+    }
+}
+
+/// Coarse problem-size band a tuning result applies to.  The optimal
+/// blocking depends on whether the working set fits in cache, which is a
+/// function of total work rather than exact dimensions, so results are
+/// cached per band instead of per exact shape.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum ShapeClass {
+    /// Under ~4M multiply-accumulates per batch element.
+    Small,
+    /// ~4M to ~64M multiply-accumulates.
+    Medium,
+    /// Above ~64M multiply-accumulates.
+    Large,
+}
+
+impl ShapeClass {
+    /// Classifies a GEMM shape by its multiply-accumulate count.
+    pub fn classify(shape: GemmShape) -> Self {
+        let macs = shape.batch as u128 * shape.m as u128 * shape.n as u128 * shape.k as u128;
+        if macs < 1 << 22 {
+            ShapeClass::Small
+        } else if macs < 1 << 26 {
+            ShapeClass::Medium
+        } else {
+            ShapeClass::Large
+        }
+    }
+
+    /// The benchmark shape one candidate evaluation of this band runs —
+    /// small enough that a full menu sweep stays affordable, sized so it
+    /// classifies into its own band.  `K` is a multiple of the 1-bit
+    /// packing granularity, so the same shape serves both precisions.
+    pub fn representative_shape(self) -> GemmShape {
+        match self {
+            ShapeClass::Small => GemmShape::new(64, 64, 512),
+            ShapeClass::Medium => GemmShape::new(128, 128, 2048),
+            ShapeClass::Large => GemmShape::new(256, 256, 4096),
+        }
+    }
+
+    /// All bands, smallest first.
+    pub const ALL: [ShapeClass; 3] = [ShapeClass::Small, ShapeClass::Medium, ShapeClass::Large];
+
+    /// Cache-file spelling of the band.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ShapeClass::Small => "small",
+            ShapeClass::Medium => "medium",
+            ShapeClass::Large => "large",
+        }
+    }
+
+    /// Parses the cache-file spelling.
+    pub fn parse(text: &str) -> Option<Self> {
+        ShapeClass::ALL.into_iter().find(|c| c.as_str() == text)
+    }
+}
+
+impl std::fmt::Display for ShapeClass {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Parses the [`Precision`] display spelling used in cache files.
+pub(crate) fn precision_from_str(text: &str) -> Option<Precision> {
+    [
+        Precision::Float16,
+        Precision::Int1,
+        Precision::Float32Reference,
+    ]
+    .into_iter()
+    .find(|p| p.to_string() == text)
+}
+
+/// One measured micro-kernel candidate.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct MicroTuneResult {
+    /// The blocking measured.
+    pub config: MicroKernelConfig,
+    /// Median wall-clock time of one GEMM execution, in seconds.
+    pub elapsed_s: f64,
+    /// Measured throughput in giga complex multiply-accumulates per
+    /// second.
+    pub gelems_per_s: f64,
+}
+
+impl MicroTuneResult {
+    /// The objective value of this result.  Both objectives select by
+    /// measured throughput: wall-clock benchmarking has no energy
+    /// counter, and the paper notes the fastest configuration is
+    /// typically also the most energy-efficient.
+    pub fn objective_value(&self, _objective: Objective) -> f64 {
+        self.gelems_per_s
+    }
+}
+
+/// Outcome of one real-measurement tuning run.
+#[derive(Clone, Debug, PartialEq)]
+pub struct MicroTuneOutcome {
+    /// Host the measurements were taken on.
+    pub fingerprint: HostFingerprint,
+    /// Precision tuned.
+    pub precision: Precision,
+    /// Shape band tuned for.
+    pub shape_class: ShapeClass,
+    /// The winning configuration (first measured among ties).
+    pub best: MicroTuneResult,
+    /// Every measured candidate, in evaluation order.
+    pub evaluated: Vec<MicroTuneResult>,
+}
+
+/// Pre-quantised benchmark operands, built once per tuner so every
+/// candidate measures kernel time only.
+enum Operands {
+    F16 { a: F16Matrix, b_t: F16Matrix },
+    Int1 { a: Int1Matrix, b_t: Int1Matrix },
+}
+
+/// Benchmark-driven tuner of the host micro-kernels for one
+/// (precision, shape band) pair.
+pub struct MicroTuner {
+    precision: Precision,
+    shape_class: ShapeClass,
+    shape: GemmShape,
+    reps: usize,
+    operands: Operands,
+}
+
+impl MicroTuner {
+    /// Creates a tuner measuring on the band's representative shape with
+    /// `reps` timed repetitions per candidate (median taken; one warmup
+    /// execution precedes them).
+    ///
+    /// The scalar float32 reference has no searchable blocking; tuning it
+    /// degenerates to measuring the default configuration.
+    pub fn new(precision: Precision, shape_class: ShapeClass, reps: usize) -> Self {
+        let shape = shape_class.representative_shape();
+        let a_host = pseudo_random_matrix(shape.m, shape.k, 0xA11CE, 1.0);
+        let b_host = pseudo_random_matrix(shape.n, shape.k, 0xB0B, 1.0);
+        let operands = match precision {
+            Precision::Int1 => Operands::Int1 {
+                a: Int1Matrix::from_host_padded(&a_host, GemmInput::DEFAULT_INT1_K_GRANULARITY),
+                b_t: Int1Matrix::from_host_padded(&b_host, GemmInput::DEFAULT_INT1_K_GRANULARITY),
+            },
+            _ => Operands::F16 {
+                a: F16Matrix::from_host(&a_host),
+                b_t: F16Matrix::from_host(&b_host),
+            },
+        };
+        MicroTuner {
+            precision,
+            shape_class,
+            shape,
+            reps: reps.max(1),
+            operands,
+        }
+    }
+
+    /// The shape every candidate is measured on.
+    pub fn shape(&self) -> GemmShape {
+        self.shape
+    }
+
+    /// Measures one candidate: a warmup execution, then the median wall
+    /// clock of `reps` timed executions.  Returns `None` for
+    /// configurations outside the compiled menu.
+    pub fn evaluate(&self, config: MicroKernelConfig) -> Option<MicroTuneResult> {
+        config.validate().ok()?;
+        let run = || match &self.operands {
+            Operands::F16 { a, b_t } => {
+                gemm_f16_with(a, b_t, &config).expect("benchmark operands conform to the shape");
+            }
+            Operands::Int1 { a, b_t } => {
+                gemm_int1_with(a, b_t, BitOp::Xor, &config)
+                    .expect("benchmark operands conform to the shape");
+            }
+        };
+        run();
+        let mut times: Vec<f64> = (0..self.reps)
+            .map(|_| {
+                let start = Instant::now();
+                run();
+                start.elapsed().as_secs_f64()
+            })
+            .collect();
+        times.sort_by(f64::total_cmp);
+        let elapsed_s = times[times.len() / 2].max(f64::MIN_POSITIVE);
+        let macs = self.shape.m as f64 * self.shape.n as f64 * self.shape.k as f64;
+        Some(MicroTuneResult {
+            config,
+            elapsed_s,
+            gelems_per_s: macs / elapsed_s / 1e9,
+        })
+    }
+
+    /// Menu neighbours of a configuration: one axis moved one step, only
+    /// along the axes that affect this tuner's precision.
+    fn neighbours(&self, config: MicroKernelConfig) -> Vec<MicroKernelConfig> {
+        let step = |values: &[usize], current: usize| -> Vec<usize> {
+            match values.iter().position(|&v| v == current) {
+                Some(i) => {
+                    let mut out = Vec::new();
+                    if i > 0 {
+                        out.push(values[i - 1]);
+                    }
+                    if i + 1 < values.len() {
+                        out.push(values[i + 1]);
+                    }
+                    out
+                }
+                None => values.to_vec(),
+            }
+        };
+        let mut out = Vec::new();
+        match self.precision {
+            Precision::Float16 => {
+                for v in step(&F16_J_TILES, config.f16_j_tile) {
+                    out.push(MicroKernelConfig {
+                        f16_j_tile: v,
+                        ..config
+                    });
+                }
+                for v in step(&F16_LANE_WIDTHS, config.f16_lanes) {
+                    out.push(MicroKernelConfig {
+                        f16_lanes: v,
+                        ..config
+                    });
+                }
+                for v in step(&F16_K_TILES, config.f16_k_tile) {
+                    out.push(MicroKernelConfig {
+                        f16_k_tile: v,
+                        ..config
+                    });
+                }
+            }
+            Precision::Int1 => {
+                for v in step(&INT1_UNROLLS, config.int1_unroll) {
+                    out.push(MicroKernelConfig {
+                        int1_unroll: v,
+                        ..config
+                    });
+                }
+            }
+            Precision::Float32Reference => {}
+        }
+        out.retain(|c| c.validate().is_ok());
+        out
+    }
+
+    /// Runs the search.  The candidate pool is the per-precision menu of
+    /// compiled configurations; the default blocking is always measured
+    /// (it leads the menu), so a winner is never worse than the default on
+    /// the shape it was measured on.  Ties select the first candidate
+    /// measured — deterministically the default under exhaustive search.
+    pub fn tune(&self, strategy: Strategy, objective: Objective) -> Option<MicroTuneOutcome> {
+        let menu = MicroKernelConfig::menu_for(self.precision);
+        let evaluated: Vec<MicroTuneResult> = match strategy {
+            Strategy::Exhaustive => menu.into_iter().filter_map(|c| self.evaluate(c)).collect(),
+            Strategy::Random { samples, seed } => {
+                let mut rng = StdRng::seed_from_u64(seed);
+                let default = menu[0];
+                let mut pool: Vec<MicroKernelConfig> =
+                    menu.into_iter().filter(|&c| c != default).collect();
+                pool.shuffle(&mut rng);
+                pool.truncate(samples.max(1).saturating_sub(1));
+                // The default always participates so the winner is
+                // measured against it even under a tiny budget.
+                std::iter::once(default)
+                    .chain(pool)
+                    .filter_map(|c| self.evaluate(c))
+                    .collect()
+            }
+            Strategy::GreedyLocalSearch { max_steps } => {
+                let mut evaluated = Vec::new();
+                let mut current = self.evaluate(MicroKernelConfig::default())?;
+                evaluated.push(current);
+                for _ in 0..max_steps {
+                    let mut improved = false;
+                    for candidate in self.neighbours(current.config) {
+                        if evaluated
+                            .iter()
+                            .any(|r: &MicroTuneResult| r.config == candidate)
+                        {
+                            continue;
+                        }
+                        if let Some(result) = self.evaluate(candidate) {
+                            evaluated.push(result);
+                            if result.objective_value(objective)
+                                > current.objective_value(objective)
+                            {
+                                current = result;
+                                improved = true;
+                            }
+                        }
+                    }
+                    if !improved {
+                        break;
+                    }
+                }
+                evaluated
+            }
+        };
+        let best = evaluated.iter().copied().reduce(|best, candidate| {
+            if candidate.objective_value(objective) > best.objective_value(objective) {
+                candidate
+            } else {
+                best
+            }
+        })?;
+        Some(MicroTuneOutcome {
+            fingerprint: HostFingerprint::detect(),
+            precision: self.precision,
+            shape_class: self.shape_class,
+            best,
+            evaluated,
+        })
+    }
+}
+
+/// One cached winner: the best blocking for a (precision, shape band)
+/// pair on the cache's host.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct MicroCacheEntry {
+    /// Precision the entry was tuned for.
+    pub precision: Precision,
+    /// Shape band the entry was tuned for.
+    pub shape_class: ShapeClass,
+    /// The winning blocking.
+    pub config: MicroKernelConfig,
+    /// Throughput it measured, for reporting.
+    pub gelems_per_s: f64,
+}
+
+/// The persisted micro-tuning results of one host — the Kernel Tuner
+/// cache-file analogue for the real kernels.
+#[derive(Clone, Debug, PartialEq)]
+pub struct MicroTuneCache {
+    /// Host the entries were measured on.
+    pub fingerprint: HostFingerprint,
+    /// Cached winners, one per (precision, shape band) pair.
+    pub entries: Vec<MicroCacheEntry>,
+}
+
+impl MicroTuneCache {
+    /// An empty cache for the current host.
+    pub fn for_this_host() -> Self {
+        MicroTuneCache {
+            fingerprint: HostFingerprint::detect(),
+            entries: Vec::new(),
+        }
+    }
+
+    /// Records a tuning outcome, replacing any previous entry for the
+    /// same (precision, shape band) pair.
+    pub fn record(&mut self, outcome: &MicroTuneOutcome) {
+        self.entries.retain(|e| {
+            !(e.precision == outcome.precision && e.shape_class == outcome.shape_class)
+        });
+        self.entries.push(MicroCacheEntry {
+            precision: outcome.precision,
+            shape_class: outcome.shape_class,
+            config: outcome.best.config,
+            gelems_per_s: outcome.best.gelems_per_s,
+        });
+    }
+
+    /// The cached winner for a (precision, shape band) pair, if any.
+    pub fn lookup(
+        &self,
+        precision: Precision,
+        shape_class: ShapeClass,
+    ) -> Option<&MicroCacheEntry> {
+        self.entries
+            .iter()
+            .find(|e| e.precision == precision && e.shape_class == shape_class)
+    }
+
+    /// Serialises the cache to its JSON schema
+    /// ([`MICRO_CACHE_SCHEMA`]).
+    pub fn to_json(&self) -> String {
+        crate::json::write_micro_cache(self)
+    }
+
+    /// Restores a cache from JSON, rejecting unknown schemas and
+    /// malformed documents.
+    pub fn from_json(text: &str) -> Result<Self, crate::json::JsonError> {
+        crate::json::read_micro_cache(text)
+    }
+
+    /// Loads a cache file; `None` if the file is missing, unreadable or
+    /// malformed (callers fall back to the default blocking — a stale or
+    /// corrupt cache must never break engine construction).
+    pub fn load(path: &Path) -> Option<Self> {
+        let text = std::fs::read_to_string(path).ok()?;
+        Self::from_json(&text).ok()
+    }
+
+    /// Writes the cache file, creating parent directories as needed.
+    pub fn store(&self, path: &Path) -> std::io::Result<()> {
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)?;
+            }
+        }
+        std::fs::write(path, self.to_json())
+    }
+}
+
+/// The cache location used when none is given explicitly: the
+/// `TCBF_MICROTUNE_CACHE` environment variable if set, else
+/// `$HOME/.cache/tcbf/microtune.json`, else a file in the system temp
+/// directory.
+pub fn default_cache_path() -> PathBuf {
+    if let Ok(path) = std::env::var("TCBF_MICROTUNE_CACHE") {
+        if !path.is_empty() {
+            return PathBuf::from(path);
+        }
+    }
+    if let Ok(home) = std::env::var("HOME") {
+        if !home.is_empty() {
+            return Path::new(&home)
+                .join(".cache")
+                .join("tcbf")
+                .join("microtune.json");
+        }
+    }
+    std::env::temp_dir().join("tcbf-microtune.json")
+}
+
+/// Looks up the tuned blocking for a (precision, shape) pair: loads the
+/// cache at `path` (or the [`default_cache_path`]), ignores it unless it
+/// was measured on this host, classifies `shape` into its band and
+/// returns the cached winner if it still validates.  Every failure mode —
+/// missing file, corrupt JSON, foreign host, no matching entry, config
+/// outside the compiled menu — yields `None`, i.e. the default blocking.
+pub fn tuned_micro_config(
+    path: Option<&Path>,
+    precision: Precision,
+    shape: GemmShape,
+) -> Option<MicroKernelConfig> {
+    let path = path
+        .map(Path::to_path_buf)
+        .unwrap_or_else(default_cache_path);
+    let cache = MicroTuneCache::load(&path)?;
+    if cache.fingerprint != HostFingerprint::detect() {
+        return None;
+    }
+    let entry = cache.lookup(precision, ShapeClass::classify(shape))?;
+    entry.config.validate().ok()?;
+    Some(entry.config)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_path(name: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("tcbf-microtune-test-{}-{name}", std::process::id()));
+        dir.join("cache.json")
+    }
+
+    fn sample_cache() -> MicroTuneCache {
+        let mut cache = MicroTuneCache::for_this_host();
+        cache.entries.push(MicroCacheEntry {
+            precision: Precision::Float16,
+            shape_class: ShapeClass::Small,
+            config: MicroKernelConfig {
+                f16_j_tile: 4,
+                f16_lanes: 16,
+                f16_k_tile: 1024,
+                int1_unroll: 1,
+            },
+            gelems_per_s: 12.5,
+        });
+        cache.entries.push(MicroCacheEntry {
+            precision: Precision::Int1,
+            shape_class: ShapeClass::Large,
+            config: MicroKernelConfig {
+                int1_unroll: 4,
+                ..MicroKernelConfig::default()
+            },
+            gelems_per_s: 480.0,
+        });
+        cache
+    }
+
+    #[test]
+    fn shape_classes_cover_their_representative_shapes() {
+        for class in ShapeClass::ALL {
+            assert_eq!(ShapeClass::classify(class.representative_shape()), class);
+            assert_eq!(ShapeClass::parse(class.as_str()), Some(class));
+        }
+        assert_eq!(ShapeClass::parse("huge"), None);
+        // The beamformer shapes the conformance tests use are Small.
+        assert_eq!(
+            ShapeClass::classify(GemmShape::batched(1, 8, 64, 32)),
+            ShapeClass::Small
+        );
+    }
+
+    #[test]
+    fn cache_round_trips_through_json_and_disk() {
+        let cache = sample_cache();
+        let restored = MicroTuneCache::from_json(&cache.to_json()).unwrap();
+        assert_eq!(restored, cache);
+
+        let path = temp_path("roundtrip");
+        cache.store(&path).unwrap();
+        assert_eq!(MicroTuneCache::load(&path), Some(cache));
+        let _ = std::fs::remove_dir_all(path.parent().unwrap());
+    }
+
+    #[test]
+    fn corrupt_or_missing_cache_files_fall_back_to_defaults() {
+        let path = temp_path("corrupt");
+        // Missing file.
+        assert_eq!(MicroTuneCache::load(&path), None);
+        assert_eq!(
+            tuned_micro_config(Some(&path), Precision::Float16, GemmShape::new(8, 8, 8)),
+            None
+        );
+        // Corrupt contents (truncated JSON, wrong schema, random bytes).
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        for garbage in [
+            "{\"schema\": \"tcbf-microtune/v1\", \"finge",
+            "not json",
+            "{}",
+        ] {
+            std::fs::write(&path, garbage).unwrap();
+            assert_eq!(MicroTuneCache::load(&path), None, "{garbage:?}");
+            assert_eq!(
+                tuned_micro_config(Some(&path), Precision::Float16, GemmShape::new(8, 8, 8)),
+                None,
+                "{garbage:?}"
+            );
+        }
+        // A valid document with a foreign schema is also rejected.
+        let foreign = sample_cache()
+            .to_json()
+            .replace(MICRO_CACHE_SCHEMA, "tcbf-microtune/v999");
+        std::fs::write(&path, foreign).unwrap();
+        assert_eq!(MicroTuneCache::load(&path), None);
+        let _ = std::fs::remove_dir_all(path.parent().unwrap());
+    }
+
+    #[test]
+    fn foreign_host_caches_are_ignored_without_error() {
+        let mut cache = sample_cache();
+        cache.fingerprint = HostFingerprint {
+            arch: "z80".to_string(),
+            threads: 1,
+        };
+        let path = temp_path("foreign");
+        cache.store(&path).unwrap();
+        // The file itself loads fine…
+        assert!(MicroTuneCache::load(&path).is_some());
+        // …but the lookup refuses to apply another machine's tuning.
+        let shape = ShapeClass::Small.representative_shape();
+        assert_eq!(
+            tuned_micro_config(Some(&path), Precision::Float16, shape),
+            None
+        );
+        let _ = std::fs::remove_dir_all(path.parent().unwrap());
+    }
+
+    #[test]
+    fn matching_host_cache_supplies_the_tuned_config() {
+        let cache = sample_cache();
+        let path = temp_path("hit");
+        cache.store(&path).unwrap();
+        let shape = ShapeClass::Small.representative_shape();
+        let tuned = tuned_micro_config(Some(&path), Precision::Float16, shape).unwrap();
+        assert_eq!(tuned, cache.entries[0].config);
+        // No entry for this (precision, band) pair → defaults.
+        assert_eq!(
+            tuned_micro_config(Some(&path), Precision::Int1, shape),
+            None
+        );
+        let _ = std::fs::remove_dir_all(path.parent().unwrap());
+    }
+
+    #[test]
+    fn record_replaces_the_matching_entry() {
+        let mut cache = MicroTuneCache::for_this_host();
+        let outcome = |j_tile: usize, gelems: f64| MicroTuneOutcome {
+            fingerprint: HostFingerprint::detect(),
+            precision: Precision::Float16,
+            shape_class: ShapeClass::Small,
+            best: MicroTuneResult {
+                config: MicroKernelConfig {
+                    f16_j_tile: j_tile,
+                    ..MicroKernelConfig::default()
+                },
+                elapsed_s: 1.0,
+                gelems_per_s: gelems,
+            },
+            evaluated: Vec::new(),
+        };
+        cache.record(&outcome(1, 5.0));
+        cache.record(&outcome(4, 9.0));
+        assert_eq!(cache.entries.len(), 1);
+        assert_eq!(cache.entries[0].config.f16_j_tile, 4);
+    }
+
+    #[test]
+    fn micro_tuner_measures_real_throughput_and_prefers_first_on_ties() {
+        let tuner = MicroTuner::new(Precision::Float16, ShapeClass::Small, 1);
+        let outcome = tuner
+            .tune(
+                Strategy::Random {
+                    samples: 3,
+                    seed: 7,
+                },
+                Objective::Performance,
+            )
+            .unwrap();
+        assert!(!outcome.evaluated.is_empty());
+        // The default is always part of a Random search.
+        assert!(outcome
+            .evaluated
+            .iter()
+            .any(|r| r.config == MicroKernelConfig::default()));
+        assert!(outcome.best.gelems_per_s > 0.0);
+        assert!(outcome
+            .evaluated
+            .iter()
+            .all(|r| r.gelems_per_s <= outcome.best.gelems_per_s));
+        // First-wins tie-breaking: the winner is the first candidate that
+        // attains the best objective value.
+        let first_at_best = outcome
+            .evaluated
+            .iter()
+            .find(|r| r.gelems_per_s >= outcome.best.gelems_per_s)
+            .unwrap();
+        assert_eq!(first_at_best.config, outcome.best.config);
+    }
+
+    #[test]
+    fn int1_tuning_searches_only_unroll_depths() {
+        let tuner = MicroTuner::new(Precision::Int1, ShapeClass::Small, 1);
+        let outcome = tuner
+            .tune(Strategy::Exhaustive, Objective::Performance)
+            .unwrap();
+        assert_eq!(outcome.evaluated.len(), INT1_UNROLLS.len());
+        assert!(outcome
+            .evaluated
+            .iter()
+            .all(|r| r.config.f16_j_tile == 2 && r.config.f16_lanes == 8));
+    }
+
+    #[test]
+    fn greedy_search_stays_within_the_menu() {
+        let tuner = MicroTuner::new(Precision::Float16, ShapeClass::Small, 1);
+        let outcome = tuner
+            .tune(
+                Strategy::GreedyLocalSearch { max_steps: 2 },
+                Objective::Performance,
+            )
+            .unwrap();
+        for result in &outcome.evaluated {
+            result.config.validate().unwrap();
+        }
+        assert!(MicroKernelConfig::menu_for(Precision::Float16).len() >= outcome.evaluated.len());
+    }
+}

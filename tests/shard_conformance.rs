@@ -46,6 +46,7 @@ fn config(precision: Precision, batch: usize) -> BeamformerConfig {
         precision,
         batch,
         params: None,
+        micro: None,
     }
 }
 
