@@ -17,6 +17,7 @@
 //! replaces the former `BeamformSession`/`ShardedSession` pair.
 
 use crate::beamformer::{BeamformOutput, Beamformer};
+use crate::latency::LatencyHistogram;
 use crate::session::SessionReport;
 use crate::shard::{ShardPlan, ShardPolicy};
 use crate::weights::WeightMatrix;
@@ -235,6 +236,34 @@ impl Report {
         ThroughputMetrics::best_tops(self)
     }
 
+    /// The fleet-wide log2 histogram of per-execution kernel latency: the
+    /// exact bucket-wise merge of every member's histogram.
+    pub fn latency(&self) -> LatencyHistogram {
+        let mut merged = LatencyHistogram::new();
+        for shard in &self.per_device {
+            merged.merge(shard.report.latency());
+        }
+        merged
+    }
+
+    /// Median per-execution kernel latency across all members, in seconds
+    /// (0.0 for an empty run).
+    pub fn p50_latency_s(&self) -> f64 {
+        self.latency().p50_s()
+    }
+
+    /// 95th-percentile per-execution kernel latency across all members, in
+    /// seconds (0.0 for an empty run).
+    pub fn p95_latency_s(&self) -> f64 {
+        self.latency().p95_s()
+    }
+
+    /// 99th-percentile per-execution kernel latency across all members, in
+    /// seconds (0.0 for an empty run).
+    pub fn p99_latency_s(&self) -> f64 {
+        self.latency().p99_s()
+    }
+
     /// Parallel speed-up over running the same stream serially on the
     /// members: summed elapsed time divided by the straggler's wall clock.
     /// 1.0 for a single-member engine, 0.0 for an empty run.
@@ -320,7 +349,11 @@ impl Topology {
 ///
 /// Engines stream *whole blocks* — one `K × N` sample block per GEMM
 /// execution — so they are constructed from batch-1 configurations.
-pub trait Engine: std::fmt::Debug {
+///
+/// `Send` is a supertrait: serving layers hand engines between worker
+/// threads (e.g. `tcbf-serve`'s engine pool), so every engine must be
+/// movable across threads.
+pub trait Engine: std::fmt::Debug + Send {
     /// The device layout of this engine.
     fn topology(&self) -> Topology;
 
@@ -763,6 +796,29 @@ mod tests {
         assert_eq!(metrics(&report), metrics(&serial));
         assert_eq!(report.worst_tops(), serial.worst_tops());
         assert_eq!(report.effective_fps(), serial.effective_fps());
+    }
+
+    #[test]
+    fn report_latency_percentiles_merge_across_devices() {
+        let mut engine = pool_engine(&[Gpu::A100, Gpu::Gh200]);
+        let blocks: Vec<HostComplexMatrix> = (0..6).map(|i| block(16, 8, i)).collect();
+        let refs: Vec<&HostComplexMatrix> = blocks.iter().collect();
+        engine.process_batch(&refs).unwrap();
+        let report = engine.report();
+        // One histogram sample per execution, across every member.
+        let executions: usize = report
+            .per_device()
+            .iter()
+            .map(|s| s.report.executions)
+            .sum();
+        assert_eq!(report.latency().count() as usize, executions);
+        assert_eq!(
+            report.latency().count(),
+            report.merged_serial().latency().count()
+        );
+        assert!(report.p50_latency_s() > 0.0);
+        assert!(report.p50_latency_s() <= report.p95_latency_s());
+        assert!(report.p95_latency_s() <= report.p99_latency_s());
     }
 
     #[test]

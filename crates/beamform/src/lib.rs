@@ -23,6 +23,9 @@
 //!   generic [`Session<E>`] (alias [`DynSession`] for boxed engines), and
 //!   one unified [`Report`] whose per-device breakdown holds exactly one
 //!   entry in the single case;
+//! * [`latency`] — a fixed-bucket log2 [`LatencyHistogram`] giving every
+//!   report p50/p95/p99 per-execution latency with exact fleet-wide
+//!   merging;
 //! * [`session`] — the per-block accounting primitive [`SessionReport`]
 //!   and the legacy [`BeamformSession`] (kept for one release; new code
 //!   uses [`Session`]);
@@ -35,6 +38,7 @@
 pub mod beamformer;
 pub mod engine;
 pub mod geometry;
+pub mod latency;
 pub mod session;
 pub mod shard;
 pub mod signal;
@@ -46,6 +50,7 @@ pub use engine::{
     Topology,
 };
 pub use geometry::{ArrayGeometry, SPEED_OF_LIGHT, SPEED_OF_SOUND_TISSUE, SPEED_OF_SOUND_WATER};
+pub use latency::{LatencyHistogram, LATENCY_BUCKETS};
 pub use session::{BeamformSession, SessionReport};
 pub use shard::{
     ShardPlan, ShardPolicy, ShardedBeamformer, ShardedSession, ShardedSessionReport,

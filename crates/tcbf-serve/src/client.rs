@@ -1,0 +1,280 @@
+//! A blocking client for the serve protocol.
+//!
+//! [`Client::connect`] performs the `Hello`/`Welcome` handshake,
+//! [`Client::stream_blocks`] pipelines sample blocks up to the session's
+//! advertised queue depth (transparently retrying `Throttled` refusals
+//! with a small backoff), [`Client::swap_weights`] hot-swaps the session's
+//! beam weights and [`Client::finish`] closes the session and returns the
+//! server's [`SessionSummary`].  Outputs come back in input order
+//! regardless of how server workers interleave, re-ordered by sequence
+//! number client side.
+
+use crate::wire::{
+    read_frame_polling, write_frame, ClientMsg, RejectReason, ServerMsg, SessionSummary,
+    PROTO_VERSION,
+};
+use ccglib::matrix::HostComplexMatrix;
+use ccglib::Precision;
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::{Duration, Instant};
+
+/// How long the client waits for any single server reply.
+const RESPONSE_TIMEOUT: Duration = Duration::from_secs(30);
+/// Socket read timeout, used as the polling interval for the deadline.
+const POLL_INTERVAL: Duration = Duration::from_millis(25);
+/// Backoff before re-sending a throttled block.
+const RETRY_BACKOFF: Duration = Duration::from_millis(25);
+
+/// Everything that can go wrong on the client side of a session.
+#[derive(Debug)]
+pub enum ServeError {
+    /// The transport failed (connect, read, write, timeout).
+    Io(std::io::Error),
+    /// The server refused the session at `Hello` time.
+    Rejected(RejectReason),
+    /// The server reported a typed failure; `code` round-trips
+    /// [`tcbf::TcbfError::code`].
+    Remote {
+        /// The stable numeric error code.
+        code: u16,
+        /// The server's human-readable description.
+        message: String,
+    },
+    /// The peer violated the protocol (unexpected or malformed message).
+    Protocol(String),
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Io(e) => write!(f, "transport error: {e}"),
+            ServeError::Rejected(reason) => write!(f, "session rejected: {reason}"),
+            ServeError::Remote { code, message } => {
+                write!(f, "remote error {code}: {message}")
+            }
+            ServeError::Protocol(what) => write!(f, "protocol violation: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<std::io::Error> for ServeError {
+    fn from(e: std::io::Error) -> Self {
+        ServeError::Io(e)
+    }
+}
+
+/// A blocking session with a serving worker.
+#[derive(Debug)]
+pub struct Client {
+    reader: TcpStream,
+    writer: TcpStream,
+    session_id: u64,
+    beams: u32,
+    queue_depth: u32,
+    window: usize,
+    next_seq: u64,
+    throttle_retries: u64,
+}
+
+impl Client {
+    /// Connects, handshakes and returns an admitted session.
+    ///
+    /// `receivers`/`samples_per_block` declare the block shape this
+    /// session will stream; the server validates them against its
+    /// configuration up front so shape errors surface here, not mid-stream.
+    pub fn connect(
+        addr: impl ToSocketAddrs,
+        tenant: &str,
+        precision: Precision,
+        receivers: usize,
+        samples_per_block: usize,
+    ) -> Result<Client, ServeError> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        stream.set_read_timeout(Some(POLL_INTERVAL))?;
+        let reader = stream.try_clone()?;
+        let mut client = Client {
+            reader,
+            writer: stream,
+            session_id: 0,
+            beams: 0,
+            queue_depth: 0,
+            window: 0,
+            next_seq: 0,
+            throttle_retries: 0,
+        };
+        client.send(&ClientMsg::Hello {
+            version: PROTO_VERSION,
+            tenant: tenant.to_owned(),
+            precision,
+            receivers: receivers as u32,
+            samples_per_block: samples_per_block as u32,
+        })?;
+        match client.recv()? {
+            ServerMsg::Welcome {
+                session_id,
+                beams,
+                queue_depth,
+            } => {
+                client.session_id = session_id;
+                client.beams = beams;
+                client.queue_depth = queue_depth;
+                client.window = (queue_depth as usize).clamp(1, 8);
+                Ok(client)
+            }
+            ServerMsg::Rejected { reason } => Err(ServeError::Rejected(reason)),
+            ServerMsg::Error { code, message, .. } => Err(ServeError::Remote { code, message }),
+            other => Err(ServeError::Protocol(format!(
+                "expected Welcome, got {other:?}"
+            ))),
+        }
+    }
+
+    /// The server-assigned session id.
+    pub fn session_id(&self) -> u64 {
+        self.session_id
+    }
+
+    /// Beams per output block, from the server's `Welcome`.
+    pub fn beams(&self) -> usize {
+        self.beams as usize
+    }
+
+    /// The session's queue depth, from the server's `Welcome`.
+    pub fn queue_depth(&self) -> usize {
+        self.queue_depth as usize
+    }
+
+    /// Overrides the pipelining window (clamped to at least 1).  A window
+    /// larger than the queue depth deliberately provokes `Throttled`
+    /// refusals — useful for testing backpressure.
+    pub fn set_window(&mut self, window: usize) {
+        self.window = window.max(1);
+    }
+
+    /// Throttled refusals retried so far (both queue-full and
+    /// rate-limited).  Backpressure is invisible in the outputs — every
+    /// refused block is retried until accepted — so this counter is how
+    /// callers observe it.
+    pub fn throttle_retries(&self) -> u64 {
+        self.throttle_retries
+    }
+
+    /// Streams `blocks` through the session, pipelined up to the window,
+    /// and returns the beamformed outputs **in input order**.
+    ///
+    /// `Throttled` refusals are retried with a small backoff until
+    /// accepted; typed server errors abort the stream.
+    pub fn stream_blocks(
+        &mut self,
+        blocks: &[HostComplexMatrix],
+    ) -> Result<Vec<HostComplexMatrix>, ServeError> {
+        let mut results: Vec<Option<HostComplexMatrix>> = vec![None; blocks.len()];
+        // seq -> index into `blocks`, for in-flight requests.
+        let mut pending: Vec<(u64, usize)> = Vec::new();
+        let mut next_block = 0usize;
+        let mut done = 0usize;
+
+        while done < blocks.len() {
+            // Fill the window.
+            while pending.len() < self.window && next_block < blocks.len() {
+                let seq = self.next_seq;
+                self.next_seq += 1;
+                self.send(&ClientMsg::Block {
+                    seq,
+                    samples: blocks[next_block].clone(),
+                })?;
+                pending.push((seq, next_block));
+                next_block += 1;
+            }
+            match self.recv()? {
+                ServerMsg::Beams { seq, beams, .. } => {
+                    let slot = pending
+                        .iter()
+                        .position(|&(s, _)| s == seq)
+                        .ok_or_else(|| ServeError::Protocol(format!("unknown seq {seq}")))?;
+                    let (_, index) = pending.swap_remove(slot);
+                    results[index] = Some(beams);
+                    done += 1;
+                }
+                ServerMsg::Throttled { seq, .. } => {
+                    // Refused, not failed: back off and re-send that block
+                    // under a fresh sequence number.
+                    let slot = pending
+                        .iter()
+                        .position(|&(s, _)| s == seq)
+                        .ok_or_else(|| ServeError::Protocol(format!("unknown seq {seq}")))?;
+                    let (_, index) = pending.swap_remove(slot);
+                    self.throttle_retries += 1;
+                    std::thread::sleep(RETRY_BACKOFF);
+                    let seq = self.next_seq;
+                    self.next_seq += 1;
+                    self.send(&ClientMsg::Block {
+                        seq,
+                        samples: blocks[index].clone(),
+                    })?;
+                    pending.push((seq, index));
+                }
+                ServerMsg::Error { code, message, .. } => {
+                    return Err(ServeError::Remote { code, message });
+                }
+                other => {
+                    return Err(ServeError::Protocol(format!(
+                        "expected Beams/Throttled, got {other:?}"
+                    )));
+                }
+            }
+        }
+        Ok(results.into_iter().map(Option::unwrap).collect())
+    }
+
+    /// Hot-swaps the session's beam weights; blocks streamed afterwards
+    /// use the new weights.
+    pub fn swap_weights(&mut self, weights: &HostComplexMatrix) -> Result<(), ServeError> {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.send(&ClientMsg::SwapWeights {
+            seq,
+            weights: weights.clone(),
+        })?;
+        match self.recv()? {
+            ServerMsg::SwapOk { .. } => Ok(()),
+            ServerMsg::Error { code, message, .. } => Err(ServeError::Remote { code, message }),
+            other => Err(ServeError::Protocol(format!(
+                "expected SwapOk, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Ends the session cleanly and returns the server's summary.
+    pub fn finish(mut self) -> Result<SessionSummary, ServeError> {
+        self.send(&ClientMsg::Finish)?;
+        match self.recv()? {
+            ServerMsg::Goodbye { summary } => Ok(summary),
+            ServerMsg::Error { code, message, .. } => Err(ServeError::Remote { code, message }),
+            other => Err(ServeError::Protocol(format!(
+                "expected Goodbye, got {other:?}"
+            ))),
+        }
+    }
+
+    fn send(&mut self, msg: &ClientMsg) -> Result<(), ServeError> {
+        write_frame(&mut self.writer, &msg.encode())?;
+        Ok(())
+    }
+
+    fn recv(&mut self) -> Result<ServerMsg, ServeError> {
+        let deadline = Instant::now() + RESPONSE_TIMEOUT;
+        match read_frame_polling(&mut self.reader, || Instant::now() >= deadline) {
+            Ok(Some(payload)) => {
+                ServerMsg::decode(&payload).map_err(|e| ServeError::Protocol(e.to_string()))
+            }
+            Ok(None) => Err(ServeError::Protocol(
+                "server closed the connection".to_owned(),
+            )),
+            Err(e) => Err(ServeError::Io(e)),
+        }
+    }
+}

@@ -1,0 +1,66 @@
+//! # tcbf-serve — the beamformer as a multi-tenant network service
+//!
+//! Everything below `tcbf::BeamformerBuilder::build_engine()` treats the
+//! beamformer as a library embedded in one process.  This crate turns any
+//! [`beamform::Engine`] into a shared **service**: many tenants stream
+//! sample blocks over TCP to a fixed engine fleet, with admission control,
+//! per-tenant quotas, bounded queues and fleet-wide tail-latency metrics —
+//! the deployment shape the paper's telescope and ultrasound pipelines
+//! imply (one accelerator pool, many observers/probes), built here from
+//! `std::net` alone.
+//!
+//! The layers, bottom up:
+//!
+//! - [`wire`]: a hand-rolled length-prefixed binary protocol
+//!   (`Hello`/`Block`/`SwapWeights`/`Finish` up, typed replies down).
+//!   `f32` samples travel as raw little-endian bits, so served outputs are
+//!   **bit-identical** to local execution.
+//! - [`pool`]: [`ServeConfig`] builds a fixed [`EnginePool`] once; workers
+//!   check engines out per block, and *lazy weight swaps* keyed on
+//!   `(session, weights_version)` keep multi-tenant sharing deterministic.
+//! - [`server`]: [`serve`] binds a listener and runs admission (typed
+//!   `Rejected` past [`ServeConfig::max_sessions`] or a tenant's stream
+//!   quota), per-tenant rate limiting and bounded-queue backpressure
+//!   (typed, retryable `Throttled` — never unbounded memory).
+//! - [`metrics`]: per-tenant block/throttle/error counts and wall-clock
+//!   latency histograms, merged with the engine fleet's
+//!   [`beamform::Report`] into one [`FleetReport`] with p50/p95/p99.
+//! - [`discover`]: UDP beacons (`{addr, topology, precision menu}`) and
+//!   [`discover_workers`] to find the live fleet without configuration.
+//! - [`client`]: a blocking [`Client`] that pipelines blocks up to the
+//!   advertised queue depth, retries throttles, re-orders replies and
+//!   returns the server's end-of-session [`SessionSummary`].
+//!
+//! ```no_run
+//! use tcbf_serve::{serve, Client, ServeConfig};
+//! use ccglib::Precision;
+//!
+//! let config = ServeConfig::example(8, 32, 64);
+//! let handle = serve("127.0.0.1:0", config).unwrap();
+//!
+//! let mut client = Client::connect(
+//!     handle.addr(), "tenant-a", Precision::Float16, 32, 64,
+//! ).unwrap();
+//! let blocks = vec![/* 32 x 64 sample blocks */];
+//! let beams = client.stream_blocks(&blocks).unwrap();
+//! let summary = client.finish().unwrap();
+//! println!("p99 = {:.1} us", summary.p99_latency_s * 1e6);
+//! println!("{}", handle.shutdown().summary_line());
+//! # let _ = beams;
+//! ```
+
+#![deny(missing_docs)]
+
+pub mod client;
+pub mod discover;
+pub mod metrics;
+pub mod pool;
+pub mod server;
+pub mod wire;
+
+pub use client::{Client, ServeError};
+pub use discover::{announce_once, discover_workers, BeaconConfig, Discovery, WorkerInfo};
+pub use metrics::{FleetMetrics, FleetReport, TenantReport};
+pub use pool::{example_weights, EnginePool, EngineSlot, ServeConfig};
+pub use server::{serve, ServerHandle};
+pub use wire::{ClientMsg, RejectReason, ServerMsg, SessionSummary, ThrottleReason, PROTO_VERSION};

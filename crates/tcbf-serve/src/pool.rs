@@ -1,0 +1,338 @@
+//! The engine pool: a fixed fleet of [`Engine`]s multiplexed across many
+//! client sessions.
+//!
+//! Engines are expensive to build (autotuned kernel plans, device
+//! contexts), so the server builds a fixed number per served precision
+//! **once** from the [`ServeConfig`] via
+//! [`tcbf::BeamformerBuilder::build_engine`] and workers *check out* an
+//! engine per block, returning it afterwards.  Checkout blocks on a
+//! condition variable when every engine of the requested precision is
+//! busy — that wait is the scheduling point where many sessions share a
+//! small fleet.
+//!
+//! **Lazy weight swaps** keep multi-tenancy bit-identical: every engine
+//! slot remembers which `(session, weights_version)` last ran on it, and a
+//! worker swaps weights only when the checked-out engine last served a
+//! different session or an older weights version.  Each session's blocks
+//! therefore always execute under exactly the weights that session
+//! configured, no matter how workers interleave tenants.
+
+use beamform::{Engine, WeightMatrix};
+use ccglib::matrix::HostComplexMatrix;
+use ccglib::Precision;
+use gpu_sim::Gpu;
+use std::sync::{Condvar, Mutex};
+use std::time::Duration;
+use tcbf::{BeamformerBuilder, TcbfError};
+
+/// Server-side configuration: which engines to build and what limits to
+/// enforce.
+#[derive(Clone, Debug)]
+pub struct ServeConfig {
+    /// The device pool every engine spans.  One device builds single
+    /// engines; several build sharded engines.
+    pub gpus: Vec<Gpu>,
+    /// The precision menu: one engine fleet is built per entry.  Sessions
+    /// requesting a precision not on the menu are refused with a typed
+    /// error.
+    pub precisions: Vec<Precision>,
+    /// Engines built per precision (the degree of same-precision
+    /// parallelism).
+    pub engines_per_precision: usize,
+    /// The initial beam weights (`beams × receivers`) every engine starts
+    /// with; sessions may hot-swap their own.
+    pub weights: HostComplexMatrix,
+    /// Time samples per block (`N`): every session must stream blocks of
+    /// this shape.
+    pub samples_per_block: usize,
+    /// Sessions admitted concurrently; the next `Hello` is refused
+    /// `ServerFull`.
+    pub max_sessions: usize,
+    /// In-flight blocks allowed per session before `Throttled(QueueFull)`.
+    pub queue_depth: usize,
+    /// Concurrent streams allowed per tenant; the next same-tenant `Hello`
+    /// is refused `TenantQuota`.
+    pub tenant_max_streams: usize,
+    /// Blocks per second allowed per tenant (token bucket with burst equal
+    /// to the ceiling of the rate); `None` disables rate limiting.
+    pub tenant_blocks_per_sec: Option<f64>,
+    /// Worker threads draining the job queue.
+    pub workers: usize,
+}
+
+impl ServeConfig {
+    /// A small deterministic configuration: one A100, both tensor-core
+    /// precisions, pseudo-random unit-magnitude weights.
+    pub fn example(beams: usize, receivers: usize, samples_per_block: usize) -> Self {
+        ServeConfig {
+            gpus: vec![Gpu::A100],
+            precisions: vec![Precision::Float16, Precision::Int1],
+            engines_per_precision: 2,
+            weights: example_weights(beams, receivers),
+            samples_per_block,
+            max_sessions: 8,
+            queue_depth: 4,
+            tenant_max_streams: 4,
+            tenant_blocks_per_sec: None,
+            workers: 2,
+        }
+    }
+
+    /// Number of beams (`M`) implied by the weight matrix.
+    pub fn beams(&self) -> usize {
+        self.weights.rows()
+    }
+
+    /// Number of receivers (`K`) implied by the weight matrix.
+    pub fn receivers(&self) -> usize {
+        self.weights.cols()
+    }
+
+    /// Validates the limits and builds one engine fleet per precision.
+    pub fn build_pool(&self) -> tcbf::Result<EnginePool> {
+        if self.precisions.is_empty()
+            || self.engines_per_precision == 0
+            || self.max_sessions == 0
+            || self.queue_depth == 0
+            || self.tenant_max_streams == 0
+            || self.workers == 0
+            || self.gpus.is_empty()
+        {
+            return Err(TcbfError::InvalidParameters {
+                reason: "every ServeConfig limit (precisions, engines, sessions, queue depth, \
+                         tenant streams, workers, gpus) must be non-zero"
+                    .into(),
+            });
+        }
+        let mut fleets = Vec::with_capacity(self.precisions.len());
+        for &precision in &self.precisions {
+            let mut slots = Vec::with_capacity(self.engines_per_precision);
+            for _ in 0..self.engines_per_precision {
+                let mut builder = BeamformerBuilder::new(self.gpus[0])
+                    .weights(self.weights.clone())
+                    .samples_per_block(self.samples_per_block)
+                    .precision(precision);
+                if self.gpus.len() > 1 {
+                    builder = builder.devices(&self.gpus);
+                }
+                slots.push(EngineSlot {
+                    engine: builder.build_engine()?,
+                    owner: None,
+                });
+            }
+            fleets.push(PrecisionFleet {
+                precision,
+                slots: Mutex::new(slots),
+                available: Condvar::new(),
+            });
+        }
+        Ok(EnginePool {
+            fleets,
+            fleet_size: self.engines_per_precision,
+        })
+    }
+}
+
+/// Deterministic unit-magnitude weights: the same `(beams, receivers)`
+/// always produces the same matrix, so server and conformance baseline
+/// agree without sharing state.
+pub fn example_weights(beams: usize, receivers: usize) -> HostComplexMatrix {
+    HostComplexMatrix::from_fn(beams, receivers, |b, r| {
+        tcbf_types::Complex::from_polar(1.0 / receivers as f32, (b * 7 + r * 3) as f32 * 0.21)
+    })
+}
+
+/// One pooled engine plus the identity of its last user, for lazy weight
+/// swaps.
+pub struct EngineSlot {
+    /// The engine itself.
+    pub engine: Box<dyn Engine>,
+    /// `(session_id, weights_version)` of the last block this engine ran,
+    /// or `None` for a freshly built engine.
+    pub owner: Option<(u64, u64)>,
+}
+
+impl EngineSlot {
+    /// Ensures the engine carries `weights` for `(session_id, version)`,
+    /// swapping only when the last user differs — the lazy-swap fast path
+    /// for consecutive blocks of one session.
+    pub fn ensure_weights(
+        &mut self,
+        session_id: u64,
+        version: u64,
+        weights: &WeightMatrix,
+    ) -> ccglib::Result<()> {
+        if self.owner != Some((session_id, version)) {
+            self.engine.swap_weights(weights.clone())?;
+            self.owner = Some((session_id, version));
+        }
+        Ok(())
+    }
+}
+
+struct PrecisionFleet {
+    precision: Precision,
+    slots: Mutex<Vec<EngineSlot>>,
+    available: Condvar,
+}
+
+/// A fixed fleet of engines per precision with blocking checkout.
+pub struct EnginePool {
+    fleets: Vec<PrecisionFleet>,
+    fleet_size: usize,
+}
+
+impl EnginePool {
+    /// The served precision menu, in configuration order.
+    pub fn precisions(&self) -> Vec<Precision> {
+        self.fleets.iter().map(|f| f.precision).collect()
+    }
+
+    /// Whether `precision` is on the menu.
+    pub fn serves(&self, precision: Precision) -> bool {
+        self.fleets.iter().any(|f| f.precision == precision)
+    }
+
+    /// Checks out an engine of `precision`, blocking until one is free.
+    ///
+    /// Panics if `precision` is not on the menu — the server validates the
+    /// menu at `Hello` time, before any job can reach the pool.
+    pub fn checkout(&self, precision: Precision) -> EngineSlot {
+        let fleet = self
+            .fleets
+            .iter()
+            .find(|f| f.precision == precision)
+            .expect("precision validated at admission");
+        let mut slots = fleet.slots.lock().expect("engine pool poisoned");
+        loop {
+            if let Some(slot) = slots.pop() {
+                return slot;
+            }
+            slots = fleet.available.wait(slots).expect("engine pool poisoned");
+        }
+    }
+
+    /// Returns a checked-out engine to its fleet and wakes one waiter.
+    pub fn check_in(&self, precision: Precision, slot: EngineSlot) {
+        let fleet = self
+            .fleets
+            .iter()
+            .find(|f| f.precision == precision)
+            .expect("precision validated at admission");
+        fleet.slots.lock().expect("engine pool poisoned").push(slot);
+        fleet.available.notify_one();
+    }
+
+    /// The merged engine report of the whole fleet — every engine of every
+    /// precision folded into one [`beamform::Report`].
+    ///
+    /// Waits (up to `drain_timeout`) for checked-out engines to come back
+    /// so the merge covers the full fleet; engines still out after the
+    /// timeout are simply not included.
+    pub fn merged_report(&self, drain_timeout: Duration) -> beamform::Report {
+        let mut shards = Vec::new();
+        let mut weight_swaps = 0;
+        for fleet in &self.fleets {
+            let mut slots = fleet.slots.lock().expect("engine pool poisoned");
+            let deadline = std::time::Instant::now() + drain_timeout;
+            while slots.len() < self.fleet_size {
+                let now = std::time::Instant::now();
+                if now >= deadline {
+                    break;
+                }
+                let (guard, _) = fleet
+                    .available
+                    .wait_timeout(slots, deadline - now)
+                    .expect("engine pool poisoned");
+                slots = guard;
+            }
+            for slot in slots.iter() {
+                let report = slot.engine.report();
+                weight_swaps += report.weight_swaps();
+                shards.extend(report.per_device().iter().cloned());
+            }
+        }
+        beamform::Report::new(shards, weight_swaps)
+    }
+}
+
+impl std::fmt::Debug for EnginePool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EnginePool")
+            .field("precisions", &self.precisions())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    fn pool() -> EnginePool {
+        let mut config = ServeConfig::example(4, 16, 32);
+        config.engines_per_precision = 1;
+        config.build_pool().unwrap()
+    }
+
+    #[test]
+    fn checkout_blocks_until_check_in() {
+        let pool = Arc::new(pool());
+        let slot = pool.checkout(Precision::Float16);
+        // Another precision is unaffected by float16 being exhausted.
+        let int1 = pool.checkout(Precision::Int1);
+        pool.check_in(Precision::Int1, int1);
+
+        let waiter = {
+            let pool = Arc::clone(&pool);
+            std::thread::spawn(move || {
+                let slot = pool.checkout(Precision::Float16);
+                pool.check_in(Precision::Float16, slot);
+            })
+        };
+        // The waiter cannot finish while the only float16 engine is out.
+        std::thread::sleep(Duration::from_millis(20));
+        assert!(!waiter.is_finished());
+        pool.check_in(Precision::Float16, slot);
+        waiter.join().unwrap();
+    }
+
+    #[test]
+    fn lazy_swap_only_fires_on_owner_change() {
+        let pool = pool();
+        let weights = WeightMatrix::from_matrix(example_weights(4, 16));
+        let mut slot = pool.checkout(Precision::Float16);
+
+        slot.ensure_weights(1, 0, &weights).unwrap();
+        let swaps_after_first = slot.engine.report().weight_swaps();
+        // Same session, same version: no further swap.
+        slot.ensure_weights(1, 0, &weights).unwrap();
+        assert_eq!(slot.engine.report().weight_swaps(), swaps_after_first);
+        // New weights version: swaps again.
+        slot.ensure_weights(1, 1, &weights).unwrap();
+        assert_eq!(slot.engine.report().weight_swaps(), swaps_after_first + 1);
+        // Different session: swaps again.
+        slot.ensure_weights(2, 0, &weights).unwrap();
+        assert_eq!(slot.engine.report().weight_swaps(), swaps_after_first + 2);
+        pool.check_in(Precision::Float16, slot);
+    }
+
+    #[test]
+    fn invalid_limits_are_rejected() {
+        let mut config = ServeConfig::example(4, 16, 32);
+        config.queue_depth = 0;
+        assert!(matches!(
+            config.build_pool(),
+            Err(TcbfError::InvalidParameters { .. })
+        ));
+    }
+
+    #[test]
+    fn off_menu_precision_is_reported() {
+        let mut config = ServeConfig::example(4, 16, 32);
+        config.precisions = vec![Precision::Float16];
+        let pool = config.build_pool().unwrap();
+        assert!(pool.serves(Precision::Float16));
+        assert!(!pool.serves(Precision::Int1));
+    }
+}

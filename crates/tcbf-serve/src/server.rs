@@ -1,0 +1,804 @@
+//! The serving loop: TCP accept, admission control, scheduling and
+//! backpressure.
+//!
+//! One accept thread admits connections (typed `Rejected` past the
+//! session cap or a tenant's stream quota), one reader thread per admitted
+//! session parses frames and enforces per-tenant rate quotas, and a fixed
+//! pool of worker threads drains a **bounded** global job queue, checking
+//! engines out of the [`EnginePool`] per block.  Every queue in the path
+//! is bounded and every refusal is a typed, retryable message
+//! (`Throttled`), so a flood of clients degrades into backpressure, never
+//! into unbounded memory growth.
+//!
+//! Latency is measured wall-clock from job admission (reader side) to
+//! reply (worker side) and recorded per tenant in [`FleetMetrics`] — the
+//! served analogue of the paper's per-run metric surface, with tail
+//! percentiles instead of single-run means.
+
+use crate::discover::{announce_once, BeaconConfig, WorkerInfo};
+use crate::metrics::{FleetMetrics, FleetReport};
+use crate::pool::{EnginePool, ServeConfig};
+use crate::wire::{
+    read_frame_polling, write_frame, ClientMsg, RejectReason, ServerMsg, SessionSummary,
+    ThrottleReason, ThrottleReason::QueueFull, ThrottleReason::RateLimited, CODE_PROTOCOL,
+    PROTO_VERSION,
+};
+use beamform::{LatencyHistogram, SessionReport, WeightMatrix};
+use ccglib::Precision;
+use std::collections::HashMap;
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+use tcbf::TcbfError;
+
+/// How often blocked reads re-check the shutdown flag.
+const POLL_INTERVAL: Duration = Duration::from_millis(50);
+/// How long [`ServerHandle::fleet_report`] waits for checked-out engines.
+const REPORT_DRAIN_TIMEOUT: Duration = Duration::from_secs(5);
+
+/// One unit of work: a block travelling from a session's reader to a
+/// worker, carrying everything needed to execute and reply without
+/// touching session state.
+struct Job {
+    session_id: u64,
+    tenant: String,
+    precision: Precision,
+    seq: u64,
+    samples: ccglib::matrix::HostComplexMatrix,
+    /// The session's weights as of enqueue time: the worker's lazy swap
+    /// keys on `(session_id, weights_version)`, so blocks enqueued before
+    /// a swap still execute under the old weights.
+    weights: Arc<WeightMatrix>,
+    weights_version: u64,
+    enqueued: Instant,
+    writer: Arc<parking_lot::Mutex<TcpStream>>,
+    inflight: Arc<AtomicUsize>,
+    stats: Arc<SessionStats>,
+}
+
+/// Per-session accounting shared between the reader and the workers.
+#[derive(Default)]
+struct SessionStats {
+    blocks: AtomicU64,
+    throttled: AtomicU64,
+    errors: AtomicU64,
+    latency: parking_lot::Mutex<LatencyHistogram>,
+    engine: parking_lot::Mutex<SessionReport>,
+}
+
+impl SessionStats {
+    fn summary(&self) -> SessionSummary {
+        let latency = *self.latency.lock();
+        let engine = *self.engine.lock();
+        SessionSummary {
+            blocks: self.blocks.load(Ordering::Relaxed),
+            throttled: self.throttled.load(Ordering::Relaxed),
+            errors: self.errors.load(Ordering::Relaxed),
+            p50_latency_s: latency.p50_s(),
+            p95_latency_s: latency.p95_s(),
+            p99_latency_s: latency.p99_s(),
+            aggregate_tops: engine.aggregate_tops(),
+            total_joules: engine.total_joules,
+        }
+    }
+}
+
+/// A deterministic token bucket: `rate` tokens per second, burst capacity
+/// `ceil(rate)`, at least 1.
+struct TokenBucket {
+    tokens: f64,
+    burst: f64,
+    rate: f64,
+    last: Instant,
+}
+
+impl TokenBucket {
+    fn new(rate: f64, now: Instant) -> Self {
+        let burst = rate.ceil().max(1.0);
+        TokenBucket {
+            tokens: burst,
+            burst,
+            rate,
+            last: now,
+        }
+    }
+
+    fn try_take(&mut self, now: Instant) -> bool {
+        let elapsed = now.duration_since(self.last).as_secs_f64();
+        self.last = now;
+        self.tokens = (self.tokens + elapsed * self.rate).min(self.burst);
+        if self.tokens >= 1.0 {
+            self.tokens -= 1.0;
+            true
+        } else {
+            false
+        }
+    }
+}
+
+/// State shared by the accept loop, readers, workers and the handle.
+struct Shared {
+    config: ServeConfig,
+    pool: EnginePool,
+    metrics: FleetMetrics,
+    initial_weights: Arc<WeightMatrix>,
+    active_sessions: AtomicUsize,
+    tenant_streams: parking_lot::Mutex<HashMap<String, usize>>,
+    tenant_buckets: parking_lot::Mutex<HashMap<String, TokenBucket>>,
+    next_session_id: AtomicU64,
+    shutdown: AtomicBool,
+}
+
+impl Shared {
+    fn shutting_down(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst)
+    }
+}
+
+/// The running server: a bound listener plus its accept, reader and worker
+/// threads.  Dropping the handle shuts the server down.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    accept_thread: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+    announcer: Option<JoinHandle<()>>,
+    job_tx: Option<mpsc::SyncSender<Job>>,
+}
+
+/// Binds `addr`, builds the engine fleet from `config` and starts serving.
+///
+/// Engine construction happens here, once — admission never builds
+/// engines, so a flood of connections cannot amplify into device work.
+pub fn serve(addr: impl ToSocketAddrs, config: ServeConfig) -> tcbf::Result<ServerHandle> {
+    let pool = config.build_pool()?;
+    let listener = TcpListener::bind(addr).map_err(|e| TcbfError::InvalidParameters {
+        reason: format!("cannot bind listener: {e}"),
+    })?;
+    let addr = listener
+        .local_addr()
+        .map_err(|e| TcbfError::InvalidParameters {
+            reason: format!("cannot read bound address: {e}"),
+        })?;
+
+    let shared = Arc::new(Shared {
+        initial_weights: Arc::new(WeightMatrix::from_matrix(config.weights.clone())),
+        pool,
+        metrics: FleetMetrics::new(),
+        active_sessions: AtomicUsize::new(0),
+        tenant_streams: parking_lot::Mutex::new(HashMap::new()),
+        tenant_buckets: parking_lot::Mutex::new(HashMap::new()),
+        next_session_id: AtomicU64::new(1),
+        shutdown: AtomicBool::new(false),
+        config,
+    });
+
+    // The global job queue is bounded by what the sessions may have in
+    // flight at once; `try_send` failure surfaces as `Throttled`.
+    let capacity = shared.config.max_sessions * shared.config.queue_depth;
+    let (job_tx, job_rx) = mpsc::sync_channel::<Job>(capacity);
+    let job_rx = Arc::new(std::sync::Mutex::new(job_rx));
+
+    let workers = (0..shared.config.workers)
+        .map(|_| {
+            let shared = Arc::clone(&shared);
+            let job_rx = Arc::clone(&job_rx);
+            std::thread::spawn(move || worker_loop(&shared, &job_rx))
+        })
+        .collect();
+
+    let accept_thread = {
+        let shared = Arc::clone(&shared);
+        let job_tx = job_tx.clone();
+        std::thread::spawn(move || accept_loop(&shared, &listener, &job_tx))
+    };
+
+    Ok(ServerHandle {
+        addr,
+        shared,
+        accept_thread: Some(accept_thread),
+        workers,
+        announcer: None,
+        job_tx: Some(job_tx),
+    })
+}
+
+impl ServerHandle {
+    /// The bound listening address.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// This worker's current discovery beacon payload.
+    pub fn worker_info(&self) -> WorkerInfo {
+        let config = &self.shared.config;
+        WorkerInfo {
+            addr: self.addr.to_string(),
+            gpus: config.gpus.iter().map(|g| g.name().to_owned()).collect(),
+            precisions: config.precisions.clone(),
+            engines_per_precision: config.engines_per_precision as u32,
+            max_sessions: config.max_sessions as u32,
+            active_sessions: self.shared.active_sessions.load(Ordering::SeqCst) as u32,
+        }
+    }
+
+    /// Starts announcing this worker over UDP per `beacon`; the first
+    /// beacon is sent immediately.  Call at most once.
+    pub fn announce(&mut self, beacon: BeaconConfig) {
+        let shared = Arc::clone(&self.shared);
+        let addr = self.addr;
+        self.announcer = Some(std::thread::spawn(move || {
+            while !shared.shutting_down() {
+                let info = WorkerInfo {
+                    addr: addr.to_string(),
+                    gpus: shared
+                        .config
+                        .gpus
+                        .iter()
+                        .map(|g| g.name().to_owned())
+                        .collect(),
+                    precisions: shared.config.precisions.clone(),
+                    engines_per_precision: shared.config.engines_per_precision as u32,
+                    max_sessions: shared.config.max_sessions as u32,
+                    active_sessions: shared.active_sessions.load(Ordering::SeqCst) as u32,
+                };
+                // Beacons are best-effort: a transient send failure just
+                // means one missed announcement.
+                let _ = announce_once(&info, beacon.target);
+                let deadline = Instant::now() + beacon.interval;
+                while Instant::now() < deadline && !shared.shutting_down() {
+                    std::thread::sleep(POLL_INTERVAL.min(beacon.interval));
+                }
+            }
+        }));
+    }
+
+    /// The merged fleet report: every tenant's service-side statistics
+    /// plus the engine fleet's performance report.
+    pub fn fleet_report(&self) -> FleetReport {
+        self.shared
+            .metrics
+            .fleet_report(self.shared.pool.merged_report(REPORT_DRAIN_TIMEOUT))
+    }
+
+    /// Sessions currently admitted.
+    pub fn active_sessions(&self) -> usize {
+        self.shared.active_sessions.load(Ordering::SeqCst)
+    }
+
+    /// Stops accepting, drains the threads and returns the final fleet
+    /// report.
+    pub fn shutdown(mut self) -> FleetReport {
+        self.stop();
+        self.fleet_report()
+    }
+
+    fn stop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        // Unblock the accept loop with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(handle) = self.accept_thread.take() {
+            let _ = handle.join();
+        }
+        if let Some(handle) = self.announcer.take() {
+            let _ = handle.join();
+        }
+        // Readers exit on the shutdown flag (their reads poll it) and drop
+        // their queue senders; dropping ours lets the workers' `recv` fail
+        // once the queue is drained.
+        self.job_tx.take();
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl std::fmt::Debug for ServerHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServerHandle")
+            .field("addr", &self.addr)
+            .field("active_sessions", &self.active_sessions())
+            .finish()
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        if self.accept_thread.is_some() || !self.workers.is_empty() {
+            self.stop();
+        }
+    }
+}
+
+fn accept_loop(shared: &Arc<Shared>, listener: &TcpListener, job_tx: &mpsc::SyncSender<Job>) {
+    for stream in listener.incoming() {
+        if shared.shutting_down() {
+            break;
+        }
+        let Ok(stream) = stream else { continue };
+        let shared = Arc::clone(shared);
+        let job_tx = job_tx.clone();
+        // One reader thread per connection; the count is bounded by the
+        // admission check running *first* inside the handler (rejected
+        // connections are answered and closed immediately).
+        std::thread::spawn(move || {
+            let _ = handle_connection(&shared, stream, &job_tx);
+        });
+    }
+}
+
+/// Writes one server message through the shared session writer.
+fn send(writer: &parking_lot::Mutex<TcpStream>, msg: &ServerMsg) -> std::io::Result<()> {
+    let payload = msg.encode();
+    let mut stream = writer.lock();
+    write_frame(&mut *stream, &payload)
+}
+
+/// The per-connection reader: admission, then the frame loop.
+fn handle_connection(
+    shared: &Arc<Shared>,
+    stream: TcpStream,
+    job_tx: &mpsc::SyncSender<Job>,
+) -> std::io::Result<()> {
+    stream.set_read_timeout(Some(POLL_INTERVAL))?;
+    stream.set_nodelay(true)?;
+    let mut reader = stream.try_clone()?;
+    let writer = Arc::new(parking_lot::Mutex::new(stream));
+
+    // --- Hello ---
+    let Some(payload) = read_frame_polling(&mut reader, || shared.shutting_down())? else {
+        return Ok(());
+    };
+    let hello = match ClientMsg::decode(&payload) {
+        Ok(msg) => msg,
+        Err(e) => {
+            let _ = send(
+                &writer,
+                &ServerMsg::Error {
+                    seq: u64::MAX,
+                    code: CODE_PROTOCOL,
+                    message: e.to_string(),
+                },
+            );
+            return Ok(());
+        }
+    };
+    let ClientMsg::Hello {
+        version,
+        tenant,
+        precision,
+        receivers,
+        samples_per_block,
+    } = hello
+    else {
+        let _ = send(
+            &writer,
+            &ServerMsg::Error {
+                seq: u64::MAX,
+                code: CODE_PROTOCOL,
+                message: "the first message must be Hello".into(),
+            },
+        );
+        return Ok(());
+    };
+
+    if version != PROTO_VERSION {
+        let _ = send(
+            &writer,
+            &ServerMsg::Rejected {
+                reason: RejectReason::VersionMismatch {
+                    server: PROTO_VERSION,
+                    client: version,
+                },
+            },
+        );
+        return Ok(());
+    }
+    let config = &shared.config;
+    if !shared.pool.serves(precision) {
+        let err = TcbfError::UnsupportedPrecision {
+            device: "this server".into(),
+            precision: precision.to_string(),
+        };
+        let _ = send(
+            &writer,
+            &ServerMsg::Error {
+                seq: u64::MAX,
+                code: err.code(),
+                message: format!(
+                    "{err}: the menu is [{}]",
+                    config
+                        .precisions
+                        .iter()
+                        .map(|p| p.to_string())
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                ),
+            },
+        );
+        return Ok(());
+    }
+    if receivers as usize != config.receivers()
+        || samples_per_block as usize != config.samples_per_block
+    {
+        let err = TcbfError::ShapeMismatch {
+            expected: format!(
+                "{} receivers x {} samples per block",
+                config.receivers(),
+                config.samples_per_block
+            ),
+            actual: format!("{receivers} receivers x {samples_per_block} samples per block"),
+        };
+        let _ = send(
+            &writer,
+            &ServerMsg::Error {
+                seq: u64::MAX,
+                code: err.code(),
+                message: err.to_string(),
+            },
+        );
+        return Ok(());
+    }
+
+    // --- Admission ---
+    let admitted = shared
+        .active_sessions
+        .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |active| {
+            (active < config.max_sessions).then_some(active + 1)
+        })
+        .is_ok();
+    if !admitted {
+        let _ = send(
+            &writer,
+            &ServerMsg::Rejected {
+                reason: RejectReason::ServerFull {
+                    active: config.max_sessions as u32,
+                    max: config.max_sessions as u32,
+                },
+            },
+        );
+        return Ok(());
+    }
+    {
+        let mut streams = shared.tenant_streams.lock();
+        let count = streams.entry(tenant.clone()).or_insert(0);
+        if *count >= config.tenant_max_streams {
+            drop(streams);
+            shared.active_sessions.fetch_sub(1, Ordering::SeqCst);
+            let _ = send(
+                &writer,
+                &ServerMsg::Rejected {
+                    reason: RejectReason::TenantQuota {
+                        max: config.tenant_max_streams as u32,
+                    },
+                },
+            );
+            return Ok(());
+        }
+        *count += 1;
+    }
+
+    let session_id = shared.next_session_id.fetch_add(1, Ordering::SeqCst);
+    shared.metrics.record_session(&tenant);
+    let result = serve_session(
+        shared,
+        &mut reader,
+        &writer,
+        job_tx,
+        session_id,
+        &tenant,
+        precision,
+    );
+
+    // --- Teardown (also on error paths) ---
+    shared.active_sessions.fetch_sub(1, Ordering::SeqCst);
+    let mut streams = shared.tenant_streams.lock();
+    if let Some(count) = streams.get_mut(&tenant) {
+        *count -= 1;
+        if *count == 0 {
+            streams.remove(&tenant);
+        }
+    }
+    result
+}
+
+/// The admitted frame loop: blocks, swaps, finish.
+#[allow(clippy::too_many_arguments)]
+fn serve_session(
+    shared: &Arc<Shared>,
+    reader: &mut TcpStream,
+    writer: &Arc<parking_lot::Mutex<TcpStream>>,
+    job_tx: &mpsc::SyncSender<Job>,
+    session_id: u64,
+    tenant: &str,
+    precision: Precision,
+) -> std::io::Result<()> {
+    let config = &shared.config;
+    let stats = Arc::new(SessionStats::default());
+    let inflight = Arc::new(AtomicUsize::new(0));
+    let mut weights = Arc::clone(&shared.initial_weights);
+    let mut weights_version = 0u64;
+
+    send(
+        writer,
+        &ServerMsg::Welcome {
+            session_id,
+            beams: config.beams() as u32,
+            queue_depth: config.queue_depth as u32,
+        },
+    )?;
+
+    loop {
+        let Some(payload) = read_frame_polling(reader, || shared.shutting_down())? else {
+            // Client hung up without Finish: drain what is in flight so no
+            // worker writes into a torn-down session.
+            wait_for_drain(&inflight, shared);
+            return Ok(());
+        };
+        let msg = match ClientMsg::decode(&payload) {
+            Ok(msg) => msg,
+            Err(e) => {
+                send(
+                    writer,
+                    &ServerMsg::Error {
+                        seq: u64::MAX,
+                        code: CODE_PROTOCOL,
+                        message: e.to_string(),
+                    },
+                )?;
+                continue;
+            }
+        };
+        match msg {
+            ClientMsg::Hello { .. } => {
+                send(
+                    writer,
+                    &ServerMsg::Error {
+                        seq: u64::MAX,
+                        code: CODE_PROTOCOL,
+                        message: "Hello is only valid once, at session start".into(),
+                    },
+                )?;
+            }
+            ClientMsg::Block { seq, samples } => {
+                if samples.rows() != config.receivers()
+                    || samples.cols() != config.samples_per_block
+                {
+                    let err = TcbfError::ShapeMismatch {
+                        expected: format!(
+                            "{} x {} sample block",
+                            config.receivers(),
+                            config.samples_per_block
+                        ),
+                        actual: format!("{} x {}", samples.rows(), samples.cols()),
+                    };
+                    stats.errors.fetch_add(1, Ordering::Relaxed);
+                    shared.metrics.record_error(tenant);
+                    send(
+                        writer,
+                        &ServerMsg::Error {
+                            seq,
+                            code: err.code(),
+                            message: err.to_string(),
+                        },
+                    )?;
+                    continue;
+                }
+                if let Some(reason) = admit_block(shared, tenant, &inflight) {
+                    stats.throttled.fetch_add(1, Ordering::Relaxed);
+                    shared.metrics.record_throttle(tenant);
+                    send(writer, &ServerMsg::Throttled { seq, reason })?;
+                    continue;
+                }
+                let job = Job {
+                    session_id,
+                    tenant: tenant.to_owned(),
+                    precision,
+                    seq,
+                    samples,
+                    weights: Arc::clone(&weights),
+                    weights_version,
+                    enqueued: Instant::now(),
+                    writer: Arc::clone(writer),
+                    inflight: Arc::clone(&inflight),
+                    stats: Arc::clone(&stats),
+                };
+                if let Err(mpsc::TrySendError::Full(job))
+                | Err(mpsc::TrySendError::Disconnected(job)) = job_tx.try_send(job)
+                {
+                    // The global queue is saturated (or shutting down):
+                    // undo the admission and push back.
+                    job.inflight.fetch_sub(1, Ordering::SeqCst);
+                    stats.throttled.fetch_add(1, Ordering::Relaxed);
+                    shared.metrics.record_throttle(tenant);
+                    send(
+                        writer,
+                        &ServerMsg::Throttled {
+                            seq,
+                            reason: ThrottleReason::QueueFull,
+                        },
+                    )?;
+                }
+            }
+            ClientMsg::SwapWeights {
+                seq,
+                weights: matrix,
+            } => {
+                if matrix.rows() != config.beams() || matrix.cols() != config.receivers() {
+                    let err = TcbfError::ShapeMismatch {
+                        expected: format!(
+                            "{} beams x {} receivers weight matrix",
+                            config.beams(),
+                            config.receivers()
+                        ),
+                        actual: format!("{} x {}", matrix.rows(), matrix.cols()),
+                    };
+                    stats.errors.fetch_add(1, Ordering::Relaxed);
+                    shared.metrics.record_error(tenant);
+                    send(
+                        writer,
+                        &ServerMsg::Error {
+                            seq,
+                            code: err.code(),
+                            message: err.to_string(),
+                        },
+                    )?;
+                    continue;
+                }
+                // Blocks already enqueued carry the old `(version, Arc)`
+                // snapshot, so the swap is effective exactly from the next
+                // block — no drain required.
+                weights = Arc::new(WeightMatrix::from_matrix(matrix));
+                weights_version += 1;
+                send(writer, &ServerMsg::SwapOk { seq })?;
+            }
+            ClientMsg::Finish => {
+                wait_for_drain(&inflight, shared);
+                send(
+                    writer,
+                    &ServerMsg::Goodbye {
+                        summary: stats.summary(),
+                    },
+                )?;
+                let _ = writer.lock().shutdown(Shutdown::Both);
+                return Ok(());
+            }
+        }
+    }
+}
+
+/// Admission of one block: per-tenant rate quota, then the session's
+/// queue-depth bound.  `None` admits (and counts the block in flight);
+/// `Some(reason)` refuses.
+fn admit_block(
+    shared: &Shared,
+    tenant: &str,
+    inflight: &Arc<AtomicUsize>,
+) -> Option<ThrottleReason> {
+    if let Some(rate) = shared.config.tenant_blocks_per_sec {
+        let now = Instant::now();
+        let mut buckets = shared.tenant_buckets.lock();
+        let bucket = buckets
+            .entry(tenant.to_owned())
+            .or_insert_with(|| TokenBucket::new(rate, now));
+        if !bucket.try_take(now) {
+            return Some(RateLimited);
+        }
+    }
+    let admitted = inflight
+        .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |n| {
+            (n < shared.config.queue_depth).then_some(n + 1)
+        })
+        .is_ok();
+    if admitted {
+        None
+    } else {
+        Some(QueueFull)
+    }
+}
+
+/// Spins (politely) until the session has no blocks in flight.
+fn wait_for_drain(inflight: &AtomicUsize, shared: &Shared) {
+    while inflight.load(Ordering::SeqCst) > 0 && !shared.shutting_down() {
+        std::thread::sleep(Duration::from_micros(200));
+    }
+}
+
+/// The worker loop: pull a job, check an engine out, lazily swap weights,
+/// beamform, reply, account.
+fn worker_loop(shared: &Arc<Shared>, job_rx: &Arc<std::sync::Mutex<mpsc::Receiver<Job>>>) {
+    loop {
+        // Hold the receiver lock only while pulling one job.
+        let job = match job_rx.lock().expect("job queue poisoned").recv() {
+            Ok(job) => job,
+            Err(_) => return, // all senders gone: shutdown
+        };
+        let mut slot = shared.pool.checkout(job.precision);
+        let result = slot
+            .ensure_weights(job.session_id, job.weights_version, &job.weights)
+            .and_then(|()| slot.engine.process_batch(&[&job.samples]));
+        shared.pool.check_in(job.precision, slot);
+
+        match result {
+            Ok(mut outputs) => {
+                let output = outputs.pop().expect("one block in, one block out");
+                let latency_s = job.enqueued.elapsed().as_secs_f64();
+                let completed_at = Instant::now();
+                job.stats.blocks.fetch_add(1, Ordering::Relaxed);
+                job.stats.latency.lock().record_s(latency_s);
+                {
+                    let shape = tcbf_types::GemmShape::new(
+                        shared.config.beams(),
+                        shared.config.samples_per_block,
+                        shared.config.receivers(),
+                    );
+                    job.stats
+                        .engine
+                        .lock()
+                        .record(&output.report, shape.complex_ops() as f64, 1);
+                }
+                shared
+                    .metrics
+                    .record_block(&job.tenant, latency_s, completed_at);
+                let _ = send(
+                    &job.writer,
+                    &ServerMsg::Beams {
+                        seq: job.seq,
+                        beams: output.beams,
+                        latency_s,
+                    },
+                );
+            }
+            Err(e) => {
+                let err = TcbfError::from(e);
+                job.stats.errors.fetch_add(1, Ordering::Relaxed);
+                shared.metrics.record_error(&job.tenant);
+                let _ = send(
+                    &job.writer,
+                    &ServerMsg::Error {
+                        seq: job.seq,
+                        code: err.code(),
+                        message: err.to_string(),
+                    },
+                );
+            }
+        }
+        job.inflight.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pool::ServeConfig;
+
+    #[test]
+    fn token_bucket_enforces_rate_with_burst() {
+        let t0 = Instant::now();
+        let mut bucket = TokenBucket::new(2.0, t0);
+        // Burst of ceil(2) = 2 passes immediately, the third is refused.
+        assert!(bucket.try_take(t0));
+        assert!(bucket.try_take(t0));
+        assert!(!bucket.try_take(t0));
+        // Half a second refills one token at 2/s.
+        assert!(bucket.try_take(t0 + Duration::from_millis(500)));
+        assert!(!bucket.try_take(t0 + Duration::from_millis(500)));
+    }
+
+    #[test]
+    fn server_binds_and_reports_topology() {
+        let mut config = ServeConfig::example(4, 16, 32);
+        config.engines_per_precision = 1;
+        config.workers = 1;
+        let handle = serve("127.0.0.1:0", config).unwrap();
+        let info = handle.worker_info();
+        assert_eq!(info.addr, handle.addr().to_string());
+        assert_eq!(info.gpus, vec!["A100".to_owned()]);
+        assert_eq!(info.active_sessions, 0);
+        assert_eq!(info.precisions.len(), 2);
+        let report = handle.shutdown();
+        assert_eq!(report.total_blocks(), 0);
+    }
+}

@@ -1,0 +1,874 @@
+//! The length-prefixed binary wire protocol.
+//!
+//! Every message travels as one *frame*: a little-endian `u32` payload
+//! length followed by the payload, whose first byte is the message tag.
+//! All integers are little-endian, strings are a `u32` length plus UTF-8
+//! bytes, and matrices are `rows`/`cols` (`u32` each) plus row-major
+//! interleaved `f32` re/im pairs — `f32` bits survive the trip unchanged,
+//! which is what makes server-mediated output *bit-identical* to local
+//! execution.
+//!
+//! The full frame layout is documented in `docs/PROTOCOL.md`; the
+//! round-trip tests at the bottom of this module are the executable
+//! version of that document.
+
+use ccglib::matrix::HostComplexMatrix;
+use ccglib::Precision;
+use std::io::{Read, Write};
+use tcbf_types::Complex;
+
+/// Protocol version sent in [`ClientMsg::Hello`] and checked by the
+/// server.
+pub const PROTO_VERSION: u16 = 1;
+
+/// Upper bound on a frame payload (64 MiB): a decoder must reject larger
+/// length prefixes instead of allocating unbounded memory on garbage
+/// input.
+pub const MAX_FRAME_BYTES: u32 = 64 * 1024 * 1024;
+
+/// Reserved error code meaning "no error" (never sent).
+pub const CODE_OK: u16 = 0;
+/// Error code for malformed frames or protocol misuse, distinct from every
+/// [`tcbf::TcbfError::code`] (those start at 1 and stay below 1000).
+pub const CODE_PROTOCOL: u16 = 1000;
+
+/// Why the server refused to accept a new session at `Hello` time.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RejectReason {
+    /// The server is at its session capacity.
+    ServerFull {
+        /// Sessions currently admitted.
+        active: u32,
+        /// The configured cap.
+        max: u32,
+    },
+    /// The tenant is at its concurrent-stream quota.
+    TenantQuota {
+        /// The tenant's configured cap.
+        max: u32,
+    },
+    /// The client speaks a different protocol version.
+    VersionMismatch {
+        /// The server's version.
+        server: u16,
+        /// The client's version.
+        client: u16,
+    },
+}
+
+impl std::fmt::Display for RejectReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RejectReason::ServerFull { active, max } => {
+                write!(f, "server full: {active}/{max} sessions active")
+            }
+            RejectReason::TenantQuota { max } => {
+                write!(f, "tenant stream quota reached: {max} concurrent streams")
+            }
+            RejectReason::VersionMismatch { server, client } => {
+                write!(
+                    f,
+                    "protocol version mismatch: server v{server}, client v{client}"
+                )
+            }
+        }
+    }
+}
+
+/// Why a block was refused instead of queued (backpressure, not failure:
+/// the client may retry).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ThrottleReason {
+    /// The session's bounded queue is full.
+    QueueFull,
+    /// The tenant exceeded its blocks-per-second rate quota.
+    RateLimited,
+}
+
+impl std::fmt::Display for ThrottleReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ThrottleReason::QueueFull => write!(f, "session queue full"),
+            ThrottleReason::RateLimited => write!(f, "tenant rate quota exceeded"),
+        }
+    }
+}
+
+/// End-of-session summary carried by [`ServerMsg::Goodbye`]: what the
+/// server observed for this session, latency measured wall-clock from
+/// block admission to reply.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct SessionSummary {
+    /// Blocks beamformed for this session.
+    pub blocks: u64,
+    /// Blocks refused with [`ServerMsg::Throttled`].
+    pub throttled: u64,
+    /// Blocks that failed with [`ServerMsg::Error`].
+    pub errors: u64,
+    /// Median block latency in seconds (admission to reply).
+    pub p50_latency_s: f64,
+    /// 95th-percentile block latency in seconds.
+    pub p95_latency_s: f64,
+    /// 99th-percentile block latency in seconds.
+    pub p99_latency_s: f64,
+    /// Aggregate engine throughput over the session in TeraOps/s.
+    pub aggregate_tops: f64,
+    /// Total simulated device energy in joules.
+    pub total_joules: f64,
+}
+
+/// Messages flowing client → server.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ClientMsg {
+    /// Opens a session: who is calling and what stream shape it will send.
+    Hello {
+        /// Protocol version ([`PROTO_VERSION`]).
+        version: u16,
+        /// Tenant identifier used for quotas and per-tenant metrics.
+        tenant: String,
+        /// Requested precision (must be on the server's menu).
+        precision: Precision,
+        /// Receivers per block (`K` of the GEMM).
+        receivers: u32,
+        /// Time samples per block (`N` of the GEMM).
+        samples_per_block: u32,
+    },
+    /// One `K × N` block of receiver samples to beamform.
+    Block {
+        /// Client-chosen sequence number echoed in the reply.
+        seq: u64,
+        /// The sample block.
+        samples: HostComplexMatrix,
+    },
+    /// Hot-swaps this session's beam weights (same `beams × receivers`
+    /// shape); blocks sent after the swap use the new weights.
+    SwapWeights {
+        /// Client-chosen sequence number echoed in the reply.
+        seq: u64,
+        /// The new weight matrix.
+        weights: HostComplexMatrix,
+    },
+    /// Ends the session cleanly; the server replies with
+    /// [`ServerMsg::Goodbye`].
+    Finish,
+}
+
+/// Messages flowing server → client.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ServerMsg {
+    /// The session was admitted.
+    Welcome {
+        /// Server-assigned session id.
+        session_id: u64,
+        /// Beams per output block (`M` of the GEMM).
+        beams: u32,
+        /// The session's queue depth: more than this many in-flight blocks
+        /// get [`ServerMsg::Throttled`].
+        queue_depth: u32,
+    },
+    /// The session was refused at `Hello` time.
+    Rejected {
+        /// Why.
+        reason: RejectReason,
+    },
+    /// One beamformed output block (`M × N`).
+    Beams {
+        /// The sequence number of the [`ClientMsg::Block`] this answers.
+        seq: u64,
+        /// The beamformed block.
+        beams: HostComplexMatrix,
+        /// Server-side wall latency of this block in seconds (admission to
+        /// reply).
+        latency_s: f64,
+    },
+    /// The weight swap took effect.
+    SwapOk {
+        /// The sequence number of the swap request.
+        seq: u64,
+    },
+    /// Backpressure: the block was refused, the client may retry.
+    Throttled {
+        /// The sequence number of the refused block.
+        seq: u64,
+        /// Why.
+        reason: ThrottleReason,
+    },
+    /// A typed failure: `code` round-trips [`tcbf::TcbfError::code`]
+    /// (or [`CODE_PROTOCOL`] for protocol misuse) without string matching.
+    Error {
+        /// Sequence number of the offending request, or `u64::MAX` for
+        /// session-level failures.
+        seq: u64,
+        /// Stable numeric error code.
+        code: u16,
+        /// Human-readable description (informational only).
+        message: String,
+    },
+    /// Clean end of session, answering [`ClientMsg::Finish`].
+    Goodbye {
+        /// The session's summary.
+        summary: SessionSummary,
+    },
+}
+
+// --- message tags ---
+const TAG_HELLO: u8 = 0x01;
+const TAG_BLOCK: u8 = 0x02;
+const TAG_SWAP: u8 = 0x03;
+const TAG_FINISH: u8 = 0x04;
+const TAG_WELCOME: u8 = 0x81;
+const TAG_REJECTED: u8 = 0x82;
+const TAG_BEAMS: u8 = 0x83;
+const TAG_SWAP_OK: u8 = 0x84;
+const TAG_THROTTLED: u8 = 0x85;
+const TAG_ERROR: u8 = 0x86;
+const TAG_GOODBYE: u8 = 0x87;
+
+const REJECT_SERVER_FULL: u8 = 0;
+const REJECT_TENANT_QUOTA: u8 = 1;
+const REJECT_VERSION: u8 = 2;
+
+const THROTTLE_QUEUE: u8 = 0;
+const THROTTLE_RATE: u8 = 1;
+
+/// Wire code of a precision.
+pub fn precision_code(precision: Precision) -> u8 {
+    match precision {
+        Precision::Float16 => 0,
+        Precision::Int1 => 1,
+        Precision::Float32Reference => 2,
+    }
+}
+
+/// Precision from its wire code.
+pub fn precision_from_code(code: u8) -> Option<Precision> {
+    match code {
+        0 => Some(Precision::Float16),
+        1 => Some(Precision::Int1),
+        2 => Some(Precision::Float32Reference),
+        _ => None,
+    }
+}
+
+/// Errors produced while decoding a payload.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DecodeError(pub String);
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "malformed frame: {}", self.0)
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// A cursor over a received payload.
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Reader { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], DecodeError> {
+        if self.buf.len() - self.pos < n {
+            return Err(DecodeError(format!(
+                "need {n} bytes at offset {}, have {}",
+                self.pos,
+                self.buf.len() - self.pos
+            )));
+        }
+        let slice = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(slice)
+    }
+
+    fn u8(&mut self) -> Result<u8, DecodeError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u16(&mut self) -> Result<u16, DecodeError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+    }
+
+    fn u32(&mut self) -> Result<u32, DecodeError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64, DecodeError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn f32(&mut self) -> Result<f32, DecodeError> {
+        Ok(f32::from_bits(self.u32()?))
+    }
+
+    fn f64(&mut self) -> Result<f64, DecodeError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    fn string(&mut self) -> Result<String, DecodeError> {
+        let len = self.u32()? as usize;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| DecodeError("invalid UTF-8".into()))
+    }
+
+    fn matrix(&mut self) -> Result<HostComplexMatrix, DecodeError> {
+        let rows = self.u32()? as usize;
+        let cols = self.u32()? as usize;
+        let elems = rows
+            .checked_mul(cols)
+            .ok_or_else(|| DecodeError("matrix dimension overflow".into()))?;
+        // 8 bytes per element: the remaining payload bounds the size.
+        if elems > (self.buf.len() - self.pos) / 8 {
+            return Err(DecodeError(format!(
+                "matrix claims {elems} elements but only {} bytes remain",
+                self.buf.len() - self.pos
+            )));
+        }
+        let mut data = Vec::with_capacity(elems);
+        for _ in 0..elems {
+            let re = self.f32()?;
+            let im = self.f32()?;
+            data.push(Complex::new(re, im));
+        }
+        HostComplexMatrix::from_data(rows, cols, data)
+            .map_err(|e| DecodeError(format!("matrix shape: {e}")))
+    }
+
+    fn finish(self) -> Result<(), DecodeError> {
+        if self.pos != self.buf.len() {
+            return Err(DecodeError(format!(
+                "{} trailing bytes after message",
+                self.buf.len() - self.pos
+            )));
+        }
+        Ok(())
+    }
+}
+
+/// A growable payload encoder.
+#[derive(Default)]
+struct Writer {
+    buf: Vec<u8>,
+}
+
+impl Writer {
+    fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    fn u16(&mut self, v: u16) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn f32(&mut self, v: f32) {
+        self.u32(v.to_bits());
+    }
+
+    fn f64(&mut self, v: f64) {
+        self.u64(v.to_bits());
+    }
+
+    fn string(&mut self, s: &str) {
+        self.u32(s.len() as u32);
+        self.buf.extend_from_slice(s.as_bytes());
+    }
+
+    fn matrix(&mut self, m: &HostComplexMatrix) {
+        self.u32(m.rows() as u32);
+        self.u32(m.cols() as u32);
+        for value in m.data() {
+            self.f32(value.re);
+            self.f32(value.im);
+        }
+    }
+}
+
+impl ClientMsg {
+    /// Encodes the message into a frame payload (tag + body).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = Writer::default();
+        match self {
+            ClientMsg::Hello {
+                version,
+                tenant,
+                precision,
+                receivers,
+                samples_per_block,
+            } => {
+                w.u8(TAG_HELLO);
+                w.u16(*version);
+                w.string(tenant);
+                w.u8(precision_code(*precision));
+                w.u32(*receivers);
+                w.u32(*samples_per_block);
+            }
+            ClientMsg::Block { seq, samples } => {
+                w.u8(TAG_BLOCK);
+                w.u64(*seq);
+                w.matrix(samples);
+            }
+            ClientMsg::SwapWeights { seq, weights } => {
+                w.u8(TAG_SWAP);
+                w.u64(*seq);
+                w.matrix(weights);
+            }
+            ClientMsg::Finish => w.u8(TAG_FINISH),
+        }
+        w.buf
+    }
+
+    /// Decodes a frame payload into a client message.
+    pub fn decode(payload: &[u8]) -> Result<Self, DecodeError> {
+        let mut r = Reader::new(payload);
+        let msg = match r.u8()? {
+            TAG_HELLO => {
+                let version = r.u16()?;
+                let tenant = r.string()?;
+                let code = r.u8()?;
+                let precision = precision_from_code(code)
+                    .ok_or_else(|| DecodeError(format!("unknown precision code {code}")))?;
+                ClientMsg::Hello {
+                    version,
+                    tenant,
+                    precision,
+                    receivers: r.u32()?,
+                    samples_per_block: r.u32()?,
+                }
+            }
+            TAG_BLOCK => ClientMsg::Block {
+                seq: r.u64()?,
+                samples: r.matrix()?,
+            },
+            TAG_SWAP => ClientMsg::SwapWeights {
+                seq: r.u64()?,
+                weights: r.matrix()?,
+            },
+            TAG_FINISH => ClientMsg::Finish,
+            tag => return Err(DecodeError(format!("unknown client tag 0x{tag:02x}"))),
+        };
+        r.finish()?;
+        Ok(msg)
+    }
+}
+
+impl ServerMsg {
+    /// Encodes the message into a frame payload (tag + body).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = Writer::default();
+        match self {
+            ServerMsg::Welcome {
+                session_id,
+                beams,
+                queue_depth,
+            } => {
+                w.u8(TAG_WELCOME);
+                w.u64(*session_id);
+                w.u32(*beams);
+                w.u32(*queue_depth);
+            }
+            ServerMsg::Rejected { reason } => {
+                w.u8(TAG_REJECTED);
+                match reason {
+                    RejectReason::ServerFull { active, max } => {
+                        w.u8(REJECT_SERVER_FULL);
+                        w.u32(*active);
+                        w.u32(*max);
+                    }
+                    RejectReason::TenantQuota { max } => {
+                        w.u8(REJECT_TENANT_QUOTA);
+                        w.u32(*max);
+                    }
+                    RejectReason::VersionMismatch { server, client } => {
+                        w.u8(REJECT_VERSION);
+                        w.u16(*server);
+                        w.u16(*client);
+                    }
+                }
+            }
+            ServerMsg::Beams {
+                seq,
+                beams,
+                latency_s,
+            } => {
+                w.u8(TAG_BEAMS);
+                w.u64(*seq);
+                w.f64(*latency_s);
+                w.matrix(beams);
+            }
+            ServerMsg::SwapOk { seq } => {
+                w.u8(TAG_SWAP_OK);
+                w.u64(*seq);
+            }
+            ServerMsg::Throttled { seq, reason } => {
+                w.u8(TAG_THROTTLED);
+                w.u64(*seq);
+                w.u8(match reason {
+                    ThrottleReason::QueueFull => THROTTLE_QUEUE,
+                    ThrottleReason::RateLimited => THROTTLE_RATE,
+                });
+            }
+            ServerMsg::Error { seq, code, message } => {
+                w.u8(TAG_ERROR);
+                w.u64(*seq);
+                w.u16(*code);
+                w.string(message);
+            }
+            ServerMsg::Goodbye { summary } => {
+                w.u8(TAG_GOODBYE);
+                w.u64(summary.blocks);
+                w.u64(summary.throttled);
+                w.u64(summary.errors);
+                w.f64(summary.p50_latency_s);
+                w.f64(summary.p95_latency_s);
+                w.f64(summary.p99_latency_s);
+                w.f64(summary.aggregate_tops);
+                w.f64(summary.total_joules);
+            }
+        }
+        w.buf
+    }
+
+    /// Decodes a frame payload into a server message.
+    pub fn decode(payload: &[u8]) -> Result<Self, DecodeError> {
+        let mut r = Reader::new(payload);
+        let msg = match r.u8()? {
+            TAG_WELCOME => ServerMsg::Welcome {
+                session_id: r.u64()?,
+                beams: r.u32()?,
+                queue_depth: r.u32()?,
+            },
+            TAG_REJECTED => {
+                let reason = match r.u8()? {
+                    REJECT_SERVER_FULL => RejectReason::ServerFull {
+                        active: r.u32()?,
+                        max: r.u32()?,
+                    },
+                    REJECT_TENANT_QUOTA => RejectReason::TenantQuota { max: r.u32()? },
+                    REJECT_VERSION => RejectReason::VersionMismatch {
+                        server: r.u16()?,
+                        client: r.u16()?,
+                    },
+                    code => return Err(DecodeError(format!("unknown reject reason {code}"))),
+                };
+                ServerMsg::Rejected { reason }
+            }
+            TAG_BEAMS => {
+                let seq = r.u64()?;
+                let latency_s = r.f64()?;
+                ServerMsg::Beams {
+                    seq,
+                    beams: r.matrix()?,
+                    latency_s,
+                }
+            }
+            TAG_SWAP_OK => ServerMsg::SwapOk { seq: r.u64()? },
+            TAG_THROTTLED => {
+                let seq = r.u64()?;
+                let reason = match r.u8()? {
+                    THROTTLE_QUEUE => ThrottleReason::QueueFull,
+                    THROTTLE_RATE => ThrottleReason::RateLimited,
+                    code => return Err(DecodeError(format!("unknown throttle reason {code}"))),
+                };
+                ServerMsg::Throttled { seq, reason }
+            }
+            TAG_ERROR => ServerMsg::Error {
+                seq: r.u64()?,
+                code: r.u16()?,
+                message: r.string()?,
+            },
+            TAG_GOODBYE => ServerMsg::Goodbye {
+                summary: SessionSummary {
+                    blocks: r.u64()?,
+                    throttled: r.u64()?,
+                    errors: r.u64()?,
+                    p50_latency_s: r.f64()?,
+                    p95_latency_s: r.f64()?,
+                    p99_latency_s: r.f64()?,
+                    aggregate_tops: r.f64()?,
+                    total_joules: r.f64()?,
+                },
+            },
+            tag => return Err(DecodeError(format!("unknown server tag 0x{tag:02x}"))),
+        };
+        r.finish()?;
+        Ok(msg)
+    }
+}
+
+/// Writes one frame (length prefix + payload) to a stream.
+pub fn write_frame(writer: &mut impl Write, payload: &[u8]) -> std::io::Result<()> {
+    debug_assert!(payload.len() <= MAX_FRAME_BYTES as usize);
+    writer.write_all(&(payload.len() as u32).to_le_bytes())?;
+    writer.write_all(payload)?;
+    writer.flush()
+}
+
+/// Reads one frame from a stream; rejects length prefixes beyond
+/// [`MAX_FRAME_BYTES`] so garbage input cannot trigger huge allocations.
+pub fn read_frame(reader: &mut impl Read) -> std::io::Result<Vec<u8>> {
+    let mut len_bytes = [0u8; 4];
+    reader.read_exact(&mut len_bytes)?;
+    let len = u32::from_le_bytes(len_bytes);
+    if len > MAX_FRAME_BYTES {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            format!("frame of {len} bytes exceeds the {MAX_FRAME_BYTES}-byte limit"),
+        ));
+    }
+    let mut payload = vec![0u8; len as usize];
+    reader.read_exact(&mut payload)?;
+    Ok(payload)
+}
+
+/// Reads one frame from a stream whose read timeout is used as a poll
+/// interval: timeouts re-check `should_abort` and *resume* the partial
+/// read (so a timeout mid-frame never desynchronises the framing).
+///
+/// Returns `Ok(None)` on clean end-of-stream at a frame boundary; EOF
+/// mid-frame is an [`std::io::ErrorKind::UnexpectedEof`] error.
+pub fn read_frame_polling(
+    reader: &mut impl Read,
+    should_abort: impl Fn() -> bool,
+) -> std::io::Result<Option<Vec<u8>>> {
+    let mut len_bytes = [0u8; 4];
+    if !fill_polling(reader, &mut len_bytes, &should_abort, true)? {
+        return Ok(None);
+    }
+    let len = u32::from_le_bytes(len_bytes);
+    if len > MAX_FRAME_BYTES {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            format!("frame of {len} bytes exceeds the {MAX_FRAME_BYTES}-byte limit"),
+        ));
+    }
+    let mut payload = vec![0u8; len as usize];
+    fill_polling(reader, &mut payload, &should_abort, false)?;
+    Ok(Some(payload))
+}
+
+/// Fills `buf`, retrying on timeout until `should_abort`.  Returns `false`
+/// on EOF before the first byte when `eof_ok` (a frame boundary).
+fn fill_polling(
+    reader: &mut impl Read,
+    buf: &mut [u8],
+    should_abort: &impl Fn() -> bool,
+    eof_ok: bool,
+) -> std::io::Result<bool> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        match reader.read(&mut buf[filled..]) {
+            Ok(0) => {
+                if eof_ok && filled == 0 {
+                    return Ok(false);
+                }
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "stream closed mid-frame",
+                ));
+            }
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                if should_abort() {
+                    return Err(std::io::Error::new(
+                        std::io::ErrorKind::ConnectionAborted,
+                        "aborted while waiting for a frame",
+                    ));
+                }
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(true)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn matrix(rows: usize, cols: usize) -> HostComplexMatrix {
+        HostComplexMatrix::from_fn(rows, cols, |r, c| {
+            Complex::new((r * 31 + c) as f32 * 0.37, (c * 17 + r) as f32 * -0.11)
+        })
+    }
+
+    #[test]
+    fn client_messages_round_trip() {
+        let messages = vec![
+            ClientMsg::Hello {
+                version: PROTO_VERSION,
+                tenant: "tenant-α".into(),
+                precision: Precision::Int1,
+                receivers: 32,
+                samples_per_block: 64,
+            },
+            ClientMsg::Block {
+                seq: 7,
+                samples: matrix(32, 64),
+            },
+            ClientMsg::SwapWeights {
+                seq: u64::MAX - 1,
+                weights: matrix(8, 32),
+            },
+            ClientMsg::Finish,
+        ];
+        for msg in messages {
+            let decoded = ClientMsg::decode(&msg.encode()).unwrap();
+            assert_eq!(decoded, msg);
+        }
+    }
+
+    #[test]
+    fn server_messages_round_trip() {
+        let messages = vec![
+            ServerMsg::Welcome {
+                session_id: 42,
+                beams: 8,
+                queue_depth: 4,
+            },
+            ServerMsg::Rejected {
+                reason: RejectReason::ServerFull { active: 9, max: 9 },
+            },
+            ServerMsg::Rejected {
+                reason: RejectReason::TenantQuota { max: 2 },
+            },
+            ServerMsg::Rejected {
+                reason: RejectReason::VersionMismatch {
+                    server: 1,
+                    client: 2,
+                },
+            },
+            ServerMsg::Beams {
+                seq: 3,
+                beams: matrix(8, 64),
+                latency_s: 1.25e-4,
+            },
+            ServerMsg::SwapOk { seq: 4 },
+            ServerMsg::Throttled {
+                seq: 5,
+                reason: ThrottleReason::RateLimited,
+            },
+            ServerMsg::Error {
+                seq: u64::MAX,
+                code: 10,
+                message: "shape mismatch".into(),
+            },
+            ServerMsg::Goodbye {
+                summary: SessionSummary {
+                    blocks: 100,
+                    throttled: 3,
+                    errors: 0,
+                    p50_latency_s: 1e-5,
+                    p95_latency_s: 2e-5,
+                    p99_latency_s: 4e-5,
+                    aggregate_tops: 123.5,
+                    total_joules: 0.75,
+                },
+            },
+        ];
+        for msg in messages {
+            let decoded = ServerMsg::decode(&msg.encode()).unwrap();
+            assert_eq!(decoded, msg);
+        }
+    }
+
+    #[test]
+    fn matrices_survive_bit_exactly() {
+        // f32 -> LE bytes -> f32 must be the identity, including values
+        // that are not representable in shorter formats.
+        let tricky = HostComplexMatrix::from_fn(3, 5, |r, c| {
+            Complex::new(
+                f32::from_bits(0x3f80_0001 + (r * 5 + c) as u32),
+                f32::from_bits(0x8000_0001 + (c * 3 + r) as u32),
+            )
+        });
+        let msg = ClientMsg::Block {
+            seq: 0,
+            samples: tricky.clone(),
+        };
+        match ClientMsg::decode(&msg.encode()).unwrap() {
+            ClientMsg::Block { samples, .. } => {
+                for (a, b) in samples.data().iter().zip(tricky.data()) {
+                    assert_eq!(a.re.to_bits(), b.re.to_bits());
+                    assert_eq!(a.im.to_bits(), b.im.to_bits());
+                }
+            }
+            other => panic!("wrong message: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn framing_round_trips_and_bounds_the_length() {
+        let payload = ClientMsg::Finish.encode();
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &payload).unwrap();
+        assert_eq!(buf.len(), 4 + payload.len());
+        let mut cursor = std::io::Cursor::new(buf);
+        assert_eq!(read_frame(&mut cursor).unwrap(), payload);
+
+        // A hostile length prefix is rejected without allocating.
+        let hostile = (MAX_FRAME_BYTES + 1).to_le_bytes();
+        let mut cursor = std::io::Cursor::new(hostile.to_vec());
+        let err = read_frame(&mut cursor).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn malformed_payloads_are_typed_errors_not_panics() {
+        for bad in [
+            vec![],
+            vec![0xff],
+            vec![TAG_BLOCK, 1, 2],
+            // A block whose matrix claims more elements than the payload
+            // holds.
+            {
+                let mut w = Writer::default();
+                w.u8(TAG_BLOCK);
+                w.u64(1);
+                w.u32(u32::MAX);
+                w.u32(u32::MAX);
+                w.buf
+            },
+            // Trailing garbage after a valid message.
+            {
+                let mut buf = ClientMsg::Finish.encode();
+                buf.push(0);
+                buf
+            },
+        ] {
+            assert!(ClientMsg::decode(&bad).is_err());
+        }
+        assert!(ServerMsg::decode(&[0x7f]).is_err());
+    }
+
+    #[test]
+    fn precision_codes_round_trip() {
+        for precision in [
+            Precision::Float16,
+            Precision::Int1,
+            Precision::Float32Reference,
+        ] {
+            assert_eq!(
+                precision_from_code(precision_code(precision)),
+                Some(precision)
+            );
+        }
+        assert_eq!(precision_from_code(200), None);
+    }
+}

@@ -78,6 +78,31 @@ pub enum TcbfError {
     },
 }
 
+impl TcbfError {
+    /// A stable numeric code identifying the variant, for wire protocols
+    /// that must round-trip errors without string matching.
+    ///
+    /// Codes are append-only: existing assignments never change, new
+    /// variants take the next free code.  0 is reserved for "no error" and
+    /// codes the receiving side does not know map onto a generic remote
+    /// error, so old clients stay compatible with newer servers.
+    pub fn code(&self) -> u16 {
+        match self {
+            TcbfError::MissingWeights => 1,
+            TcbfError::EmptyWeights { .. } => 2,
+            TcbfError::ZeroSamplesPerBlock => 3,
+            TcbfError::ZeroBatch => 4,
+            TcbfError::ShardedConfiguration { .. } => 5,
+            TcbfError::ShardedBatch { .. } => 6,
+            TcbfError::UnsupportedPrecision { .. } => 7,
+            TcbfError::OutOfDeviceMemory { .. } => 8,
+            TcbfError::InvalidParameters { .. } => 9,
+            TcbfError::ShapeMismatch { .. } => 10,
+            TcbfError::PrecisionMismatch { .. } => 11,
+        }
+    }
+}
+
 impl From<CcglibError> for TcbfError {
     fn from(err: CcglibError) -> Self {
         match err {
@@ -184,6 +209,77 @@ mod tests {
             available_bytes: 5,
         });
         assert!(matches!(converted, TcbfError::OutOfDeviceMemory { .. }));
+    }
+
+    /// One exemplar per variant, used to sweep the whole enum.
+    fn exemplars() -> Vec<TcbfError> {
+        vec![
+            TcbfError::MissingWeights,
+            TcbfError::EmptyWeights {
+                beams: 0,
+                receivers: 4,
+            },
+            TcbfError::ZeroSamplesPerBlock,
+            TcbfError::ZeroBatch,
+            TcbfError::ShardedConfiguration { devices: 2 },
+            TcbfError::ShardedBatch { batch: 3 },
+            TcbfError::UnsupportedPrecision {
+                device: "MI300X".into(),
+                precision: "int1".into(),
+            },
+            TcbfError::OutOfDeviceMemory {
+                shape: GemmShape::new(1, 2, 3),
+                required_bytes: 10,
+                available_bytes: 5,
+            },
+            TcbfError::InvalidParameters {
+                reason: "bad".into(),
+            },
+            TcbfError::ShapeMismatch {
+                expected: "a".into(),
+                actual: "b".into(),
+            },
+            TcbfError::PrecisionMismatch {
+                expected: "float16".into(),
+                actual: "int1".into(),
+            },
+        ]
+    }
+
+    #[test]
+    fn error_codes_are_unique_stable_and_nonzero() {
+        let errors = exemplars();
+        let mut codes: Vec<u16> = errors.iter().map(TcbfError::code).collect();
+        // 0 is reserved for "no error" on the wire.
+        assert!(codes.iter().all(|&c| c != 0));
+        codes.sort_unstable();
+        let before = codes.len();
+        codes.dedup();
+        assert_eq!(codes.len(), before, "duplicate TcbfError codes");
+        // Stability pins: these assignments are append-only and must never
+        // change, or deployed clients would misreport remote failures.
+        assert_eq!(TcbfError::MissingWeights.code(), 1);
+        assert_eq!(
+            TcbfError::ShapeMismatch {
+                expected: String::new(),
+                actual: String::new(),
+            }
+            .code(),
+            10
+        );
+        // The code depends only on the variant, not its payload.
+        assert_eq!(
+            TcbfError::EmptyWeights {
+                beams: 7,
+                receivers: 9,
+            }
+            .code(),
+            TcbfError::EmptyWeights {
+                beams: 0,
+                receivers: 0,
+            }
+            .code()
+        );
     }
 
     #[test]

@@ -35,9 +35,10 @@ mod error;
 
 pub use beamform::{
     ArrayGeometry, BatchBeamformOutput, BeamformOutput, BeamformSession, Beamformer,
-    BeamformerConfig, DeviceShardReport, DynSession, Engine, PlaneWaveSource, Report, Session,
-    SessionReport, ShardPlan, ShardPolicy, ShardedBeamformer, ShardedSession, ShardedSessionReport,
-    ShardedStreamOutput, SignalGenerator, SingleEngine, ThroughputMetrics, Topology, WeightMatrix,
+    BeamformerConfig, DeviceShardReport, DynSession, Engine, LatencyHistogram, PlaneWaveSource,
+    Report, Session, SessionReport, ShardPlan, ShardPolicy, ShardedBeamformer, ShardedSession,
+    ShardedSessionReport, ShardedStreamOutput, SignalGenerator, SingleEngine, ThroughputMetrics,
+    Topology, WeightMatrix,
 };
 pub use builder::BeamformerBuilder;
 pub use ccglib::{
@@ -64,10 +65,10 @@ pub mod prelude {
     pub use crate::{
         supported_devices, version, ArrayGeometry, BeamformOutput, Beamformer, BeamformerBuilder,
         BeamformerConfig, Device, DevicePool, DeviceShardReport, DeviceSpec, DynSession, Engine,
-        Gpu, MicroKernelConfig, Objective, PlaneWaveSource, Precision, Report, Result, Session,
-        SessionReport, ShardPlan, ShardPolicy, ShardedBeamformer, SignalGenerator, SingleEngine,
-        Strategy, TcbfError, TensorCoreBeamformer, ThroughputMetrics, Topology, TuneOutcome, Tuner,
-        TuningParameters, WeightMatrix,
+        Gpu, LatencyHistogram, MicroKernelConfig, Objective, PlaneWaveSource, Precision, Report,
+        Result, Session, SessionReport, ShardPlan, ShardPolicy, ShardedBeamformer, SignalGenerator,
+        SingleEngine, Strategy, TcbfError, TensorCoreBeamformer, ThroughputMetrics, Topology,
+        TuneOutcome, Tuner, TuningParameters, WeightMatrix,
     };
     pub use ccglib::matrix::HostComplexMatrix;
     pub use tcbf_types::Complex;
