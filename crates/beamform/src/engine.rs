@@ -367,8 +367,11 @@ pub trait Engine: std::fmt::Debug + Send {
     /// executed before a failure stays accounted is
     /// implementation-defined: [`SingleEngine`] records block by block,
     /// so blocks processed before the error remain in the report; a
-    /// sharded fan-out that fails discards the failed call's accounting
-    /// entirely.
+    /// sharded fan-out without a fault injector discards the failed
+    /// call's accounting entirely, while a fault-injected
+    /// [`crate::ShardedBeamformer`] keeps the work its members completed
+    /// before faulting (re-apportioning the rest onto the survivors — see
+    /// `docs/FAULTS.md`).
     fn process_batch(
         &mut self,
         blocks: &[&HostComplexMatrix],
@@ -528,12 +531,49 @@ impl Engine for SingleEngine {
     }
 }
 
+/// A consistent cut of a [`Session`]'s stream position, sufficient to
+/// resume the stream on a *different* engine after the original one fails.
+///
+/// The checkpoint pins three things: how many blocks of the stream have
+/// completed (`completed_blocks`, the cursor), which version of the beam
+/// weights was active (`weights_version`, incremented on every successful
+/// hot-swap), and the global indices of the blocks that were in flight
+/// when the last `process_batch` failed (`pending`).  Replaying exactly
+/// the `pending` blocks on a healthy engine carrying the same weights
+/// version completes the stream bit-identically — functional outputs are
+/// device-independent, so *where* a block finally executes never changes
+/// its numbers.  This is the unit `tcbf-serve` replays when it quarantines
+/// a faulted engine.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SessionCheckpoint {
+    /// Blocks of the stream completed before the cut.
+    pub completed_blocks: u64,
+    /// Number of successful weight hot-swaps before the cut; the resuming
+    /// engine must carry weights of this version.
+    pub weights_version: u64,
+    /// Global stream indices in flight when the cut was taken (empty if
+    /// the session was between batches).
+    pub pending: Vec<u64>,
+}
+
+impl SessionCheckpoint {
+    /// True when nothing was in flight at the cut: resuming means simply
+    /// continuing the stream from [`SessionCheckpoint::completed_blocks`].
+    pub fn is_clean(&self) -> bool {
+        self.pending.is_empty()
+    }
+}
+
 /// A streaming session over any [`Engine`]: the one session type for every
 /// topology, replacing the former `BeamformSession`/`ShardedSession` pair.
 ///
 /// The session is a thin ergonomic layer — block-at-a-time processing,
 /// borrow-friendly batch submission, weight hot-swap — over the engine,
-/// which owns the [`Report`] accumulation.
+/// which owns the [`Report`] accumulation.  It also tracks its stream
+/// position (block cursor, weights version, in-flight blocks), so at any
+/// point — in particular after a `process_batch` error — it can emit a
+/// [`SessionCheckpoint`] from which [`Session::resume`] continues the
+/// stream on a replacement engine.
 ///
 /// ```
 /// use beamform::{Beamformer, BeamformerConfig, Session, SingleEngine, WeightMatrix};
@@ -558,6 +598,13 @@ impl Engine for SingleEngine {
 /// ```
 pub struct Session<E: Engine> {
     engine: E,
+    /// Global index of the next unprocessed block of the stream.
+    cursor: u64,
+    /// Successful weight hot-swaps so far.
+    weights_version: u64,
+    /// Global indices submitted to the engine by a `process_batch` call
+    /// that has not (yet) succeeded; empty between batches.
+    pending: Vec<u64>,
 }
 
 /// A session over a boxed engine of any topology — what
@@ -571,7 +618,52 @@ impl<E: Engine> Session<E> {
     /// discarded here.
     pub fn new(mut engine: E) -> Self {
         let _ = engine.finish();
-        Session { engine }
+        Session {
+            engine,
+            cursor: 0,
+            weights_version: 0,
+            pending: Vec::new(),
+        }
+    }
+
+    /// Resumes a checkpointed stream on a (typically different) engine.
+    ///
+    /// The engine's stale accumulation is discarded, the stream position
+    /// is restored from the checkpoint, and the caller replays exactly
+    /// the checkpoint's `pending` blocks (if any) before continuing.  The
+    /// engine must already carry weights matching the checkpoint's
+    /// `weights_version` — the session cannot reconstruct weight
+    /// matrices, only count swaps.
+    pub fn resume(mut engine: E, checkpoint: &SessionCheckpoint) -> Self {
+        let _ = engine.finish();
+        Session {
+            engine,
+            cursor: checkpoint.completed_blocks,
+            weights_version: checkpoint.weights_version,
+            pending: checkpoint.pending.clone(),
+        }
+    }
+
+    /// A consistent cut of the current stream position.  After a failed
+    /// `process_batch` the checkpoint's `pending` lists the blocks of the
+    /// failed batch, so replaying them on a healthy engine completes the
+    /// stream without gaps or duplicates.
+    pub fn checkpoint(&self) -> SessionCheckpoint {
+        SessionCheckpoint {
+            completed_blocks: self.cursor,
+            weights_version: self.weights_version,
+            pending: self.pending.clone(),
+        }
+    }
+
+    /// Blocks of the stream completed so far.
+    pub fn completed_blocks(&self) -> u64 {
+        self.cursor
+    }
+
+    /// Number of successful weight hot-swaps so far.
+    pub fn weights_version(&self) -> u64 {
+        self.weights_version
     }
 
     /// The engine driving this session.
@@ -587,7 +679,7 @@ impl<E: Engine> Session<E> {
 
     /// Processes one `K × N` block of sensor samples.
     pub fn process_block(&mut self, block: &HostComplexMatrix) -> ccglib::Result<BeamformOutput> {
-        let mut outputs = self.engine.process_batch(&[block])?;
+        let mut outputs = self.process_batch(&[block])?;
         Ok(outputs.pop().expect("one output per block"))
     }
 
@@ -599,13 +691,20 @@ impl<E: Engine> Session<E> {
         B: Borrow<HostComplexMatrix>,
     {
         let refs: Vec<&HostComplexMatrix> = blocks.iter().map(Borrow::borrow).collect();
-        self.engine.process_batch(&refs)
+        self.pending = (self.cursor..self.cursor + blocks.len() as u64).collect();
+        let outputs = self.engine.process_batch(&refs)?;
+        self.cursor += blocks.len() as u64;
+        self.pending.clear();
+        Ok(outputs)
     }
 
     /// Hot-swaps the beam weights on every device of the engine; the next
-    /// processed block anywhere uses the new weights.
+    /// processed block anywhere uses the new weights.  Each successful
+    /// swap advances [`Session::weights_version`].
     pub fn swap_weights(&mut self, weights: WeightMatrix) -> ccglib::Result<()> {
-        self.engine.swap_weights(weights)
+        self.engine.swap_weights(weights)?;
+        self.weights_version += 1;
+        Ok(())
     }
 
     /// The report accumulated so far.
@@ -819,6 +918,75 @@ mod tests {
         assert!(report.p50_latency_s() > 0.0);
         assert!(report.p50_latency_s() <= report.p95_latency_s());
         assert!(report.p95_latency_s() <= report.p99_latency_s());
+    }
+
+    #[test]
+    fn session_checkpoints_track_cursor_swaps_and_pending() {
+        let mut session = Session::new(single_engine(Gpu::A100));
+        assert_eq!(session.checkpoint(), SessionCheckpoint::default());
+        let blocks: Vec<HostComplexMatrix> = (0..3).map(|i| block(16, 8, i)).collect();
+        session.process_batch(&blocks).unwrap();
+        session.swap_weights(weights(4, 16)).unwrap();
+        session.process_block(&blocks[0]).unwrap();
+        let cut = session.checkpoint();
+        assert_eq!(cut.completed_blocks, 4);
+        assert_eq!(cut.weights_version, 1);
+        assert!(cut.is_clean());
+        // A rejected swap does not advance the version.
+        assert!(session.swap_weights(weights(5, 16)).is_err());
+        assert_eq!(session.checkpoint().weights_version, 1);
+    }
+
+    #[test]
+    fn failed_batches_leave_their_blocks_pending_for_resume() {
+        let mut session = Session::new(single_engine(Gpu::A100));
+        let good: Vec<HostComplexMatrix> = (0..2).map(|i| block(16, 8, i)).collect();
+        session.process_batch(&good).unwrap();
+        // Wrong receiver count: the batch fails, the cursor stays put and
+        // the failed indices become pending.
+        let bad = [block(7, 8, 0)];
+        assert!(session.process_batch(&bad).is_err());
+        let cut = session.checkpoint();
+        assert_eq!(cut.completed_blocks, 2);
+        assert_eq!(cut.pending, vec![2]);
+        assert!(!cut.is_clean());
+        // Resume on a fresh engine: position restored, replay completes
+        // the stream, outputs match an uninterrupted run.
+        let mut resumed = Session::resume(single_engine(Gpu::A100), &cut);
+        assert_eq!(resumed.completed_blocks(), 2);
+        assert_eq!(resumed.checkpoint().pending, vec![2]);
+        let replay = [block(16, 8, 2)];
+        let outputs = resumed.process_batch(&replay).unwrap();
+        assert!(resumed.checkpoint().is_clean());
+        assert_eq!(resumed.completed_blocks(), 3);
+        let mut reference = Session::new(single_engine(Gpu::A100));
+        let expected = reference.process_block(&replay[0]).unwrap();
+        assert_eq!(outputs[0].beams, expected.beams);
+    }
+
+    #[test]
+    fn report_merging_ignores_devices_with_zero_blocks() {
+        // A pool where one member contributed nothing (e.g. it was lost
+        // before the run, or the plan gave it no blocks) must not poison
+        // the merged metrics with empty-report extremes.
+        let mut engine = single_engine(Gpu::A100);
+        let b = block(16, 8, 0);
+        engine.process_batch(&[&b, &b]).unwrap();
+        let active = engine.report().per_device()[0].clone();
+        let idle = DeviceShardReport {
+            gpu: Gpu::Gh200,
+            report: SessionReport::default(),
+        };
+        let with_idle = Report::new(vec![active.clone(), idle], 0);
+        let without = Report::new(vec![active], 0);
+        assert_eq!(with_idle.total_blocks(), without.total_blocks());
+        assert_eq!(with_idle.merged_serial(), without.merged_serial());
+        assert_eq!(with_idle.aggregate_tops(), without.aggregate_tops());
+        assert_eq!(with_idle.wall_clock_s(), without.wall_clock_s());
+        assert_eq!(with_idle.worst_tops(), without.worst_tops());
+        assert_eq!(with_idle.mean_tops(), without.mean_tops());
+        assert_eq!(with_idle.p99_latency_s(), without.p99_latency_s());
+        assert_eq!(with_idle.straggler(), Some(0));
     }
 
     #[test]

@@ -68,11 +68,14 @@ impl LatencyHistogram {
         }
     }
 
-    /// Records one latency given in nanoseconds.
+    /// Records one latency given in nanoseconds.  Counts saturate at
+    /// `u64::MAX` instead of wrapping, so a histogram that has absorbed
+    /// absurd totals degrades to a pinned tail rather than corrupting.
     #[inline]
     pub fn record_ns(&mut self, nanos: u64) {
-        self.buckets[Self::bucket_of(nanos)] += 1;
-        self.count += 1;
+        let bucket = &mut self.buckets[Self::bucket_of(nanos)];
+        *bucket = bucket.saturating_add(1);
+        self.count = self.count.saturating_add(1);
     }
 
     /// Records one latency given in seconds.  Negative and non-finite
@@ -105,11 +108,12 @@ impl LatencyHistogram {
 
     /// Merges another histogram into this one (bucket-wise sum): the
     /// result is exactly the histogram of the union of both sample sets,
-    /// so fleet-wide aggregation is commutative and associative.
+    /// so fleet-wide aggregation is commutative and associative.  Bucket
+    /// counts and the total saturate at `u64::MAX` instead of wrapping.
     pub fn merge(&mut self, other: &LatencyHistogram) {
-        self.count += other.count;
+        self.count = self.count.saturating_add(other.count);
         for (mine, theirs) in self.buckets.iter_mut().zip(&other.buckets) {
-            *mine += *theirs;
+            *mine = mine.saturating_add(*theirs);
         }
     }
 
@@ -244,6 +248,61 @@ mod tests {
         assert_eq!(hist.buckets()[0], 3);
         assert_eq!(hist.buckets()[LATENCY_BUCKETS - 1], 1);
         assert!(hist.percentile_s(1.0).is_finite());
+    }
+
+    #[test]
+    fn merging_an_empty_operand_in_either_direction_is_the_identity() {
+        let mut samples = LatencyHistogram::new();
+        for ns in [10u64, 3_000, 1 << 22] {
+            samples.record_ns(ns);
+        }
+        // Non-empty <- empty.
+        let mut lhs = samples;
+        lhs.merge(&LatencyHistogram::new());
+        assert_eq!(lhs, samples);
+        // Empty <- non-empty.
+        let mut rhs = LatencyHistogram::new();
+        rhs.merge(&samples);
+        assert_eq!(rhs, samples);
+        // Empty <- empty.
+        let mut both = LatencyHistogram::new();
+        both.merge(&LatencyHistogram::new());
+        assert!(both.is_empty());
+        assert_eq!(both.percentile_s(0.99), 0.0);
+    }
+
+    #[test]
+    fn merge_saturates_instead_of_wrapping() {
+        // A histogram whose bucket 0 and total are pinned at u64::MAX.
+        let mut saturated = LatencyHistogram::new();
+        saturated.record_ns(1);
+        let mut pinned = saturated;
+        pinned.merge(&saturated);
+        // Force the extreme directly through repeated self-merges: each
+        // merge doubles (with saturation), so 64 rounds pin the counts.
+        for _ in 0..64 {
+            let copy = pinned;
+            pinned.merge(&copy);
+        }
+        assert_eq!(pinned.count(), u64::MAX);
+        assert_eq!(pinned.buckets()[0], u64::MAX);
+        // Merging more samples on top neither wraps nor panics.
+        pinned.merge(&saturated);
+        assert_eq!(pinned.count(), u64::MAX);
+        assert_eq!(pinned.buckets()[0], u64::MAX);
+        // Recording on a saturated histogram also saturates.
+        pinned.record_ns(1);
+        assert_eq!(pinned.count(), u64::MAX);
+        // Percentiles stay finite and sane.
+        assert!(pinned.percentile_s(0.99).is_finite());
+        assert!((pinned.p50_s() - 2e-9).abs() < 1e-18);
+        // The saturated operand can also be the right-hand side of a
+        // merge into a small histogram.
+        let mut small = LatencyHistogram::new();
+        small.record_ns(1 << 40);
+        small.merge(&pinned);
+        assert_eq!(small.count(), u64::MAX);
+        assert_eq!(small.buckets()[40], 1);
     }
 
     #[test]

@@ -46,8 +46,8 @@ pub mod weights;
 
 pub use beamformer::{BatchBeamformOutput, BeamformOutput, Beamformer, BeamformerConfig};
 pub use engine::{
-    DeviceShardReport, DynSession, Engine, Report, Session, SingleEngine, ThroughputMetrics,
-    Topology,
+    DeviceShardReport, DynSession, Engine, Report, Session, SessionCheckpoint, SingleEngine,
+    ThroughputMetrics, Topology,
 };
 pub use geometry::{ArrayGeometry, SPEED_OF_LIGHT, SPEED_OF_SOUND_TISSUE, SPEED_OF_SOUND_WATER};
 pub use latency::{LatencyHistogram, LATENCY_BUCKETS};

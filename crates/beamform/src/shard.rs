@@ -24,9 +24,10 @@ use crate::session::SessionReport;
 use crate::weights::WeightMatrix;
 use ccglib::matrix::HostComplexMatrix;
 use ccglib::Precision;
-use gpu_sim::{DevicePool, Gpu};
+use gpu_sim::{BlockVerdict, DeviceFault, DevicePool, FaultInjector, Gpu};
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 /// Legacy name of the unified [`Report`], kept as a delegating alias for
 /// one release.
@@ -77,35 +78,78 @@ impl ShardPlan {
     /// # Panics
     /// Panics if `capacity_weights` is empty.
     pub fn new(policy: ShardPolicy, capacity_weights: &[f64], blocks: usize) -> Self {
-        assert!(
-            !capacity_weights.is_empty(),
-            "a shard plan needs at least one device"
+        let alive = vec![true; capacity_weights.len()];
+        let ids: Vec<usize> = (0..blocks).collect();
+        Self::reapportion(policy, capacity_weights, &alive, &ids)
+    }
+
+    /// Plans an arbitrary list of block indices over the *surviving*
+    /// members of a pool: the devices for which `alive[d]` is true.
+    ///
+    /// This is the recovery primitive: after a device is lost mid-stream,
+    /// its unfinished block indices are re-apportioned across the
+    /// survivors with the same policy — round robin strides the indices
+    /// over the survivors in order; capacity-weighted runs
+    /// largest-remainder apportionment over the surviving weights and
+    /// hands each survivor a contiguous run of `block_ids`.  The plan
+    /// still spans every pool position (dead devices get empty
+    /// assignments) and is a deterministic function of its inputs, which
+    /// is what keeps recovered runs bit-identical to the no-fault
+    /// reference.
+    ///
+    /// [`ShardPlan::new`] is the degenerate case: all devices alive,
+    /// `block_ids = 0..blocks`.
+    ///
+    /// # Panics
+    /// Panics if `capacity_weights` and `alive` differ in length, or if no
+    /// device is alive.
+    pub fn reapportion(
+        policy: ShardPolicy,
+        capacity_weights: &[f64],
+        alive: &[bool],
+        block_ids: &[usize],
+    ) -> Self {
+        assert_eq!(
+            capacity_weights.len(),
+            alive.len(),
+            "one liveness flag per device"
         );
-        let total: f64 = capacity_weights.iter().sum();
-        let assignments = match policy {
+        let survivors: Vec<usize> = (0..alive.len()).filter(|&d| alive[d]).collect();
+        assert!(
+            !survivors.is_empty(),
+            "a shard plan needs at least one live device"
+        );
+        let surviving_weights: Vec<f64> = survivors.iter().map(|&d| capacity_weights[d]).collect();
+        let total: f64 = surviving_weights.iter().sum();
+        let local = match policy {
             ShardPolicy::CapacityWeighted if total > 0.0 => {
-                Self::capacity_weighted(capacity_weights, total, blocks)
+                Self::capacity_weighted(&surviving_weights, total, block_ids)
             }
-            _ => Self::round_robin(capacity_weights.len(), blocks),
+            _ => Self::round_robin(survivors.len(), block_ids),
         };
+        let mut assignments = vec![Vec::new(); alive.len()];
+        for (&device, assigned) in survivors.iter().zip(local) {
+            assignments[device] = assigned;
+        }
         ShardPlan {
             assignments,
-            blocks,
+            blocks: block_ids.len(),
         }
     }
 
-    fn round_robin(devices: usize, blocks: usize) -> Vec<Vec<usize>> {
+    fn round_robin(devices: usize, block_ids: &[usize]) -> Vec<Vec<usize>> {
         let mut assignments = vec![Vec::new(); devices];
-        for block in 0..blocks {
-            assignments[block % devices].push(block);
+        for (position, &block) in block_ids.iter().enumerate() {
+            assignments[position % devices].push(block);
         }
         assignments
     }
 
-    fn capacity_weighted(weights: &[f64], total: f64, blocks: usize) -> Vec<Vec<usize>> {
+    fn capacity_weighted(weights: &[f64], total: f64, block_ids: &[usize]) -> Vec<Vec<usize>> {
         // Largest-remainder apportionment: every device gets the floor of
         // its proportional quota, then the leftover blocks go to the
         // largest fractional remainders (ties broken by device index).
+        let blocks = block_ids.len();
         let quotas: Vec<f64> = weights
             .iter()
             .map(|w| blocks as f64 * (w / total))
@@ -124,7 +168,7 @@ impl ShardPlan {
         let mut assignments = Vec::with_capacity(weights.len());
         let mut next = 0;
         for count in counts {
-            assignments.push((next..next + count).collect());
+            assignments.push(block_ids[next..next + count].to_vec());
             next += count;
         }
         assignments
@@ -206,6 +250,14 @@ pub struct ShardedBeamformer {
     /// Per-member report accumulation of the [`Engine`] run in progress.
     accumulated: Vec<SessionReport>,
     weight_swaps: usize,
+    /// Optional fault source; when armed, [`Engine::process_batch`] runs
+    /// the recovery loop instead of the straight-line fan-out.
+    injector: Option<Arc<FaultInjector>>,
+    /// Liveness per pool member; a permanent fault clears the flag and the
+    /// member is excluded from every later plan.
+    alive: Vec<bool>,
+    /// Blocks that had to be re-apportioned onto survivors so far.
+    recovered_blocks: usize,
 }
 
 impl ShardedBeamformer {
@@ -241,6 +293,7 @@ impl ShardedBeamformer {
             .map(|device| Self::capacity(device.spec(), config.precision))
             .collect();
         let accumulated = vec![SessionReport::default(); members.len()];
+        let alive = vec![true; members.len()];
         Ok(ShardedBeamformer {
             members,
             gpus: pool.gpus(),
@@ -248,7 +301,54 @@ impl ShardedBeamformer {
             policy,
             accumulated,
             weight_swaps: 0,
+            injector: None,
+            alive,
+            recovered_blocks: 0,
         })
+    }
+
+    /// Arms a [`FaultInjector`] over the pool.  The injector must span
+    /// exactly one verdict stream per pool member.  With an injector
+    /// armed, [`Engine::process_batch`] consults it before every block
+    /// and recovers from refusals by re-apportioning the unfinished
+    /// blocks across the surviving members (see `docs/FAULTS.md`).
+    pub fn set_fault_injector(&mut self, injector: Arc<FaultInjector>) -> ccglib::Result<()> {
+        if injector.num_devices() != self.members.len() {
+            return Err(ccglib::CcglibError::InvalidParameters {
+                reason: format!(
+                    "fault injector spans {} devices but the pool has {}",
+                    injector.num_devices(),
+                    self.members.len()
+                ),
+            });
+        }
+        // Honour losses the injector has already recorded.
+        for (device, alive) in self.alive.iter_mut().enumerate() {
+            *alive = injector.is_alive(device);
+        }
+        self.injector = Some(injector);
+        Ok(())
+    }
+
+    /// The armed fault injector, if any.
+    pub fn fault_injector(&self) -> Option<&Arc<FaultInjector>> {
+        self.injector.as_ref()
+    }
+
+    /// Liveness per pool member (all true until a permanent fault fires).
+    pub fn alive_mask(&self) -> &[bool] {
+        &self.alive
+    }
+
+    /// Number of members still accepting work.
+    pub fn live_members(&self) -> usize {
+        self.alive.iter().filter(|&&a| a).count()
+    }
+
+    /// Blocks re-apportioned onto survivors after faults, so far in the
+    /// current [`Engine`] run.
+    pub fn recovered_blocks(&self) -> usize {
+        self.recovered_blocks
     }
 
     /// Peak useful TeraOps/s of one device at a precision — the capacity
@@ -288,8 +388,14 @@ impl ShardedBeamformer {
     }
 
     /// The plan a stream of `blocks` blocks would be executed under.
+    /// Members lost to permanent faults are excluded (their assignments
+    /// are empty).
+    ///
+    /// # Panics
+    /// Panics if every member has been lost.
     pub fn plan_shards(&self, blocks: usize) -> ShardPlan {
-        ShardPlan::new(self.policy, &self.capacity_weights, blocks)
+        let ids: Vec<usize> = (0..blocks).collect();
+        ShardPlan::reapportion(self.policy, &self.capacity_weights, &self.alive, &ids)
     }
 
     /// Beamforms a stream of `K × N` sample blocks across the pool: the
@@ -376,6 +482,110 @@ impl ShardedBeamformer {
     pub fn into_session(self) -> ShardedSession {
         crate::engine::Session::new(self)
     }
+
+    /// Fault-aware batch execution: plan over the live members, run the
+    /// shards in parallel consulting the injector before every block, and
+    /// re-apportion whatever the faulted members left unfinished across
+    /// the survivors until the batch completes (or no member survives).
+    ///
+    /// Outputs are written into input-order slots and every block executes
+    /// exactly once under the current weights, so the recovered batch is
+    /// bit-identical to a no-fault run.  Work a member completed *before*
+    /// faulting stays in its accounting; transient refusals leave the
+    /// member alive and eligible for the very next re-apportionment.
+    fn process_batch_with_faults(
+        &mut self,
+        blocks: &[&HostComplexMatrix],
+        injector: &Arc<FaultInjector>,
+    ) -> ccglib::Result<Vec<BeamformOutput>> {
+        type ShardResult = ccglib::Result<(
+            Vec<(usize, BeamformOutput)>,
+            SessionReport,
+            Option<DeviceFault>,
+            Vec<usize>,
+        )>;
+        let mut slots: Vec<Option<BeamformOutput>> = Vec::new();
+        slots.resize_with(blocks.len(), || None);
+        let mut pending: Vec<usize> = (0..blocks.len()).collect();
+        let mut last_lost = 0usize;
+        // Each pass either finishes the batch or consumes at least one
+        // fault; permanent faults are finite (one per member) and
+        // transient faults fire at most once each, so this terminates.
+        while !pending.is_empty() {
+            if !self.alive.iter().any(|&a| a) {
+                return Err(ccglib::CcglibError::DeviceLost {
+                    device: last_lost,
+                    permanent: true,
+                });
+            }
+            let plan =
+                ShardPlan::reapportion(self.policy, &self.capacity_weights, &self.alive, &pending);
+            let shards: Vec<(usize, &Beamformer, &Vec<usize>)> = self
+                .members
+                .iter()
+                .enumerate()
+                .map(|(d, member)| (d, member, &plan.assignments()[d]))
+                .collect();
+            let results: Vec<ShardResult> = shards
+                .par_iter()
+                .map(|&(device, member, assigned)| {
+                    let ops = member.shape().complex_ops() as f64;
+                    let mut report = SessionReport::default();
+                    let mut outputs = Vec::with_capacity(assigned.len());
+                    let mut fault = None;
+                    let mut unfinished = Vec::new();
+                    for (position, &block) in assigned.iter().enumerate() {
+                        match injector.on_block(device) {
+                            BlockVerdict::Fail(observed) => {
+                                fault = Some(observed);
+                                unfinished = assigned[position..].to_vec();
+                                break;
+                            }
+                            verdict => {
+                                let mut output = member.beamform(blocks[block])?;
+                                if let BlockVerdict::Slow(factor) = verdict {
+                                    // A throttled device produces the same
+                                    // numbers, just later: stretch the
+                                    // modelled time, derate the rates.
+                                    output.report.predicted.elapsed_s *= factor;
+                                    output.report.predicted.achieved_tops /= factor;
+                                    output.report.achieved_tops /= factor;
+                                }
+                                report.record(&output.report, ops, 1);
+                                outputs.push((block, output));
+                            }
+                        }
+                    }
+                    Ok((outputs, report, fault, unfinished))
+                })
+                .collect();
+
+            let mut leftovers: Vec<usize> = Vec::new();
+            for (device, result) in results.into_iter().enumerate() {
+                let (outputs, report, fault, unfinished) = result?;
+                for (block, output) in outputs {
+                    slots[block] = Some(output);
+                }
+                self.accumulated[device].absorb(&report);
+                if let Some(observed) = fault {
+                    leftovers.extend(unfinished);
+                    if observed.permanent {
+                        self.alive[device] = false;
+                        last_lost = device;
+                    }
+                }
+            }
+            // Deterministic replay order regardless of which worker
+            // reported its fault first.
+            leftovers.sort_unstable();
+            self.recovered_blocks += leftovers.len();
+            pending = leftovers;
+        }
+        Ok(slots
+            .into_iter()
+            .map(|slot| slot.expect("every planned block produces exactly one output"))
+            .collect())
+    }
 }
 
 impl Engine for ShardedBeamformer {
@@ -394,11 +604,14 @@ impl Engine for ShardedBeamformer {
         &mut self,
         blocks: &[&HostComplexMatrix],
     ) -> ccglib::Result<Vec<BeamformOutput>> {
-        let run = self.beamform_stream(blocks)?;
-        for (accumulated, shard) in self.accumulated.iter_mut().zip(run.report.per_device()) {
-            accumulated.absorb(&shard.report);
-        }
-        Ok(run.outputs)
+        let Some(injector) = self.injector.clone() else {
+            let run = self.beamform_stream(blocks)?;
+            for (accumulated, shard) in self.accumulated.iter_mut().zip(run.report.per_device()) {
+                accumulated.absorb(&shard.report);
+            }
+            return Ok(run.outputs);
+        };
+        self.process_batch_with_faults(blocks, &injector)
     }
 
     fn swap_weights(&mut self, weights: WeightMatrix) -> ccglib::Result<()> {
@@ -422,6 +635,7 @@ impl Engine for ShardedBeamformer {
         let report = Engine::report(self);
         self.accumulated = vec![SessionReport::default(); self.members.len()];
         self.weight_swaps = 0;
+        self.recovered_blocks = 0;
         report
     }
 }
@@ -432,6 +646,7 @@ impl std::fmt::Debug for ShardedBeamformer {
             .field("gpus", &self.gpus)
             .field("policy", &self.policy)
             .field("capacity_weights", &self.capacity_weights)
+            .field("alive", &self.alive)
             .finish_non_exhaustive()
     }
 }
@@ -622,6 +837,170 @@ mod tests {
         // The pool still works on the old shape.
         let blocks = [block(16, 8, 0)];
         assert!(session.process_batch(&blocks).is_ok());
+    }
+
+    #[test]
+    fn reapportion_with_all_alive_reduces_to_new() {
+        for policy in [ShardPolicy::RoundRobin, ShardPolicy::CapacityWeighted] {
+            let weights = [3.0, 1.0, 2.0];
+            let ids: Vec<usize> = (0..17).collect();
+            let fresh = ShardPlan::new(policy, &weights, 17);
+            let re = ShardPlan::reapportion(policy, &weights, &[true, true, true], &ids);
+            assert_eq!(fresh, re, "policy {policy:?}");
+        }
+    }
+
+    #[test]
+    fn reapportion_excludes_dead_members_and_covers_every_id() {
+        let ids = [3usize, 5, 8, 13, 21];
+        for policy in [ShardPolicy::RoundRobin, ShardPolicy::CapacityWeighted] {
+            let plan = ShardPlan::reapportion(policy, &[3.0, 1.0, 2.0], &[true, false, true], &ids);
+            assert!(plan.assignments()[1].is_empty(), "dead member got work");
+            let mut seen: Vec<usize> = plan.assignments().iter().flatten().copied().collect();
+            seen.sort_unstable();
+            assert_eq!(seen, ids.to_vec(), "policy {policy:?}");
+        }
+        // Deterministic: the same inputs always give the same plan.
+        let a = ShardPlan::reapportion(
+            ShardPolicy::CapacityWeighted,
+            &[3.0, 1.0, 2.0],
+            &[true, false, true],
+            &ids,
+        );
+        let b = ShardPlan::reapportion(
+            ShardPolicy::CapacityWeighted,
+            &[3.0, 1.0, 2.0],
+            &[true, false, true],
+            &ids,
+        );
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "live device")]
+    fn reapportion_with_no_survivors_panics() {
+        let _ = ShardPlan::reapportion(ShardPolicy::RoundRobin, &[1.0, 1.0], &[false, false], &[0]);
+    }
+
+    fn injected(
+        gpus: &[Gpu],
+        policy: ShardPolicy,
+        plan: gpu_sim::FaultPlan,
+    ) -> (ShardedBeamformer, Arc<FaultInjector>) {
+        let mut engine = sharded(gpus, policy);
+        let injector = Arc::new(FaultInjector::new(plan, gpus.len()));
+        engine.set_fault_injector(Arc::clone(&injector)).unwrap();
+        (engine, injector)
+    }
+
+    fn reference_outputs(blocks: &[HostComplexMatrix]) -> Vec<BeamformOutput> {
+        let single = Beamformer::new(
+            &Gpu::A100.device(),
+            weights(4, 16),
+            8,
+            BeamformerConfig::float16(),
+        )
+        .unwrap();
+        blocks.iter().map(|b| single.beamform(b).unwrap()).collect()
+    }
+
+    #[test]
+    fn permanent_fault_mid_batch_recovers_bit_identical() {
+        let blocks: Vec<HostComplexMatrix> = (0..12).map(|i| block(16, 8, i)).collect();
+        let expected = reference_outputs(&blocks);
+        for policy in [ShardPolicy::RoundRobin, ShardPolicy::CapacityWeighted] {
+            let (mut engine, injector) = injected(
+                &[Gpu::A100, Gpu::A100, Gpu::A100],
+                policy,
+                gpu_sim::FaultPlan::new().kill_device(1, 2),
+            );
+            let refs: Vec<&HostComplexMatrix> = blocks.iter().collect();
+            let outputs = Engine::process_batch(&mut engine, &refs).unwrap();
+            assert!(!injector.is_alive(1));
+            assert_eq!(engine.live_members(), 2);
+            assert!(engine.recovered_blocks() > 0);
+            for (output, reference) in outputs.iter().zip(&expected) {
+                assert_eq!(output.beams, reference.beams, "policy {policy:?}");
+            }
+            // Later batches plan only over the survivors.
+            let plan = engine.plan_shards(6);
+            assert!(plan.assignments()[1].is_empty());
+        }
+    }
+
+    #[test]
+    fn transient_fault_is_replayed_without_losing_the_member() {
+        let blocks: Vec<HostComplexMatrix> = (0..8).map(|i| block(16, 8, i)).collect();
+        let expected = reference_outputs(&blocks);
+        let (mut engine, injector) = injected(
+            &[Gpu::A100, Gpu::A100],
+            ShardPolicy::RoundRobin,
+            gpu_sim::FaultPlan::new().drop_block(0, 1),
+        );
+        let refs: Vec<&HostComplexMatrix> = blocks.iter().collect();
+        let outputs = Engine::process_batch(&mut engine, &refs).unwrap();
+        assert!(injector.is_alive(0));
+        assert_eq!(engine.live_members(), 2);
+        assert_eq!(engine.recovered_blocks(), 3);
+        for (output, reference) in outputs.iter().zip(&expected) {
+            assert_eq!(output.beams, reference.beams);
+        }
+    }
+
+    #[test]
+    fn latency_spike_inflates_accounting_but_not_outputs() {
+        let blocks: Vec<HostComplexMatrix> = (0..8).map(|i| block(16, 8, i)).collect();
+        let run_with = |plan: gpu_sim::FaultPlan| {
+            let (mut engine, _) = injected(&[Gpu::A100, Gpu::A100], ShardPolicy::RoundRobin, plan);
+            let refs: Vec<&HostComplexMatrix> = blocks.iter().collect();
+            let outputs = Engine::process_batch(&mut engine, &refs).unwrap();
+            (outputs, engine.finish())
+        };
+        let (clean_outputs, clean_report) = run_with(gpu_sim::FaultPlan::new());
+        let (slow_outputs, slow_report) =
+            run_with(gpu_sim::FaultPlan::new().slow_device(1, 0, 8.0));
+        for (slow, clean) in slow_outputs.iter().zip(&clean_outputs) {
+            assert_eq!(slow.beams, clean.beams);
+        }
+        let clean_elapsed = clean_report.per_device()[1].report.total_elapsed_s;
+        let slow_elapsed = slow_report.per_device()[1].report.total_elapsed_s;
+        assert!(
+            slow_elapsed > clean_elapsed * 7.9,
+            "spiked member should be ~8x slower: {slow_elapsed} vs {clean_elapsed}"
+        );
+        assert!(slow_report.wall_clock_s() > clean_report.wall_clock_s());
+    }
+
+    #[test]
+    fn losing_every_member_reports_device_lost() {
+        let blocks: Vec<HostComplexMatrix> = (0..6).map(|i| block(16, 8, i)).collect();
+        let (mut engine, _) = injected(
+            &[Gpu::A100, Gpu::A100],
+            ShardPolicy::RoundRobin,
+            gpu_sim::FaultPlan::new()
+                .kill_device(0, 1)
+                .kill_device(1, 1),
+        );
+        let refs: Vec<&HostComplexMatrix> = blocks.iter().collect();
+        let err = Engine::process_batch(&mut engine, &refs).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                ccglib::CcglibError::DeviceLost {
+                    permanent: true,
+                    ..
+                }
+            ),
+            "got {err:?}"
+        );
+        assert_eq!(engine.live_members(), 0);
+    }
+
+    #[test]
+    fn injector_must_span_the_pool() {
+        let mut engine = sharded(&[Gpu::A100, Gpu::A100], ShardPolicy::RoundRobin);
+        let injector = Arc::new(FaultInjector::new(gpu_sim::FaultPlan::new(), 3));
+        assert!(engine.set_fault_injector(injector).is_err());
     }
 
     #[test]

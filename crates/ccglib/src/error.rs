@@ -42,6 +42,15 @@ pub enum CcglibError {
         /// Supplied precision.
         actual: String,
     },
+    /// A device refused work mid-stream (injected or real fault).  A
+    /// permanent loss means the device will never accept work again; a
+    /// transient one means the same call may be retried.
+    DeviceLost {
+        /// Pool index of the lost device.
+        device: usize,
+        /// True when the device is gone for good.
+        permanent: bool,
+    },
 }
 
 impl std::fmt::Display for CcglibError {
@@ -62,6 +71,13 @@ impl std::fmt::Display for CcglibError {
             ),
             CcglibError::PrecisionMismatch { expected, actual } => {
                 write!(f, "operand precision mismatch: expected {expected}, got {actual}")
+            }
+            CcglibError::DeviceLost { device, permanent } => {
+                if *permanent {
+                    write!(f, "device {device} lost mid-stream (permanent fault)")
+                } else {
+                    write!(f, "device {device} refused work (transient fault, retryable)")
+                }
             }
         }
     }
@@ -97,5 +113,17 @@ mod tests {
             actual: "32x64".into(),
         };
         assert!(format!("{e}").contains("expected 64x32"));
+
+        let e = CcglibError::DeviceLost {
+            device: 2,
+            permanent: true,
+        };
+        assert!(e.to_string().contains("device 2"));
+        assert!(e.to_string().contains("permanent"));
+        let e = CcglibError::DeviceLost {
+            device: 0,
+            permanent: false,
+        };
+        assert!(e.to_string().contains("retryable"));
     }
 }

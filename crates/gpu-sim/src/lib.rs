@@ -22,6 +22,10 @@
 //! * [`memory`] — shared-memory capacity and asynchronous-copy pipeline
 //!   modelling used by the execution model and by the kernel planner to
 //!   reject invalid tuning configurations.
+//! * [`fault`] — deterministic, seeded fault injection ([`FaultPlan`] /
+//!   [`FaultInjector`]): permanent device loss, transient refusals and
+//!   latency spikes, used by the fault-tolerance layers above to prove
+//!   recovery stays bit-identical.
 //! * [`pool`] — multi-device hosts: a [`DevicePool`] of simulated GPUs
 //!   (heterogeneous mixes allowed) with the per-member peak throughputs the
 //!   sharding layer weights work by.
@@ -39,6 +43,7 @@
 pub mod arch;
 pub mod device;
 pub mod exec;
+pub mod fault;
 pub mod memory;
 pub mod pool;
 pub mod power;
@@ -48,6 +53,7 @@ pub mod wmma;
 pub use arch::{Architecture, BitOp, Vendor};
 pub use device::{Device, DeviceSpec, Gpu};
 pub use exec::{ExecutionModel, KernelKind, KernelProfile, KernelTimings, LaunchConfig};
+pub use fault::{BlockVerdict, DeviceFault, Fault, FaultInjector, FaultKind, FaultPlan};
 pub use memory::{MemoryModel, SharedMemoryPlan};
 pub use pool::DevicePool;
 pub use power::{PowerModel, PowerSample};

@@ -13,7 +13,7 @@
 //! prints per-tenant lines plus its own aggregate for CI to grep.
 
 use ccglib::Precision;
-use gpu_sim::Gpu;
+use gpu_sim::{FaultPlan, Gpu};
 use std::net::SocketAddr;
 use std::time::{Duration, Instant};
 use tcbf_serve::{discover_workers, example_weights, serve, BeaconConfig, Client, ServeConfig};
@@ -25,6 +25,7 @@ fn main() {
         Some("serve") => run_serve(&args[1..]),
         Some("bench-client") => run_bench_client(&args[1..]),
         Some("discover") => run_discover(&args[1..]),
+        Some("fault-smoke") => run_fault_smoke(&args[1..]),
         Some("--help" | "-h" | "help") | None => {
             print_usage();
             Ok(())
@@ -47,7 +48,8 @@ fn print_usage() {
          [--announce ADDR] [--beacon-interval-ms N] [--run-for-ms N]\n  \
          tcbf-serve bench-client --addr HOST:PORT [--clients N] [--blocks N]\n    \
          [--precision float16] [--receivers N] [--samples N] [--tenant-prefix S]\n  \
-         tcbf-serve discover [--listen ADDR] [--timeout-ms N]"
+         tcbf-serve discover [--listen ADDR] [--timeout-ms N]\n  \
+         tcbf-serve fault-smoke [--blocks N] [--kill-after N]"
     );
 }
 
@@ -135,6 +137,7 @@ fn run_serve(args: &[String]) -> Result<(), String> {
         tenant_max_streams: flags.parse("--tenant-streams", 8)?,
         tenant_blocks_per_sec: (tenant_rate > 0.0).then_some(tenant_rate),
         workers: flags.parse("--workers", 4)?,
+        fault_plan: None,
     };
 
     let mut handle =
@@ -268,6 +271,97 @@ fn run_bench_client(args: &[String]) -> Result<(), String> {
     );
     if errors > 0 {
         return Err(format!("{errors} of {clients} clients failed"));
+    }
+    Ok(())
+}
+
+/// Self-contained fault-tolerance smoke test for CI: serve over loopback
+/// with a fault plan that permanently kills one of the two pool engines
+/// mid-stream, stream blocks through a single client, and compare the
+/// served beams bit-for-bit against a direct no-fault engine.
+fn run_fault_smoke(args: &[String]) -> Result<(), String> {
+    let flags = Flags { args };
+    let blocks: usize = flags.parse("--blocks", 24)?;
+    let kill_after: u64 = flags.parse("--kill-after", 5)?;
+
+    const BEAMS: usize = 8;
+    const RECEIVERS: usize = 16;
+    const SAMPLES: usize = 32;
+    let config = ServeConfig {
+        gpus: vec![Gpu::A100],
+        precisions: vec![Precision::Float16],
+        engines_per_precision: 2,
+        weights: example_weights(BEAMS, RECEIVERS),
+        samples_per_block: SAMPLES,
+        max_sessions: 4,
+        queue_depth: 4,
+        tenant_max_streams: 4,
+        tenant_blocks_per_sec: None,
+        workers: 2,
+        // Slot 0 of the float16 fleet dies permanently after serving
+        // `kill_after` blocks; the stream must finish on slot 1.
+        fault_plan: Some(FaultPlan::new().kill_device(0, kill_after)),
+    };
+
+    let handle = serve("127.0.0.1:0", config).map_err(|e| format!("cannot start server: {e}"))?;
+    let stream: Vec<_> = (0..blocks)
+        .map(|b| {
+            ccglib::matrix::HostComplexMatrix::from_fn(RECEIVERS, SAMPLES, |r, s| {
+                Complex::new(
+                    ((r * 13 + s * 7 + b * 3) % 17) as f32 * 0.11 - 0.8,
+                    ((s * 11 + r * 5 + b) % 19) as f32 * 0.09 - 0.7,
+                )
+            })
+        })
+        .collect();
+
+    let mut client = Client::connect(
+        handle.addr(),
+        "smoke",
+        Precision::Float16,
+        RECEIVERS,
+        SAMPLES,
+    )
+    .map_err(|e| format!("connect failed: {e}"))?;
+    let served = client
+        .stream_blocks(&stream)
+        .map_err(|e| format!("stream failed: {e}"))?;
+    let summary = client.finish().map_err(|e| format!("finish failed: {e}"))?;
+    let report = handle.shutdown();
+
+    // The no-fault ground truth: the same engine the server builds,
+    // driven directly.
+    let mut reference = tcbf::BeamformerBuilder::new(Gpu::A100)
+        .weights(example_weights(BEAMS, RECEIVERS))
+        .samples_per_block(SAMPLES)
+        .precision(Precision::Float16)
+        .build_engine()
+        .map_err(|e| format!("cannot build reference engine: {e}"))?;
+    let bit_identical = stream.iter().zip(&served).all(|(block, beams)| {
+        let mut outputs = reference.process_batch(&[block]).expect("reference engine");
+        outputs.pop().expect("one block in, one block out").beams == *beams
+    });
+
+    println!(
+        "fault-smoke blocks={} client_errors={} recovered_jobs={} bit_identical={}",
+        served.len(),
+        summary.errors,
+        report.total_recovered(),
+        bit_identical,
+    );
+    println!("{}", report.summary_line());
+
+    if !bit_identical {
+        return Err("served beams diverge from the no-fault reference".into());
+    }
+    if summary.errors > 0 {
+        return Err(format!("{} client-visible errors", summary.errors));
+    }
+    if report.total_recovered() == 0 {
+        return Err("the fault never fired: no job was recovered".into());
+    }
+    if !report.is_degraded() {
+        return Err("the pool never degraded: quarantine did not engage".into());
     }
     Ok(())
 }

@@ -3,11 +3,14 @@
 //! [`Client::connect`] performs the `Hello`/`Welcome` handshake,
 //! [`Client::stream_blocks`] pipelines sample blocks up to the session's
 //! advertised queue depth (transparently retrying `Throttled` refusals
-//! with a small backoff), [`Client::swap_weights`] hot-swaps the session's
+//! with capped exponential backoff and deterministic jitter — see
+//! [`retry_backoff`]), [`Client::swap_weights`] hot-swaps the session's
 //! beam weights and [`Client::finish`] closes the session and returns the
 //! server's [`SessionSummary`].  Outputs come back in input order
 //! regardless of how server workers interleave, re-ordered by sequence
-//! number client side.
+//! number client side.  [`Client::connect_with_retry`] additionally rides
+//! out transient connect failures and `ServerFull` rejections — the
+//! degraded-admission states a recovering fleet goes through.
 
 use crate::wire::{
     read_frame_polling, write_frame, ClientMsg, RejectReason, ServerMsg, SessionSummary,
@@ -15,6 +18,7 @@ use crate::wire::{
 };
 use ccglib::matrix::HostComplexMatrix;
 use ccglib::Precision;
+use gpu_sim::fault::splitmix64;
 use std::net::{TcpStream, ToSocketAddrs};
 use std::time::{Duration, Instant};
 
@@ -22,8 +26,27 @@ use std::time::{Duration, Instant};
 const RESPONSE_TIMEOUT: Duration = Duration::from_secs(30);
 /// Socket read timeout, used as the polling interval for the deadline.
 const POLL_INTERVAL: Duration = Duration::from_millis(25);
-/// Backoff before re-sending a throttled block.
-const RETRY_BACKOFF: Duration = Duration::from_millis(25);
+/// First-retry nominal backoff in microseconds (2 ms); doubles per
+/// attempt up to [`BACKOFF_CAP_SHIFT`] doublings (256 ms).
+const BACKOFF_BASE_US: u64 = 2_000;
+/// Maximum number of doublings of [`BACKOFF_BASE_US`].
+const BACKOFF_CAP_SHIFT: u32 = 7;
+
+/// The backoff before retry number `attempt` (0-based) of one logical
+/// operation: capped exponential with deterministic jitter.
+///
+/// The nominal delay is `2 ms << min(attempt, 7)` — 2 ms, 4 ms, … capped
+/// at 256 ms — and the returned delay lands in `[0.75, 1.25)` of nominal,
+/// positioned by hashing `key` and `attempt` (splitmix64).  Same `(attempt,
+/// key)` in, same delay out: retry schedules are reproducible, while
+/// distinct keys (sessions, block indices) spread their retries instead of
+/// stampeding the server in lockstep.
+pub fn retry_backoff(attempt: u32, key: u64) -> Duration {
+    let nominal = BACKOFF_BASE_US << attempt.min(BACKOFF_CAP_SHIFT);
+    let hash = splitmix64(key ^ ((u64::from(attempt) << 32) | 0x9e37_79b9));
+    let jitter = hash % (nominal / 2).max(1);
+    Duration::from_micros(nominal - nominal / 4 + jitter)
+}
 
 /// Everything that can go wrong on the client side of a session.
 #[derive(Debug)]
@@ -54,6 +77,20 @@ impl std::fmt::Display for ServeError {
             }
             ServeError::Protocol(what) => write!(f, "protocol violation: {what}"),
         }
+    }
+}
+
+impl ServeError {
+    /// Whether retrying the same operation may succeed: transport errors
+    /// (the server may be restarting) and `ServerFull` rejections (a
+    /// degraded pool recovering its admission headroom) are retryable;
+    /// quota and version rejections, typed remote errors and protocol
+    /// violations are not.
+    pub fn is_retryable(&self) -> bool {
+        matches!(
+            self,
+            ServeError::Io(_) | ServeError::Rejected(RejectReason::ServerFull { .. })
+        )
     }
 }
 
@@ -132,6 +169,41 @@ impl Client {
         }
     }
 
+    /// Like [`Client::connect`], but rides out retryable failures —
+    /// refused TCP connects and `ServerFull` rejections — with up to
+    /// `max_attempts` tries under the [`retry_backoff`] schedule (keyed by
+    /// the tenant name so concurrent tenants don't stampede in lockstep).
+    /// The last error is returned once the budget is exhausted.
+    pub fn connect_with_retry(
+        addr: impl ToSocketAddrs + Clone,
+        tenant: &str,
+        precision: Precision,
+        receivers: usize,
+        samples_per_block: usize,
+        max_attempts: u32,
+    ) -> Result<Client, ServeError> {
+        let key = tenant.bytes().fold(0x6a09_e667_f3bc_c908u64, |acc, b| {
+            splitmix64(acc ^ u64::from(b))
+        });
+        let mut attempt = 0u32;
+        loop {
+            match Client::connect(
+                addr.clone(),
+                tenant,
+                precision,
+                receivers,
+                samples_per_block,
+            ) {
+                Ok(client) => return Ok(client),
+                Err(e) if e.is_retryable() && attempt + 1 < max_attempts.max(1) => {
+                    std::thread::sleep(retry_backoff(attempt, key));
+                    attempt += 1;
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
     /// The server-assigned session id.
     pub fn session_id(&self) -> u64 {
         self.session_id
@@ -165,8 +237,13 @@ impl Client {
     /// Streams `blocks` through the session, pipelined up to the window,
     /// and returns the beamformed outputs **in input order**.
     ///
-    /// `Throttled` refusals are retried with a small backoff until
-    /// accepted; typed server errors abort the stream.
+    /// `Throttled` refusals are retried until accepted under the
+    /// [`retry_backoff`] schedule — capped exponential per block, with
+    /// jitter keyed by session id and block index so pipelined retries
+    /// spread out instead of hammering the server in phase.  A block that
+    /// is eventually accepted resets nothing: its attempt count keeps
+    /// growing until the server takes it.  Typed server errors abort the
+    /// stream.
     pub fn stream_blocks(
         &mut self,
         blocks: &[HostComplexMatrix],
@@ -174,6 +251,8 @@ impl Client {
         let mut results: Vec<Option<HostComplexMatrix>> = vec![None; blocks.len()];
         // seq -> index into `blocks`, for in-flight requests.
         let mut pending: Vec<(u64, usize)> = Vec::new();
+        // Per-block throttle count, driving that block's backoff schedule.
+        let mut attempts: Vec<u32> = vec![0; blocks.len()];
         let mut next_block = 0usize;
         let mut done = 0usize;
 
@@ -208,7 +287,11 @@ impl Client {
                         .ok_or_else(|| ServeError::Protocol(format!("unknown seq {seq}")))?;
                     let (_, index) = pending.swap_remove(slot);
                     self.throttle_retries += 1;
-                    std::thread::sleep(RETRY_BACKOFF);
+                    std::thread::sleep(retry_backoff(
+                        attempts[index],
+                        self.session_id ^ index as u64,
+                    ));
+                    attempts[index] = attempts[index].saturating_add(1);
                     let seq = self.next_seq;
                     self.next_seq += 1;
                     self.send(&ClientMsg::Block {
@@ -276,5 +359,74 @@ impl Client {
             )),
             Err(e) => Err(ServeError::Io(e)),
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_is_deterministic_per_attempt_and_key() {
+        for attempt in 0..12 {
+            for key in [0u64, 1, 42, u64::MAX] {
+                assert_eq!(
+                    retry_backoff(attempt, key),
+                    retry_backoff(attempt, key),
+                    "same (attempt, key) must give the same delay"
+                );
+            }
+        }
+        // Distinct keys de-phase: at least one attempt must differ.
+        assert!(
+            (0..12).any(|a| retry_backoff(a, 1) != retry_backoff(a, 2)),
+            "jitter must depend on the key"
+        );
+    }
+
+    #[test]
+    fn backoff_doubles_until_the_cap() {
+        // The jittered delay lands in [0.75, 1.25) of nominal, so the
+        // schedule's growth is visible through the bounds.
+        for attempt in 0..16u32 {
+            let nominal = BACKOFF_BASE_US << attempt.min(BACKOFF_CAP_SHIFT);
+            for key in [7u64, 1234, 99_999] {
+                let us = retry_backoff(attempt, key).as_micros() as u64;
+                assert!(
+                    us >= nominal - nominal / 4 && us < nominal + nominal / 4,
+                    "attempt {attempt} key {key}: {us} µs outside \
+                     [0.75, 1.25) of {nominal} µs"
+                );
+            }
+        }
+        // Capped: attempts past the shift limit share the same nominal.
+        let cap = BACKOFF_BASE_US << BACKOFF_CAP_SHIFT;
+        assert_eq!(cap, 256_000, "cap is 256 ms");
+        let deep = retry_backoff(40, 5).as_micros() as u64;
+        assert!(deep < cap + cap / 4, "backoff must not grow past the cap");
+    }
+
+    #[test]
+    fn backoff_lower_bound_keeps_retries_from_spinning() {
+        // Even attempt 0 with the most favourable jitter waits >= 1.5 ms.
+        for key in 0..64u64 {
+            assert!(retry_backoff(0, key) >= Duration::from_micros(1_500));
+        }
+    }
+
+    #[test]
+    fn retryability_is_typed() {
+        use std::io::{Error, ErrorKind};
+        assert!(ServeError::Io(Error::from(ErrorKind::ConnectionRefused)).is_retryable());
+        assert!(
+            ServeError::Rejected(RejectReason::ServerFull { active: 2, max: 2 }).is_retryable()
+        );
+        assert!(!ServeError::Rejected(RejectReason::TenantQuota { max: 4 }).is_retryable());
+        assert!(!ServeError::Remote {
+            code: 12,
+            message: String::new()
+        }
+        .is_retryable());
+        assert!(!ServeError::Protocol(String::new()).is_retryable());
     }
 }

@@ -18,18 +18,26 @@
 //! - [`pool`]: [`ServeConfig`] builds a fixed [`EnginePool`] once; workers
 //!   check engines out per block, and *lazy weight swaps* keyed on
 //!   `(session, weights_version)` keep multi-tenant sharing deterministic.
+//!   An optional [`gpu_sim::FaultPlan`] arms a fault injector over the
+//!   pool; faulted engines are **quarantined** and [`PoolHealth`] tracks
+//!   the survivors.
 //! - [`server`]: [`serve`] binds a listener and runs admission (typed
 //!   `Rejected` past [`ServeConfig::max_sessions`] or a tenant's stream
-//!   quota), per-tenant rate limiting and bounded-queue backpressure
-//!   (typed, retryable `Throttled` — never unbounded memory).
-//! - [`metrics`]: per-tenant block/throttle/error counts and wall-clock
-//!   latency histograms, merged with the engine fleet's
-//!   [`beamform::Report`] into one [`FleetReport`] with p50/p95/p99.
+//!   quota — the ceiling shrinks proportionally while the pool is
+//!   degraded), per-tenant rate limiting and bounded-queue backpressure
+//!   (typed, retryable `Throttled` — never unbounded memory).  A job that
+//!   hits an engine fault is **replayed on a healthy engine**; the client
+//!   never sees it.
+//! - [`metrics`]: per-tenant block/throttle/error/recovery counts and
+//!   wall-clock latency histograms, merged with the engine fleet's
+//!   [`beamform::Report`] and the pool's health into one [`FleetReport`]
+//!   with p50/p95/p99.
 //! - [`discover`]: UDP beacons (`{addr, topology, precision menu}`) and
 //!   [`discover_workers`] to find the live fleet without configuration.
 //! - [`client`]: a blocking [`Client`] that pipelines blocks up to the
-//!   advertised queue depth, retries throttles, re-orders replies and
-//!   returns the server's end-of-session [`SessionSummary`].
+//!   advertised queue depth, retries throttles under capped exponential
+//!   backoff with deterministic jitter ([`retry_backoff`]), re-orders
+//!   replies and returns the server's end-of-session [`SessionSummary`].
 //!
 //! ```no_run
 //! use tcbf_serve::{serve, Client, ServeConfig};
@@ -58,9 +66,9 @@ pub mod pool;
 pub mod server;
 pub mod wire;
 
-pub use client::{Client, ServeError};
+pub use client::{retry_backoff, Client, ServeError};
 pub use discover::{announce_once, discover_workers, BeaconConfig, Discovery, WorkerInfo};
 pub use metrics::{FleetMetrics, FleetReport, TenantReport};
-pub use pool::{example_weights, EnginePool, EngineSlot, ServeConfig};
+pub use pool::{example_weights, EnginePool, EngineSlot, PoolHealth, ServeConfig};
 pub use server::{serve, ServerHandle};
 pub use wire::{ClientMsg, RejectReason, ServerMsg, SessionSummary, ThrottleReason, PROTO_VERSION};

@@ -10,6 +10,7 @@
 //! performing" (aggregate TeraOps/s, energy) — the serving counterpart of
 //! the paper's single-run metric surface.
 
+use crate::pool::PoolHealth;
 use beamform::LatencyHistogram;
 use parking_lot::Mutex;
 use std::collections::BTreeMap;
@@ -28,6 +29,10 @@ pub struct TenantReport {
     pub throttled: u64,
     /// Blocks that failed with a typed error.
     pub errors: u64,
+    /// Blocks replayed on a healthy engine after an engine fault.  These
+    /// blocks still complete (and count under [`TenantReport::blocks`]);
+    /// this counter records how often failover saved one.
+    pub recovered: u64,
     /// Wall-clock histogram of block latency (admission to reply).
     pub latency: LatencyHistogram,
     /// Seconds between this tenant's first and last completed block.
@@ -42,6 +47,7 @@ impl TenantReport {
             blocks: 0,
             throttled: 0,
             errors: 0,
+            recovered: 0,
             latency: LatencyHistogram::new(),
             active_s: 0.0,
         }
@@ -67,6 +73,8 @@ pub struct FleetReport {
     pub latency: LatencyHistogram,
     /// The merged engine-side report of the whole engine fleet.
     pub engines: beamform::Report,
+    /// Pool health at snapshot time: healthy vs provisioned engine slots.
+    pub health: PoolHealth,
 }
 
 impl FleetReport {
@@ -85,13 +93,24 @@ impl FleetReport {
         self.tenants.iter().map(|t| t.errors).sum()
     }
 
+    /// Total blocks recovered by failover across all tenants.
+    pub fn total_recovered(&self) -> u64 {
+        self.tenants.iter().map(|t| t.recovered).sum()
+    }
+
+    /// Whether the pool had lost at least one engine at snapshot time.
+    pub fn is_degraded(&self) -> bool {
+        self.health.is_degraded()
+    }
+
     /// The one-line greppable summary emitted by the server binary and
     /// grepped by CI: stable `key=value` pairs, errors before the
-    /// percentiles.
+    /// percentiles, fault-tolerance counters at the end.
     pub fn summary_line(&self) -> String {
         format!(
             "fleet-report tenants={} blocks={} throttled={} errors={} \
-             p50_us={:.1} p95_us={:.1} p99_us={:.1} aggregate_tops={:.2} joules={:.3}",
+             p50_us={:.1} p95_us={:.1} p99_us={:.1} aggregate_tops={:.2} joules={:.3} \
+             recovered={} quarantined={} degraded={}",
             self.tenants.len(),
             self.total_blocks(),
             self.total_throttled(),
@@ -101,6 +120,9 @@ impl FleetReport {
             self.latency.p99_s() * 1e6,
             self.engines.aggregate_tops(),
             self.engines.total_joules(),
+            self.total_recovered(),
+            self.health.total - self.health.healthy,
+            u8::from(self.is_degraded()),
         )
     }
 
@@ -185,9 +207,14 @@ impl FleetMetrics {
         self.with_tenant(tenant, |state| state.report.errors += 1);
     }
 
+    /// Records one block replayed on a healthy engine after a fault.
+    pub fn record_recovery(&self, tenant: &str) {
+        self.with_tenant(tenant, |state| state.report.recovered += 1);
+    }
+
     /// Snapshots all tenants and merges them with the engine fleet's
-    /// report into one [`FleetReport`].
-    pub fn fleet_report(&self, engines: beamform::Report) -> FleetReport {
+    /// report and the pool's health into one [`FleetReport`].
+    pub fn fleet_report(&self, engines: beamform::Report, health: PoolHealth) -> FleetReport {
         let tenants: Vec<TenantReport> = self
             .tenants
             .lock()
@@ -202,6 +229,7 @@ impl FleetMetrics {
             tenants,
             latency,
             engines,
+            health,
         }
     }
 }
@@ -232,11 +260,17 @@ mod tests {
         metrics.record_throttle("bob");
         metrics.record_error("bob");
 
-        let report = metrics.fleet_report(beamform::Report::default());
+        let healthy = PoolHealth {
+            healthy: 2,
+            total: 2,
+        };
+        let report = metrics.fleet_report(beamform::Report::default(), healthy);
         assert_eq!(report.tenants.len(), 2);
         assert_eq!(report.total_blocks(), 11);
         assert_eq!(report.total_throttled(), 1);
         assert_eq!(report.total_errors(), 1);
+        assert_eq!(report.total_recovered(), 0);
+        assert!(!report.is_degraded());
         assert_eq!(report.latency.count(), 11);
 
         // Tenants are sorted by name and expose their own percentiles.
@@ -249,15 +283,41 @@ mod tests {
         let line = report.summary_line();
         assert!(line.starts_with("fleet-report tenants=2 blocks=11 throttled=1 errors=1"));
         assert!(line.contains("p99_us="));
+        assert!(line.contains("recovered=0 quarantined=0 degraded=0"));
         assert_eq!(report.tenant_lines().len(), 2);
     }
 
     #[test]
     fn empty_report_is_finite() {
         let metrics = FleetMetrics::new();
-        let report = metrics.fleet_report(beamform::Report::default());
+        let health = PoolHealth {
+            healthy: 1,
+            total: 1,
+        };
+        let report = metrics.fleet_report(beamform::Report::default(), health);
         assert_eq!(report.total_blocks(), 0);
         assert_eq!(report.latency.p99_s(), 0.0);
         assert!(report.summary_line().contains("errors=0"));
+    }
+
+    #[test]
+    fn recoveries_and_degradation_surface_in_the_summary() {
+        let metrics = FleetMetrics::new();
+        metrics.record_session("alice");
+        metrics.record_block("alice", 1e-5, Instant::now());
+        metrics.record_recovery("alice");
+        metrics.record_recovery("alice");
+
+        let degraded = PoolHealth {
+            healthy: 1,
+            total: 3,
+        };
+        let report = metrics.fleet_report(beamform::Report::default(), degraded);
+        assert_eq!(report.total_recovered(), 2);
+        assert_eq!(report.tenants[0].recovered, 2);
+        assert!(report.is_degraded());
+        assert!(report
+            .summary_line()
+            .ends_with("recovered=2 quarantined=2 degraded=1"));
     }
 }

@@ -20,8 +20,8 @@
 use beamform::{Engine, WeightMatrix};
 use ccglib::matrix::HostComplexMatrix;
 use ccglib::Precision;
-use gpu_sim::Gpu;
-use std::sync::{Condvar, Mutex};
+use gpu_sim::{FaultInjector, FaultPlan, Gpu};
+use std::sync::{Arc, Condvar, Mutex};
 use std::time::Duration;
 use tcbf::{BeamformerBuilder, TcbfError};
 
@@ -58,6 +58,12 @@ pub struct ServeConfig {
     pub tenant_blocks_per_sec: Option<f64>,
     /// Worker threads draining the job queue.
     pub workers: usize,
+    /// Optional deterministic fault plan armed over the engine fleet, for
+    /// failover testing: faults are keyed by *slot id* (fleets are laid
+    /// out precision-major, `engines_per_precision` slots each).  A slot
+    /// hit by a permanent fault is quarantined and its job replayed on a
+    /// healthy engine; `None` (the production default) disables injection.
+    pub fault_plan: Option<FaultPlan>,
 }
 
 impl ServeConfig {
@@ -75,6 +81,7 @@ impl ServeConfig {
             tenant_max_streams: 4,
             tenant_blocks_per_sec: None,
             workers: 2,
+            fault_plan: None,
         }
     }
 
@@ -105,6 +112,7 @@ impl ServeConfig {
             });
         }
         let mut fleets = Vec::with_capacity(self.precisions.len());
+        let mut next_slot_id = 0usize;
         for &precision in &self.precisions {
             let mut slots = Vec::with_capacity(self.engines_per_precision);
             for _ in 0..self.engines_per_precision {
@@ -118,17 +126,25 @@ impl ServeConfig {
                 slots.push(EngineSlot {
                     engine: builder.build_engine()?,
                     owner: None,
+                    slot_id: next_slot_id,
                 });
+                next_slot_id += 1;
             }
             fleets.push(PrecisionFleet {
                 precision,
                 slots: Mutex::new(slots),
                 available: Condvar::new(),
+                quarantined: Mutex::new(Vec::new()),
             });
         }
+        let injector = self
+            .fault_plan
+            .clone()
+            .map(|plan| Arc::new(FaultInjector::new(plan, next_slot_id)));
         Ok(EnginePool {
             fleets,
             fleet_size: self.engines_per_precision,
+            injector,
         })
     }
 }
@@ -150,6 +166,9 @@ pub struct EngineSlot {
     /// `(session_id, weights_version)` of the last block this engine ran,
     /// or `None` for a freshly built engine.
     pub owner: Option<(u64, u64)>,
+    /// Stable fleet-wide identity of this slot (precision-major layout),
+    /// the key fault plans address engines by.
+    pub slot_id: usize,
 }
 
 impl EngineSlot {
@@ -174,12 +193,44 @@ struct PrecisionFleet {
     precision: Precision,
     slots: Mutex<Vec<EngineSlot>>,
     available: Condvar,
+    /// Slots pulled from rotation after a permanent fault.  Their engines
+    /// keep their accounting (so fleet reports stay complete) but are
+    /// never checked out again.
+    quarantined: Mutex<Vec<EngineSlot>>,
 }
 
-/// A fixed fleet of engines per precision with blocking checkout.
+/// The health of a fleet: how many engines remain in rotation out of the
+/// built total.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PoolHealth {
+    /// Engines still in rotation.
+    pub healthy: usize,
+    /// Engines built (rotation + quarantine).
+    pub total: usize,
+}
+
+impl PoolHealth {
+    /// True when at least one engine has been quarantined.
+    pub fn is_degraded(&self) -> bool {
+        self.healthy < self.total
+    }
+
+    /// Healthy fraction in `[0, 1]` (1.0 for an empty pool).
+    pub fn fraction(&self) -> f64 {
+        if self.total == 0 {
+            1.0
+        } else {
+            self.healthy as f64 / self.total as f64
+        }
+    }
+}
+
+/// A fixed fleet of engines per precision with blocking checkout,
+/// quarantine of faulted engines, and degradation-aware health reporting.
 pub struct EnginePool {
     fleets: Vec<PrecisionFleet>,
     fleet_size: usize,
+    injector: Option<Arc<FaultInjector>>,
 }
 
 impl EnginePool {
@@ -193,11 +244,21 @@ impl EnginePool {
         self.fleets.iter().any(|f| f.precision == precision)
     }
 
+    /// The fault injector armed over the fleet, if the configuration
+    /// carried a fault plan.  Workers consult it per job, keyed by
+    /// [`EngineSlot::slot_id`].
+    pub fn injector(&self) -> Option<&Arc<FaultInjector>> {
+        self.injector.as_ref()
+    }
+
     /// Checks out an engine of `precision`, blocking until one is free.
+    ///
+    /// Returns [`TcbfError::Degraded`] when every engine of the fleet has
+    /// been quarantined — there is nothing left to wait for.
     ///
     /// Panics if `precision` is not on the menu — the server validates the
     /// menu at `Hello` time, before any job can reach the pool.
-    pub fn checkout(&self, precision: Precision) -> EngineSlot {
+    pub fn checkout(&self, precision: Precision) -> tcbf::Result<EngineSlot> {
         let fleet = self
             .fleets
             .iter()
@@ -205,10 +266,78 @@ impl EnginePool {
             .expect("precision validated at admission");
         let mut slots = fleet.slots.lock().expect("engine pool poisoned");
         loop {
-            if let Some(slot) = slots.pop() {
-                return slot;
+            // FIFO rotation (oldest check-in first) so every slot takes
+            // its share of the stream: work spreads across the fleet and
+            // a fault armed on any slot deterministically gets blocks to
+            // fire on, instead of one hot slot shadowing the rest.
+            if !slots.is_empty() {
+                return Ok(slots.remove(0));
+            }
+            // Everything quarantined: no check-in will ever come.
+            let lost = fleet
+                .quarantined
+                .lock()
+                .expect("engine pool poisoned")
+                .len();
+            if lost >= self.fleet_size {
+                return Err(TcbfError::Degraded {
+                    healthy: 0,
+                    total: self.fleet_size,
+                });
             }
             slots = fleet.available.wait(slots).expect("engine pool poisoned");
+        }
+    }
+
+    /// Pulls a checked-out engine from rotation for good: it is parked in
+    /// quarantine (keeping its accounting for fleet reports) and never
+    /// checked out again.  Waiters are woken so they can observe the
+    /// shrunken fleet instead of sleeping forever.
+    pub fn quarantine(&self, precision: Precision, slot: EngineSlot) {
+        let fleet = self
+            .fleets
+            .iter()
+            .find(|f| f.precision == precision)
+            .expect("precision validated at admission");
+        fleet
+            .quarantined
+            .lock()
+            .expect("engine pool poisoned")
+            .push(slot);
+        fleet.available.notify_all();
+    }
+
+    /// The health of one precision's fleet.
+    ///
+    /// Panics if `precision` is not on the menu.
+    pub fn fleet_health(&self, precision: Precision) -> PoolHealth {
+        let fleet = self
+            .fleets
+            .iter()
+            .find(|f| f.precision == precision)
+            .expect("precision validated at admission");
+        let lost = fleet
+            .quarantined
+            .lock()
+            .expect("engine pool poisoned")
+            .len();
+        PoolHealth {
+            healthy: self.fleet_size.saturating_sub(lost),
+            total: self.fleet_size,
+        }
+    }
+
+    /// The health of the whole pool, across every precision fleet.
+    pub fn health(&self) -> PoolHealth {
+        let total = self.fleet_size * self.fleets.len();
+        let lost: usize = self
+            .fleets
+            .iter()
+            .map(|f| f.quarantined.lock().expect("engine pool poisoned").len())
+            .sum();
+        PoolHealth {
+            healthy: total.saturating_sub(lost),
+            total,
         }
     }
 
@@ -235,7 +364,17 @@ impl EnginePool {
         for fleet in &self.fleets {
             let mut slots = fleet.slots.lock().expect("engine pool poisoned");
             let deadline = std::time::Instant::now() + drain_timeout;
-            while slots.len() < self.fleet_size {
+            // Quarantined slots never come back: the fleet is drained when
+            // rotation + quarantine account for every built engine.
+            loop {
+                let lost = fleet
+                    .quarantined
+                    .lock()
+                    .expect("engine pool poisoned")
+                    .len();
+                if slots.len() + lost >= self.fleet_size {
+                    break;
+                }
                 let now = std::time::Instant::now();
                 if now >= deadline {
                     break;
@@ -246,7 +385,8 @@ impl EnginePool {
                     .expect("engine pool poisoned");
                 slots = guard;
             }
-            for slot in slots.iter() {
+            let quarantined = fleet.quarantined.lock().expect("engine pool poisoned");
+            for slot in slots.iter().chain(quarantined.iter()) {
                 let report = slot.engine.report();
                 weight_swaps += report.weight_swaps();
                 shards.extend(report.per_device().iter().cloned());
@@ -278,15 +418,15 @@ mod tests {
     #[test]
     fn checkout_blocks_until_check_in() {
         let pool = Arc::new(pool());
-        let slot = pool.checkout(Precision::Float16);
+        let slot = pool.checkout(Precision::Float16).unwrap();
         // Another precision is unaffected by float16 being exhausted.
-        let int1 = pool.checkout(Precision::Int1);
+        let int1 = pool.checkout(Precision::Int1).unwrap();
         pool.check_in(Precision::Int1, int1);
 
         let waiter = {
             let pool = Arc::clone(&pool);
             std::thread::spawn(move || {
-                let slot = pool.checkout(Precision::Float16);
+                let slot = pool.checkout(Precision::Float16).unwrap();
                 pool.check_in(Precision::Float16, slot);
             })
         };
@@ -301,7 +441,7 @@ mod tests {
     fn lazy_swap_only_fires_on_owner_change() {
         let pool = pool();
         let weights = WeightMatrix::from_matrix(example_weights(4, 16));
-        let mut slot = pool.checkout(Precision::Float16);
+        let mut slot = pool.checkout(Precision::Float16).unwrap();
 
         slot.ensure_weights(1, 0, &weights).unwrap();
         let swaps_after_first = slot.engine.report().weight_swaps();
@@ -334,5 +474,129 @@ mod tests {
         let pool = config.build_pool().unwrap();
         assert!(pool.serves(Precision::Float16));
         assert!(!pool.serves(Precision::Int1));
+    }
+
+    #[test]
+    fn slot_ids_are_stable_and_precision_major() {
+        let config = ServeConfig::example(4, 16, 32); // 2 precisions x 2 engines
+        let pool = config.build_pool().unwrap();
+        let mut f16_ids = Vec::new();
+        for _ in 0..2 {
+            f16_ids.push(pool.checkout(Precision::Float16).unwrap().slot_id);
+        }
+        f16_ids.sort_unstable();
+        assert_eq!(f16_ids, vec![0, 1]);
+        let int1 = pool.checkout(Precision::Int1).unwrap();
+        assert!(int1.slot_id == 2 || int1.slot_id == 3);
+    }
+
+    #[test]
+    fn quarantine_degrades_health_and_exhausted_fleets_fail_fast() {
+        let config = ServeConfig::example(4, 16, 32); // 2 engines per precision
+        let pool = config.build_pool().unwrap();
+        assert_eq!(
+            pool.health(),
+            PoolHealth {
+                healthy: 4,
+                total: 4
+            }
+        );
+        assert!(!pool.health().is_degraded());
+
+        let first = pool.checkout(Precision::Float16).unwrap();
+        pool.quarantine(Precision::Float16, first);
+        assert_eq!(
+            pool.fleet_health(Precision::Float16),
+            PoolHealth {
+                healthy: 1,
+                total: 2
+            }
+        );
+        assert_eq!(
+            pool.health(),
+            PoolHealth {
+                healthy: 3,
+                total: 4
+            }
+        );
+        assert!(pool.health().is_degraded());
+        assert!((pool.health().fraction() - 0.75).abs() < 1e-12);
+        // The other precision fleet is untouched.
+        assert_eq!(
+            pool.fleet_health(Precision::Int1),
+            PoolHealth {
+                healthy: 2,
+                total: 2
+            }
+        );
+
+        // The survivor still checks out; once it is quarantined too, the
+        // fleet is exhausted and checkout errors instead of blocking.
+        let second = pool.checkout(Precision::Float16).unwrap();
+        pool.quarantine(Precision::Float16, second);
+        assert_eq!(
+            pool.checkout(Precision::Float16).map(|_| ()).unwrap_err(),
+            TcbfError::Degraded {
+                healthy: 0,
+                total: 2
+            }
+        );
+        // Int1 is still served.
+        let int1 = pool.checkout(Precision::Int1).unwrap();
+        pool.check_in(Precision::Int1, int1);
+    }
+
+    #[test]
+    fn quarantining_wakes_blocked_waiters() {
+        let mut config = ServeConfig::example(4, 16, 32);
+        config.engines_per_precision = 1;
+        let pool = Arc::new(config.build_pool().unwrap());
+        let slot = pool.checkout(Precision::Float16).unwrap();
+        let waiter = {
+            let pool = Arc::clone(&pool);
+            std::thread::spawn(move || pool.checkout(Precision::Float16))
+        };
+        std::thread::sleep(Duration::from_millis(20));
+        assert!(!waiter.is_finished());
+        // Quarantining the only engine must wake the waiter with the
+        // typed degradation error, not leave it blocked forever.
+        pool.quarantine(Precision::Float16, slot);
+        assert_eq!(
+            waiter.join().unwrap().map(|_| ()).unwrap_err(),
+            TcbfError::Degraded {
+                healthy: 0,
+                total: 1
+            }
+        );
+    }
+
+    #[test]
+    fn merged_report_includes_quarantined_engines() {
+        let mut config = ServeConfig::example(4, 16, 32);
+        config.precisions = vec![Precision::Float16];
+        let pool = config.build_pool().unwrap();
+        let weights = WeightMatrix::from_matrix(example_weights(4, 16));
+        let block = HostComplexMatrix::from_fn(16, 32, |r, s| {
+            tcbf_types::Complex::new((r + s) as f32 * 0.01, r as f32 * 0.02)
+        });
+        let mut slot = pool.checkout(Precision::Float16).unwrap();
+        slot.ensure_weights(1, 0, &weights).unwrap();
+        slot.engine.process_batch(&[&block]).unwrap();
+        pool.quarantine(Precision::Float16, slot);
+        // The quarantined engine's block stays in the fleet report, and
+        // the drain does not wait for it to "come back".
+        let report = pool.merged_report(Duration::from_millis(50));
+        assert_eq!(report.total_blocks(), 1);
+    }
+
+    #[test]
+    fn fault_plans_arm_an_injector_over_every_slot() {
+        let mut config = ServeConfig::example(4, 16, 32);
+        assert!(config.build_pool().unwrap().injector().is_none());
+        config.fault_plan = Some(FaultPlan::new().kill_device(0, 3));
+        let pool = config.build_pool().unwrap();
+        let injector = pool.injector().expect("plan arms an injector");
+        // 2 precisions x 2 engines per precision.
+        assert_eq!(injector.num_devices(), 4);
     }
 }

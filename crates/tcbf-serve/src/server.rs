@@ -258,9 +258,10 @@ impl ServerHandle {
     /// The merged fleet report: every tenant's service-side statistics
     /// plus the engine fleet's performance report.
     pub fn fleet_report(&self) -> FleetReport {
-        self.shared
-            .metrics
-            .fleet_report(self.shared.pool.merged_report(REPORT_DRAIN_TIMEOUT))
+        self.shared.metrics.fleet_report(
+            self.shared.pool.merged_report(REPORT_DRAIN_TIMEOUT),
+            self.shared.pool.health(),
+        )
     }
 
     /// Sessions currently admitted.
@@ -443,10 +444,21 @@ fn handle_connection(
     }
 
     // --- Admission ---
+    // Degraded admission: losing engines to quarantine shrinks the
+    // session ceiling proportionally (ceiling division, so a pool that
+    // is merely dented still admits someone; a fully-dead pool admits
+    // nobody).  Already-admitted sessions are never evicted — the
+    // tighter ceiling only gates new arrivals.
+    let health = shared.pool.health();
+    let effective_max = if health.healthy == 0 {
+        0
+    } else {
+        (config.max_sessions * health.healthy).div_ceil(health.total)
+    };
     let admitted = shared
         .active_sessions
         .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |active| {
-            (active < config.max_sessions).then_some(active + 1)
+            (active < effective_max).then_some(active + 1)
         })
         .is_ok();
     if !admitted {
@@ -454,8 +466,8 @@ fn handle_connection(
             &writer,
             &ServerMsg::Rejected {
                 reason: RejectReason::ServerFull {
-                    active: config.max_sessions as u32,
-                    max: config.max_sessions as u32,
+                    active: shared.active_sessions.load(Ordering::SeqCst) as u32,
+                    max: effective_max as u32,
                 },
             },
         );
@@ -706,8 +718,66 @@ fn wait_for_drain(inflight: &AtomicUsize, shared: &Shared) {
     }
 }
 
+/// Runs one job on a healthy engine, failing over on engine faults.
+///
+/// A job is the serve-side replay unit: it carries everything needed to
+/// re-execute its block — the samples, the session's weights and weights
+/// version (the wire analogue of a [`beamform::SessionCheckpoint`]) — so
+/// when the checked-out engine faults, the slot is quarantined (permanent)
+/// or returned (transient) and the job simply replays on the next healthy
+/// engine.  The client never sees these faults; it only ever sees the
+/// block's final result.  Returns [`TcbfError::Degraded`] once no healthy
+/// engine remains.
+fn run_job(shared: &Shared, job: &Job) -> tcbf::Result<beamform::BeamformOutput> {
+    // Every replay consumes either a permanent fault (quarantining one of
+    // the fleet's engines) or a one-shot transient fault, so attempts are
+    // bounded; the cap is a backstop against misconfigured injectors.
+    let fleet = shared.pool.fleet_health(job.precision).total;
+    let max_attempts = 2 * fleet + 2;
+    for _ in 0..max_attempts {
+        let mut slot = shared.pool.checkout(job.precision)?;
+        // Injected faults surface at checkout time: the engine refuses
+        // the job before touching the samples.
+        if let Some(injector) = shared.pool.injector() {
+            if let gpu_sim::BlockVerdict::Fail(fault) = injector.on_block(slot.slot_id) {
+                if fault.permanent {
+                    shared.pool.quarantine(job.precision, slot);
+                } else {
+                    shared.pool.check_in(job.precision, slot);
+                }
+                shared.metrics.record_recovery(&job.tenant);
+                continue;
+            }
+        }
+        let result = slot
+            .ensure_weights(job.session_id, job.weights_version, &job.weights)
+            .and_then(|()| slot.engine.process_batch(&[&job.samples]));
+        match result {
+            // The engine lost its last device mid-block (a real fault
+            // from the beamform layer, not the serve-level injector):
+            // same treatment, quarantine and replay elsewhere.
+            Err(ccglib::CcglibError::DeviceLost {
+                permanent: true, ..
+            }) => {
+                shared.pool.quarantine(job.precision, slot);
+                shared.metrics.record_recovery(&job.tenant);
+                continue;
+            }
+            other => {
+                shared.pool.check_in(job.precision, slot);
+                let mut outputs = other?;
+                return Ok(outputs.pop().expect("one block in, one block out"));
+            }
+        }
+    }
+    Err(TcbfError::Degraded {
+        healthy: shared.pool.fleet_health(job.precision).healthy,
+        total: fleet,
+    })
+}
+
 /// The worker loop: pull a job, check an engine out, lazily swap weights,
-/// beamform, reply, account.
+/// beamform (failing over on engine faults), reply, account.
 fn worker_loop(shared: &Arc<Shared>, job_rx: &Arc<std::sync::Mutex<mpsc::Receiver<Job>>>) {
     loop {
         // Hold the receiver lock only while pulling one job.
@@ -715,15 +785,10 @@ fn worker_loop(shared: &Arc<Shared>, job_rx: &Arc<std::sync::Mutex<mpsc::Receive
             Ok(job) => job,
             Err(_) => return, // all senders gone: shutdown
         };
-        let mut slot = shared.pool.checkout(job.precision);
-        let result = slot
-            .ensure_weights(job.session_id, job.weights_version, &job.weights)
-            .and_then(|()| slot.engine.process_batch(&[&job.samples]));
-        shared.pool.check_in(job.precision, slot);
+        let result = run_job(shared, &job);
 
         match result {
-            Ok(mut outputs) => {
-                let output = outputs.pop().expect("one block in, one block out");
+            Ok(output) => {
                 let latency_s = job.enqueued.elapsed().as_secs_f64();
                 let completed_at = Instant::now();
                 job.stats.blocks.fetch_add(1, Ordering::Relaxed);
@@ -752,7 +817,7 @@ fn worker_loop(shared: &Arc<Shared>, job_rx: &Arc<std::sync::Mutex<mpsc::Receive
                 );
             }
             Err(e) => {
-                let err = TcbfError::from(e);
+                let err = e;
                 job.stats.errors.fetch_add(1, Ordering::Relaxed);
                 shared.metrics.record_error(&job.tenant);
                 let _ = send(

@@ -14,8 +14,9 @@ use beamform::{
 };
 use ccglib::matrix::HostComplexMatrix;
 use ccglib::{MicroKernelConfig, Precision, TuningParameters};
-use gpu_sim::{DevicePool, Gpu};
+use gpu_sim::{DevicePool, FaultInjector, Gpu};
 use std::path::PathBuf;
+use std::sync::Arc;
 use tcbf_types::GemmShape;
 
 /// Fluent builder for [`TensorCoreBeamformer`]; obtained from
@@ -50,6 +51,7 @@ pub struct BeamformerBuilder {
     params: Option<TuningParameters>,
     micro: Option<MicroKernelConfig>,
     micro_cache: Option<PathBuf>,
+    fault_injector: Option<Arc<FaultInjector>>,
 }
 
 impl BeamformerBuilder {
@@ -71,6 +73,7 @@ impl BeamformerBuilder {
             params: None,
             micro: None,
             micro_cache: None,
+            fault_injector: None,
         }
     }
 
@@ -142,6 +145,18 @@ impl BeamformerBuilder {
     /// default location ([`tuner::default_cache_path`]).
     pub fn micro_cache(mut self, path: impl Into<PathBuf>) -> Self {
         self.micro_cache = Some(path.into());
+        self
+    }
+
+    /// Arms a deterministic [`FaultInjector`] over the configured device
+    /// pool, for testing fault recovery end to end.  The injector must
+    /// span exactly one verdict stream per pool member, and only
+    /// multi-device builds accept one — a single device has no survivors
+    /// to re-apportion onto, so [`BeamformerBuilder::build`] and
+    /// single-device [`BeamformerBuilder::build_engine`] reject the
+    /// configuration with [`TcbfError::InvalidParameters`].
+    pub fn fault_injector(mut self, injector: Arc<FaultInjector>) -> Self {
+        self.fault_injector = Some(injector);
         self
     }
 
@@ -226,18 +241,29 @@ impl BeamformerBuilder {
             micro,
         };
         if self.devices.is_empty() {
+            if self.fault_injector.is_some() {
+                return Err(TcbfError::InvalidParameters {
+                    reason: "fault injection needs a multi-device pool: a single device has no \
+                             survivors to recover onto"
+                        .to_string(),
+                });
+            }
             let inner =
                 Beamformer::new(&self.gpu.device(), weights, self.samples_per_block, config)?;
             Ok(Box::new(SingleEngine::new(inner)?))
         } else {
             let pool = DevicePool::from_gpus(&self.devices);
-            Ok(Box::new(ShardedBeamformer::new(
+            let mut sharded = ShardedBeamformer::new(
                 &pool,
                 weights,
                 self.samples_per_block,
                 config,
                 self.shard_policy,
-            )?))
+            )?;
+            if let Some(injector) = self.fault_injector {
+                sharded.set_fault_injector(injector)?;
+            }
+            Ok(Box::new(sharded))
         }
     }
 
@@ -258,6 +284,13 @@ impl BeamformerBuilder {
         if !self.devices.is_empty() {
             return Err(TcbfError::ShardedConfiguration {
                 devices: self.devices.len(),
+            });
+        }
+        if self.fault_injector.is_some() {
+            return Err(TcbfError::InvalidParameters {
+                reason: "fault injection needs a multi-device pool: a single device has no \
+                         survivors to recover onto"
+                    .to_string(),
             });
         }
         self.validated_weights()?;
@@ -321,12 +354,16 @@ impl BeamformerBuilder {
             params: self.params,
             micro,
         };
-        Ok(ShardedBeamformer::new(
+        let mut sharded = ShardedBeamformer::new(
             &pool,
             weights,
             self.samples_per_block,
             config,
             self.shard_policy,
-        )?)
+        )?;
+        if let Some(injector) = self.fault_injector {
+            sharded.set_fault_injector(injector)?;
+        }
+        Ok(sharded)
     }
 }

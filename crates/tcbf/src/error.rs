@@ -76,6 +76,22 @@ pub enum TcbfError {
         /// Supplied precision.
         actual: String,
     },
+    /// A device refused work mid-stream (injected or real fault).  When
+    /// `permanent` is false the failure is retryable on the same device.
+    DeviceLost {
+        /// Pool index of the lost device.
+        device: usize,
+        /// True when the device is gone for good.
+        permanent: bool,
+    },
+    /// The serving fleet is degraded: too few healthy engines remain to
+    /// take on this work right now.  Retryable once capacity recovers.
+    Degraded {
+        /// Healthy engines remaining.
+        healthy: usize,
+        /// Fleet size when at full strength.
+        total: usize,
+    },
 }
 
 impl TcbfError {
@@ -99,7 +115,21 @@ impl TcbfError {
             TcbfError::InvalidParameters { .. } => 9,
             TcbfError::ShapeMismatch { .. } => 10,
             TcbfError::PrecisionMismatch { .. } => 11,
+            TcbfError::DeviceLost { .. } => 12,
+            TcbfError::Degraded { .. } => 13,
         }
+    }
+
+    /// True for failures a client may retry without changing the request:
+    /// transient device refusals and degraded-fleet rejections.
+    pub fn is_retryable(&self) -> bool {
+        matches!(
+            self,
+            TcbfError::DeviceLost {
+                permanent: false,
+                ..
+            } | TcbfError::Degraded { .. }
+        )
     }
 }
 
@@ -124,6 +154,9 @@ impl From<CcglibError> for TcbfError {
             },
             CcglibError::PrecisionMismatch { expected, actual } => {
                 TcbfError::PrecisionMismatch { expected, actual }
+            }
+            CcglibError::DeviceLost { device, permanent } => {
+                TcbfError::DeviceLost { device, permanent }
             }
         }
     }
@@ -177,6 +210,17 @@ impl std::fmt::Display for TcbfError {
             TcbfError::PrecisionMismatch { expected, actual } => {
                 write!(f, "operand precision mismatch: expected {expected}, got {actual}")
             }
+            TcbfError::DeviceLost { device, permanent } => {
+                if *permanent {
+                    write!(f, "device {device} lost mid-stream (permanent fault)")
+                } else {
+                    write!(f, "device {device} refused work (transient fault, retryable)")
+                }
+            }
+            TcbfError::Degraded { healthy, total } => write!(
+                f,
+                "fleet degraded: {healthy} of {total} engines healthy — retry once capacity recovers"
+            ),
         }
     }
 }
@@ -243,6 +287,14 @@ mod tests {
                 expected: "float16".into(),
                 actual: "int1".into(),
             },
+            TcbfError::DeviceLost {
+                device: 1,
+                permanent: true,
+            },
+            TcbfError::Degraded {
+                healthy: 1,
+                total: 4,
+            },
         ]
     }
 
@@ -266,6 +318,22 @@ mod tests {
             }
             .code(),
             10
+        );
+        assert_eq!(
+            TcbfError::DeviceLost {
+                device: 0,
+                permanent: false,
+            }
+            .code(),
+            12
+        );
+        assert_eq!(
+            TcbfError::Degraded {
+                healthy: 0,
+                total: 2,
+            }
+            .code(),
+            13
         );
         // The code depends only on the variant, not its payload.
         assert_eq!(
@@ -295,5 +363,32 @@ mod tests {
             available_bytes: 10,
         };
         assert!(oom.to_string().contains("shrink"));
+    }
+
+    #[test]
+    fn device_loss_converts_and_classifies_retryability() {
+        let converted = TcbfError::from(CcglibError::DeviceLost {
+            device: 3,
+            permanent: true,
+        });
+        assert_eq!(
+            converted,
+            TcbfError::DeviceLost {
+                device: 3,
+                permanent: true,
+            }
+        );
+        assert!(!converted.is_retryable());
+        assert!(TcbfError::DeviceLost {
+            device: 3,
+            permanent: false,
+        }
+        .is_retryable());
+        assert!(TcbfError::Degraded {
+            healthy: 0,
+            total: 2,
+        }
+        .is_retryable());
+        assert!(!TcbfError::MissingWeights.is_retryable());
     }
 }

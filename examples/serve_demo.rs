@@ -49,6 +49,7 @@ fn main() {
         tenant_max_streams: 2,
         tenant_blocks_per_sec: None,
         workers: 2,
+        fault_plan: None,
     };
     let handle = serve("127.0.0.1:0", config).expect("server starts");
     println!("worker listening on {}", handle.addr());

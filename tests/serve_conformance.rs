@@ -30,6 +30,7 @@ fn config() -> ServeConfig {
         tenant_max_streams: 4,
         tenant_blocks_per_sec: None,
         workers: 2,
+        fault_plan: None,
     }
 }
 
@@ -341,6 +342,104 @@ fn discovery_finds_a_two_worker_fleet() {
     // The convenience helper drains an empty (post-shutdown) airwave fine.
     let none = discover_workers("127.0.0.1:0", Duration::from_millis(50)).unwrap();
     assert!(none.is_empty());
+}
+
+#[test]
+fn engine_killed_mid_stream_completes_with_zero_client_visible_errors() {
+    // A single-precision fleet of two engines; slot 0 dies permanently
+    // after serving 3 blocks.  The session must complete every block on
+    // the surviving engine without the client noticing anything.
+    let mut config = config();
+    config.precisions = vec![Precision::Float16];
+    config.fault_plan = Some(gpu_sim::FaultPlan::new().kill_device(0, 3));
+    let handle = serve("127.0.0.1:0", config).unwrap();
+
+    let blocks = blocks_for(11, 12);
+    let mut client = Client::connect(
+        handle.addr(),
+        "survivor",
+        Precision::Float16,
+        RECEIVERS,
+        SAMPLES,
+    )
+    .unwrap();
+    let served = client.stream_blocks(&blocks).unwrap();
+    let summary = client.finish().unwrap();
+    let report = handle.shutdown();
+
+    assert_eq!(summary.blocks, 12);
+    assert_eq!(
+        summary.errors, 0,
+        "failover must be invisible to the client"
+    );
+    assert_eq!(report.total_errors(), 0);
+    assert!(
+        report.total_recovered() >= 1,
+        "the killed engine's jobs must be replayed: {}",
+        report.summary_line()
+    );
+    assert!(report.is_degraded(), "one quarantined engine of two");
+    assert_eq!(report.health.healthy, 1);
+    assert_eq!(report.health.total, 2);
+
+    // Recovered output is bit-identical to the no-fault direct engine.
+    let expected = direct_outputs(Precision::Float16, &blocks, None);
+    assert_eq!(served, expected, "failover must not corrupt outputs");
+}
+
+#[test]
+fn degraded_pools_tighten_admission_proportionally() {
+    // One precision, two engines, four session slots.  Killing slot 0
+    // before it serves anything halves the healthy fraction, so the
+    // effective ceiling drops to ceil(4 * 1/2) = 2 sessions.
+    let mut config = config();
+    config.precisions = vec![Precision::Float16];
+    config.max_sessions = 4;
+    config.fault_plan = Some(gpu_sim::FaultPlan::new().kill_device(0, 0));
+    let handle = serve("127.0.0.1:0", config).unwrap();
+
+    // Trip the fault: one block through the pool quarantines slot 0.
+    let blocks = blocks_for(2, 1);
+    let mut tripper = Client::connect(
+        handle.addr(),
+        "tripper",
+        Precision::Float16,
+        RECEIVERS,
+        SAMPLES,
+    )
+    .unwrap();
+    let served = tripper.stream_blocks(&blocks).unwrap();
+    assert_eq!(served, direct_outputs(Precision::Float16, &blocks, None));
+
+    // The tripper holds one of the two degraded slots; a second session
+    // fits, a third is rejected with the *shrunken* ceiling.
+    let second = Client::connect(
+        handle.addr(),
+        "second",
+        Precision::Float16,
+        RECEIVERS,
+        SAMPLES,
+    )
+    .unwrap();
+    match Client::connect(
+        handle.addr(),
+        "third",
+        Precision::Float16,
+        RECEIVERS,
+        SAMPLES,
+    ) {
+        Err(ServeError::Rejected(RejectReason::ServerFull { active, max })) => {
+            assert_eq!(max, 2, "the advertised ceiling reflects degradation");
+            assert_eq!(active, 2);
+        }
+        other => panic!("expected a degraded ServerFull rejection, got {other:?}"),
+    }
+
+    second.finish().unwrap();
+    tripper.finish().unwrap();
+    let report = handle.shutdown();
+    assert!(report.is_degraded());
+    assert_eq!(report.total_errors(), 0);
 }
 
 #[test]
