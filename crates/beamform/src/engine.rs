@@ -680,7 +680,11 @@ impl<E: Engine> Session<E> {
     /// Processes one `K × N` block of sensor samples.
     pub fn process_block(&mut self, block: &HostComplexMatrix) -> ccglib::Result<BeamformOutput> {
         let mut outputs = self.process_batch(&[block])?;
-        Ok(outputs.pop().expect("one output per block"))
+        outputs
+            .pop()
+            .ok_or_else(|| ccglib::CcglibError::InvalidParameters {
+                reason: "engine returned no output for a one-block batch".into(),
+            })
     }
 
     /// Processes one batch of sample blocks (owned matrices or references

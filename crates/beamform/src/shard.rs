@@ -114,12 +114,20 @@ impl ShardPlan {
             alive.len(),
             "one liveness flag per device"
         );
-        let survivors: Vec<usize> = (0..alive.len()).filter(|&d| alive[d]).collect();
+        let survivors: Vec<usize> = alive
+            .iter()
+            .enumerate()
+            .filter(|&(_, &up)| up)
+            .map(|(d, _)| d)
+            .collect();
         assert!(
             !survivors.is_empty(),
             "a shard plan needs at least one live device"
         );
-        let surviving_weights: Vec<f64> = survivors.iter().map(|&d| capacity_weights[d]).collect();
+        let surviving_weights: Vec<f64> = survivors
+            .iter()
+            .filter_map(|&d| capacity_weights.get(d).copied())
+            .collect();
         let total: f64 = surviving_weights.iter().sum();
         let local = match policy {
             ShardPolicy::CapacityWeighted if total > 0.0 => {
@@ -129,7 +137,9 @@ impl ShardPlan {
         };
         let mut assignments = vec![Vec::new(); alive.len()];
         for (&device, assigned) in survivors.iter().zip(local) {
-            assignments[device] = assigned;
+            if let Some(slot) = assignments.get_mut(device) {
+                *slot = assigned;
+            }
         }
         ShardPlan {
             assignments,
@@ -140,7 +150,9 @@ impl ShardPlan {
     fn round_robin(devices: usize, block_ids: &[usize]) -> Vec<Vec<usize>> {
         let mut assignments = vec![Vec::new(); devices];
         for (position, &block) in block_ids.iter().enumerate() {
-            assignments[position % devices].push(block);
+            if let Some(slot) = assignments.get_mut(position % devices) {
+                slot.push(block);
+            }
         }
         assignments
     }
@@ -156,19 +168,21 @@ impl ShardPlan {
             .collect();
         let mut counts: Vec<usize> = quotas.iter().map(|q| q.floor() as usize).collect();
         let assigned: usize = counts.iter().sum();
+        let remainder = |i: usize| quotas.get(i).map(|q| q - q.floor()).unwrap_or(0.0);
         let mut by_remainder: Vec<usize> = (0..weights.len()).collect();
-        by_remainder.sort_by(|&a, &b| {
-            (quotas[b] - quotas[b].floor())
-                .total_cmp(&(quotas[a] - quotas[a].floor()))
-                .then(a.cmp(&b))
-        });
+        by_remainder.sort_by(|&a, &b| remainder(b).total_cmp(&remainder(a)).then(a.cmp(&b)));
         for &device in by_remainder.iter().cycle().take(blocks - assigned) {
-            counts[device] += 1;
+            if let Some(count) = counts.get_mut(device) {
+                *count += 1;
+            }
         }
         let mut assignments = Vec::with_capacity(weights.len());
         let mut next = 0;
         for count in counts {
-            assignments.push(block_ids[next..next + count].to_vec());
+            // Largest-remainder accounting guarantees the runs tile
+            // `block_ids` exactly; `get` keeps that invariant panic-free.
+            let run = block_ids.get(next..next + count).unwrap_or(&[]);
+            assignments.push(run.to_vec());
             next += count;
         }
         assignments
@@ -422,7 +436,12 @@ impl ShardedBeamformer {
                 let mut report = SessionReport::default();
                 let mut outputs = Vec::with_capacity(assigned.len());
                 for &block in assigned.iter() {
-                    let output = member.beamform(blocks[block].borrow())?;
+                    let samples = blocks.get(block).ok_or_else(|| {
+                        ccglib::CcglibError::InvalidParameters {
+                            reason: format!("shard plan references block {block} out of range"),
+                        }
+                    })?;
+                    let output = member.beamform(samples.borrow())?;
                     report.record(&output.report, ops, 1);
                     outputs.push((block, output));
                 }
@@ -435,14 +454,20 @@ impl ShardedBeamformer {
         for (gpu, result) in self.gpus.iter().zip(results) {
             let (outputs, report) = result?;
             for (block, output) in outputs {
-                slots[block] = Some(output);
+                if let Some(slot) = slots.get_mut(block) {
+                    *slot = Some(output);
+                }
             }
             per_device.push(DeviceShardReport { gpu: *gpu, report });
         }
         let outputs = slots
             .into_iter()
-            .map(|slot| slot.expect("every planned block produces exactly one output"))
-            .collect();
+            .map(|slot| {
+                slot.ok_or_else(|| ccglib::CcglibError::InvalidParameters {
+                    reason: "shard plan left a block without an output".into(),
+                })
+            })
+            .collect::<ccglib::Result<Vec<_>>>()?;
         Ok(ShardedStreamOutput {
             outputs,
             report: Report::new(per_device, 0),
@@ -457,7 +482,13 @@ impl ShardedBeamformer {
     /// Successful swaps are counted pool-wide (once per swap, not once per
     /// member) in the accumulated [`Report`].
     pub fn swap_weights(&mut self, weights: WeightMatrix) -> ccglib::Result<()> {
-        let current = self.members[0].weights();
+        let current = self
+            .members
+            .first()
+            .ok_or_else(|| ccglib::CcglibError::InvalidParameters {
+                reason: "shard pool has no members".into(),
+            })?
+            .weights();
         if weights.num_beams() != current.num_beams()
             || weights.num_receivers() != current.num_receivers()
         {
@@ -520,11 +551,14 @@ impl ShardedBeamformer {
             }
             let plan =
                 ShardPlan::reapportion(self.policy, &self.capacity_weights, &self.alive, &pending);
-            let shards: Vec<(usize, &Beamformer, &Vec<usize>)> = self
+            let shards: Vec<(usize, &Beamformer, &[usize])> = self
                 .members
                 .iter()
                 .enumerate()
-                .map(|(d, member)| (d, member, &plan.assignments()[d]))
+                .map(|(d, member)| {
+                    let assigned = plan.assignments().get(d).map(Vec::as_slice).unwrap_or(&[]);
+                    (d, member, assigned)
+                })
                 .collect();
             let results: Vec<ShardResult> = shards
                 .par_iter()
@@ -538,11 +572,18 @@ impl ShardedBeamformer {
                         match injector.on_block(device) {
                             BlockVerdict::Fail(observed) => {
                                 fault = Some(observed);
-                                unfinished = assigned[position..].to_vec();
+                                unfinished = assigned.get(position..).unwrap_or(&[]).to_vec();
                                 break;
                             }
                             verdict => {
-                                let mut output = member.beamform(blocks[block])?;
+                                let samples = blocks.get(block).copied().ok_or_else(|| {
+                                    ccglib::CcglibError::InvalidParameters {
+                                        reason: format!(
+                                            "fault replay references block {block} out of range"
+                                        ),
+                                    }
+                                })?;
+                                let mut output = member.beamform(samples)?;
                                 if let BlockVerdict::Slow(factor) = verdict {
                                     // A throttled device produces the same
                                     // numbers, just later: stretch the
@@ -564,13 +605,19 @@ impl ShardedBeamformer {
             for (device, result) in results.into_iter().enumerate() {
                 let (outputs, report, fault, unfinished) = result?;
                 for (block, output) in outputs {
-                    slots[block] = Some(output);
+                    if let Some(slot) = slots.get_mut(block) {
+                        *slot = Some(output);
+                    }
                 }
-                self.accumulated[device].absorb(&report);
+                if let Some(accumulated) = self.accumulated.get_mut(device) {
+                    accumulated.absorb(&report);
+                }
                 if let Some(observed) = fault {
                     leftovers.extend(unfinished);
                     if observed.permanent {
-                        self.alive[device] = false;
+                        if let Some(up) = self.alive.get_mut(device) {
+                            *up = false;
+                        }
                         last_lost = device;
                     }
                 }
@@ -581,10 +628,14 @@ impl ShardedBeamformer {
             self.recovered_blocks += leftovers.len();
             pending = leftovers;
         }
-        Ok(slots
+        slots
             .into_iter()
-            .map(|slot| slot.expect("every planned block produces exactly one output"))
-            .collect())
+            .map(|slot| {
+                slot.ok_or_else(|| ccglib::CcglibError::InvalidParameters {
+                    reason: "fault replay left a block without an output".into(),
+                })
+            })
+            .collect()
     }
 }
 

@@ -1,0 +1,525 @@
+//! Static lock-order analysis: TCBF-L001, TCBF-L002.
+//!
+//! A token-level, intraprocedural approximation of the dynamic
+//! held-lock tracker that lives in the vendored `parking_lot`
+//! (`TCBF_LOCK_ORDER=1` at test time).  The static side catches
+//! inversions in paths no test exercises; the dynamic side catches
+//! aliasing the token analysis cannot see.  They share one vocabulary:
+//! a *lock class* is the field name a guard is taken from (`slots` in
+//! `fleet.slots.lock()`), and the canonical order is the `Lock order:
+//! a -> b` comment the owning module must carry.
+//!
+//! How a guard's extent is approximated:
+//! - `let guard = x.lock();` — held until `drop(guard)` or the end of
+//!   the enclosing block;
+//! - `x.lock().method()` as a temporary — held until the `;` that ends
+//!   the enclosing statement (matching Rust's temporary-lifetime rule,
+//!   including the `match x.lock().y { ... }` extension);
+//! - `cv.wait(guard)` — not an acquisition (it releases and reacquires
+//!   an already-counted guard).
+//!
+//! Nested acquisitions produce directed edges `held -> acquired`; the
+//! workspace-level pass unions every file's edges and rejects cycles
+//! (TCBF-L001).  Any file that *contributes* edges must declare the
+//! canonical order in a `Lock order:` comment, and its edges must agree
+//! with that declaration (TCBF-L002).
+
+use crate::config::LintConfig;
+use crate::diagnostics::Finding;
+use crate::lexer::TokenKind;
+use crate::source::SourceFile;
+
+/// Lock-acquisition cycle across the workspace's static lock graph.
+pub const L001: &str = "TCBF-L001";
+/// Missing or violated canonical `Lock order:` declaration.
+pub const L002: &str = "TCBF-L002";
+
+/// One `held -> acquired` edge observed in a file.
+#[derive(Clone, Debug)]
+pub struct LockEdge {
+    /// Class already held.
+    pub from: String,
+    /// Class acquired while `from` is held.
+    pub to: String,
+    /// File the nested acquisition lives in.
+    pub path: String,
+    /// Line/column of the inner acquisition.
+    pub line: u32,
+    /// Column of the inner acquisition.
+    pub col: u32,
+    /// Source line of the inner acquisition.
+    pub line_text: String,
+}
+
+struct Acquisition {
+    class: String,
+    /// Sig-index of the receiver ident (diagnostic anchor).
+    site: usize,
+    /// Sig-index range during which the guard is considered held.
+    live_from: usize,
+    live_to: usize,
+}
+
+/// Extracts this file's lock-acquisition edges (deduplicated by
+/// class pair).  Test code is skipped: tests may intentionally
+/// construct inversions (the dynamic checker's own fixtures do).
+pub fn file_edges(file: &SourceFile, cfg: &LintConfig) -> Vec<LockEdge> {
+    let depths = brace_depths(file);
+    let mut acquisitions: Vec<Acquisition> = Vec::new();
+
+    for i in 0..file.sig_len() {
+        // Pattern: `<recv-ident> . <lock-method> ( )`.
+        if file.sig_kind(i) != Some(TokenKind::Punct('.')) {
+            continue;
+        }
+        let method = file.sig_text(i + 1);
+        if !cfg.lock_methods.iter().any(|m| m == method)
+            || file.sig_kind(i + 2) != Some(TokenKind::Open('('))
+            || file.sig_kind(i + 3) != Some(TokenKind::Close(')'))
+        {
+            continue;
+        }
+        if i == 0 || file.sig_kind(i - 1) != Some(TokenKind::Ident) {
+            continue; // receiver is not a simple field/static — class unknown
+        }
+        let Some(tok) = file.sig_token(i - 1) else {
+            continue;
+        };
+        if file.in_test_code(tok.start) {
+            continue;
+        }
+        let class = file.sig_text(i - 1).to_string();
+        let depth = depths.get(i).copied().unwrap_or(0);
+        // A guard is let-bound only when the lock call IS the whole
+        // initializer (`let g = x.lock();`); a trailing method call
+        // (`let n = x.lock().len();`) makes the guard a temporary.
+        let bound = if file.sig_kind(i + 4) == Some(TokenKind::Punct(';')) {
+            binding_name(file, i - 1)
+        } else {
+            None
+        };
+        let live_to = match bound {
+            Some(name) => {
+                // Bound guard: held until drop(name) or the end of the
+                // enclosing block.
+                let scope_end = enclosing_close(file, &depths, i, depth);
+                drop_site(file, i + 3, scope_end, &name).unwrap_or(scope_end)
+            }
+            // Temporary: held until the `;` that ends the statement
+            // (first `;` at or below the acquisition's brace depth).
+            None => statement_end(file, &depths, i + 3, depth),
+        };
+        acquisitions.push(Acquisition {
+            class,
+            site: i - 1,
+            live_from: i + 3,
+            live_to,
+        });
+    }
+
+    let mut edges: Vec<LockEdge> = Vec::new();
+    for outer in &acquisitions {
+        for inner in &acquisitions {
+            if inner.site <= outer.site
+                || inner.site >= outer.live_to
+                || inner.site < outer.live_from
+                || inner.class == outer.class
+            {
+                continue;
+            }
+            if edges
+                .iter()
+                .any(|e| e.from == outer.class && e.to == inner.class)
+            {
+                continue;
+            }
+            let (line, col) = file.sig_pos(inner.site);
+            let start = file.sig_token(inner.site).map(|t| t.start).unwrap_or(0);
+            edges.push(LockEdge {
+                from: outer.class.clone(),
+                to: inner.class.clone(),
+                path: file.path.clone(),
+                line,
+                col,
+                line_text: file.line_text(start).to_string(),
+            });
+        }
+    }
+    edges
+}
+
+/// TCBF-L001 over the union of every file's edges: flags each edge that
+/// participates in a cycle.
+pub fn check_cycles(edges: &[LockEdge], out: &mut Vec<Finding>) {
+    for edge in edges {
+        if let Some(path_back) = reaches(edges, &edge.to, &edge.from) {
+            let chain: Vec<&str> = std::iter::once(edge.from.as_str())
+                .chain(path_back.iter().map(String::as_str))
+                .collect();
+            out.push(Finding::new(
+                L001,
+                &edge.path,
+                edge.line,
+                edge.col,
+                format!(
+                    "lock-order cycle: `{}` is acquired while `{}` is held, but the graph also orders {}",
+                    edge.to,
+                    edge.from,
+                    chain.join(" -> "),
+                ),
+                &edge.line_text,
+            ));
+        }
+    }
+}
+
+/// TCBF-L002 for one file: a file contributing edges must declare a
+/// canonical `Lock order:` chain that covers and agrees with them.
+pub fn check_order_comment(file: &SourceFile, edges: &[LockEdge], out: &mut Vec<Finding>) {
+    let ours: Vec<&LockEdge> = edges.iter().filter(|e| e.path == file.path).collect();
+    if ours.is_empty() {
+        return;
+    }
+    let Some(chain) = order_comment(&file.text) else {
+        let classes: Vec<&str> = ours
+            .iter()
+            .flat_map(|e| [e.from.as_str(), e.to.as_str()])
+            .collect();
+        out.push(Finding::new(
+            L002,
+            &file.path,
+            1,
+            1,
+            format!(
+                "file acquires nested locks ({}) but declares no canonical `Lock order: a -> b` comment",
+                dedup_join(&classes),
+            ),
+            "",
+        ));
+        return;
+    };
+    for edge in ours {
+        let from_at = chain.iter().position(|c| c == &edge.from);
+        let to_at = chain.iter().position(|c| c == &edge.to);
+        match (from_at, to_at) {
+            (Some(f), Some(t)) if f < t => {}
+            (Some(_), Some(_)) => out.push(Finding::new(
+                L002,
+                &file.path,
+                edge.line,
+                edge.col,
+                format!(
+                    "acquiring `{}` while holding `{}` contradicts the declared order `{}`",
+                    edge.to,
+                    edge.from,
+                    chain.join(" -> "),
+                ),
+                &edge.line_text,
+            )),
+            _ => out.push(Finding::new(
+                L002,
+                &file.path,
+                edge.line,
+                edge.col,
+                format!(
+                    "edge `{} -> {}` involves a lock class missing from the declared order `{}`",
+                    edge.from,
+                    edge.to,
+                    chain.join(" -> "),
+                ),
+                &edge.line_text,
+            )),
+        }
+    }
+}
+
+/// Parses the first `Lock order: a -> b [-> c ...]` comment in a file.
+pub fn order_comment(text: &str) -> Option<Vec<String>> {
+    for line in text.lines() {
+        if let Some(rest) = line.split_once("Lock order:").map(|(_, r)| r) {
+            let chain: Vec<String> = rest
+                .split("->")
+                .map(|part| part.trim().trim_end_matches('.').to_string())
+                .filter(|part| {
+                    !part.is_empty() && part.chars().all(|c| c == '_' || c.is_alphanumeric())
+                })
+                .collect();
+            if chain.len() >= 2 {
+                return Some(chain);
+            }
+        }
+    }
+    None
+}
+
+/// BFS from `from` to `to` over the class graph; returns the node path
+/// (excluding `from`) when reachable.
+fn reaches(edges: &[LockEdge], from: &str, to: &str) -> Option<Vec<String>> {
+    let mut queue: Vec<(String, Vec<String>)> = vec![(from.to_string(), vec![from.to_string()])];
+    let mut visited: Vec<String> = vec![from.to_string()];
+    while let Some((node, path)) = queue.pop() {
+        if node == to {
+            return Some(path);
+        }
+        for e in edges.iter().filter(|e| e.from == node) {
+            if !visited.iter().any(|v| v == &e.to) {
+                visited.push(e.to.clone());
+                let mut next = path.clone();
+                next.push(e.to.clone());
+                queue.push((e.to.clone(), next));
+            }
+        }
+    }
+    None
+}
+
+/// Brace depth *before* each significant token.
+fn brace_depths(file: &SourceFile) -> Vec<usize> {
+    let mut depths = Vec::with_capacity(file.sig_len());
+    let mut depth = 0usize;
+    for i in 0..file.sig_len() {
+        match file.sig_kind(i) {
+            Some(TokenKind::Close('}')) => {
+                depth = depth.saturating_sub(1);
+                depths.push(depth);
+            }
+            Some(TokenKind::Open('{')) => {
+                depths.push(depth);
+                depth += 1;
+            }
+            _ => depths.push(depth),
+        }
+    }
+    depths
+}
+
+/// If the lock call whose receiver starts near sig-index `recv` is the
+/// RHS of `[let [mut]] name = ...`, returns `name`.
+fn binding_name(file: &SourceFile, recv: usize) -> Option<String> {
+    // Walk back over the receiver chain: idents, `.`, `::`, `?`, `&`.
+    let mut k = recv;
+    while k > 0 {
+        match file.sig_kind(k - 1) {
+            Some(TokenKind::Ident)
+            | Some(TokenKind::Punct('.'))
+            | Some(TokenKind::Punct(':'))
+            | Some(TokenKind::Punct('?'))
+            | Some(TokenKind::Punct('&')) => k -= 1,
+            _ => break,
+        }
+    }
+    if k == 0 || file.sig_kind(k - 1) != Some(TokenKind::Punct('=')) {
+        return None;
+    }
+    // `=` must not be part of `==`, `=>`, `+=` etc.
+    if matches!(
+        file.sig_kind(k.checked_sub(2)?),
+        Some(TokenKind::Punct('=') | TokenKind::Punct('>') | TokenKind::Punct('<'))
+    ) {
+        return None;
+    }
+    if file.sig_kind(k - 2) == Some(TokenKind::Ident) {
+        let name = file.sig_text(k - 2);
+        if name != "mut" && name != "let" {
+            return Some(name.to_string());
+        }
+    }
+    None
+}
+
+/// Finds `drop ( name )` between sig-indices `from` and `until`.
+fn drop_site(file: &SourceFile, from: usize, until: usize, name: &str) -> Option<usize> {
+    (from..until.min(file.sig_len())).find(|&j| {
+        file.sig_text(j) == "drop"
+            && file.sig_kind(j + 1) == Some(TokenKind::Open('('))
+            && file.sig_text(j + 2) == name
+            && file.sig_kind(j + 3) == Some(TokenKind::Close(')'))
+    })
+}
+
+/// Sig-index of the `}` closing the block containing sig-index `i`
+/// (whose interior depth is `depth`).
+fn enclosing_close(file: &SourceFile, depths: &[usize], i: usize, depth: usize) -> usize {
+    for j in i + 1..file.sig_len() {
+        if file.sig_kind(j) == Some(TokenKind::Close('}'))
+            && depths.get(j) == Some(&depth.saturating_sub(1))
+        {
+            return j;
+        }
+    }
+    file.sig_len()
+}
+
+/// First `;` at or below `depth` after sig-index `from` — the end of
+/// the enclosing statement, which is how long a temporary guard lives.
+fn statement_end(file: &SourceFile, depths: &[usize], from: usize, depth: usize) -> usize {
+    for j in from..file.sig_len() {
+        if file.sig_kind(j) == Some(TokenKind::Punct(';'))
+            && depths.get(j).copied().unwrap_or(0) <= depth
+        {
+            return j;
+        }
+        // A `}` that closes past the acquisition's block also ends the
+        // statement (tail expressions have no `;`).
+        if file.sig_kind(j) == Some(TokenKind::Close('}'))
+            && depths.get(j).copied().unwrap_or(0) < depth
+        {
+            return j;
+        }
+    }
+    file.sig_len()
+}
+
+fn dedup_join(items: &[&str]) -> String {
+    let mut seen: Vec<&str> = Vec::new();
+    for it in items {
+        if !seen.contains(it) {
+            seen.push(it);
+        }
+    }
+    seen.join(", ")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn edges_of(src: &str) -> Vec<(String, String)> {
+        let cfg = LintConfig::default();
+        let f = SourceFile::new("crates/x/src/a.rs".into(), src.into());
+        file_edges(&f, &cfg)
+            .into_iter()
+            .map(|e| (e.from, e.to))
+            .collect()
+    }
+
+    #[test]
+    fn nested_let_bound_guards_form_an_edge() {
+        let src = r#"
+fn f(s: &S) {
+    let a = s.alpha.lock();
+    let b = s.beta.lock();
+    use_both(&a, &b);
+}
+"#;
+        assert_eq!(edges_of(src), vec![("alpha".into(), "beta".into())]);
+    }
+
+    #[test]
+    fn drop_releases_the_guard() {
+        let src = r#"
+fn f(s: &S) {
+    let a = s.alpha.lock();
+    drop(a);
+    let b = s.beta.lock();
+}
+"#;
+        assert!(edges_of(src).is_empty());
+    }
+
+    #[test]
+    fn temporary_guard_ends_at_the_statement() {
+        let src = r#"
+fn f(s: &S) {
+    let n = s.alpha.lock().len();
+    let b = s.beta.lock();
+}
+"#;
+        assert!(edges_of(src).is_empty());
+    }
+
+    #[test]
+    fn temporary_held_across_a_statement_is_seen() {
+        let src = r#"
+fn f(s: &S) {
+    combine(s.alpha.lock().len(), s.beta.lock().len());
+}
+"#;
+        assert_eq!(edges_of(src), vec![("alpha".into(), "beta".into())]);
+    }
+
+    #[test]
+    fn scope_end_releases_let_bound_guards() {
+        let src = r#"
+fn f(s: &S) {
+    {
+        let a = s.alpha.lock();
+    }
+    let b = s.beta.lock();
+}
+"#;
+        assert!(edges_of(src).is_empty());
+    }
+
+    #[test]
+    fn wait_is_not_an_acquisition() {
+        let src = r#"
+fn f(s: &S) {
+    let mut a = s.alpha.lock();
+    a = s.cv.wait(a);
+}
+"#;
+        assert!(edges_of(src).is_empty());
+    }
+
+    #[test]
+    fn test_code_is_skipped() {
+        let src = r#"
+#[cfg(test)]
+mod tests {
+    fn f(s: &S) {
+        let b = s.beta.lock();
+        let a = s.alpha.lock();
+    }
+}
+"#;
+        assert!(edges_of(src).is_empty());
+    }
+
+    #[test]
+    fn cycle_detection_across_edges() {
+        let mk = |from: &str, to: &str| LockEdge {
+            from: from.into(),
+            to: to.into(),
+            path: "a.rs".into(),
+            line: 1,
+            col: 1,
+            line_text: String::new(),
+        };
+        let mut out = Vec::new();
+        check_cycles(&[mk("a", "b"), mk("b", "a")], &mut out);
+        assert_eq!(out.len(), 2, "both edges of the inversion are flagged");
+        out.clear();
+        check_cycles(&[mk("a", "b"), mk("b", "c")], &mut out);
+        assert!(out.is_empty());
+        out.clear();
+        check_cycles(&[mk("a", "b"), mk("b", "c"), mk("c", "a")], &mut out);
+        assert_eq!(out.len(), 3);
+    }
+
+    #[test]
+    fn order_comment_parsing() {
+        assert_eq!(
+            order_comment("//! Lock order: slots -> quarantined\n"),
+            Some(vec!["slots".to_string(), "quarantined".to_string()])
+        );
+        assert_eq!(order_comment("// no declaration here\n"), None);
+    }
+
+    #[test]
+    fn order_comment_enforcement() {
+        let cfg = LintConfig::default();
+        let src = r#"//! Lock order: beta -> alpha
+fn f(s: &S) {
+    let a = s.alpha.lock();
+    let b = s.beta.lock();
+}
+"#;
+        let f = SourceFile::new("crates/x/src/a.rs".into(), src.into());
+        let edges = file_edges(&f, &cfg);
+        let mut out = Vec::new();
+        check_order_comment(&f, &edges, &mut out);
+        assert_eq!(out.len(), 1);
+        assert!(out[0].message.contains("contradicts"));
+    }
+}

@@ -1,0 +1,22 @@
+//! Fixture: error-code stability rules.  `Forgotten` has no arm in
+//! `code()` and the match carries a wildcard — both TCBF-E001 — and the
+//! protocol text passed by the test omits `Undocumented` (TCBF-E002).
+//! Read by tests/rules.rs; never compiled.
+
+pub enum TcbfError {
+    MissingWeights,
+    Degraded { lost: usize },
+    Forgotten,
+    Undocumented,
+}
+
+impl TcbfError {
+    pub fn code(&self) -> u16 {
+        match self {
+            TcbfError::MissingWeights => 1,
+            TcbfError::Degraded { .. } => 13,
+            TcbfError::Undocumented => 15,
+            _ => 99,
+        }
+    }
+}

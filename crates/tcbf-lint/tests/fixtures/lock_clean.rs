@@ -1,0 +1,18 @@
+//! Fixture: consistent lock nesting with a matching declaration —
+//! zero lock findings expected.  Read by tests/rules.rs; never compiled.
+//!
+//! Lock order: slots -> quarantined
+
+fn checkout(fleet: &Fleet) -> usize {
+    let mut slots = fleet.slots.lock();
+    let lost = fleet.quarantined.lock().len();
+    slots.pop();
+    lost
+}
+
+fn sequential_not_nested(fleet: &Fleet) {
+    let held = fleet.quarantined.lock();
+    drop(held);
+    let slots = fleet.slots.lock();
+    drop(slots);
+}

@@ -1,0 +1,20 @@
+//! Fixture: lock-order rules.  Declares `alpha -> beta` but acquires
+//! both orders, so TCBF-L001 flags the cycle and TCBF-L002 flags the
+//! edge contradicting the declaration.  Read by tests/rules.rs; never
+//! compiled.
+//!
+//! Lock order: alpha -> beta
+
+fn respects_declared_order(state: &State) {
+    let a = state.alpha.lock();
+    let b = state.beta.lock();
+    drop(b);
+    drop(a);
+}
+
+fn inverts_declared_order(state: &State) {
+    let b = state.beta.lock();
+    let a = state.alpha.lock();
+    drop(a);
+    drop(b);
+}

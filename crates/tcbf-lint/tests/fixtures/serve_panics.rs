@@ -1,0 +1,47 @@
+//! Fixture: every serve-path panic-freedom rule fires here exactly
+//! where expected, and only in non-test code.  Read by tests/rules.rs;
+//! never compiled.
+
+fn p001_sites(input: Option<u32>, fallible: Result<u32, String>) -> u32 {
+    let a = input.unwrap();
+    let b = fallible.expect("serve path must not expect");
+    let c: Vec<u32> = vec![Some(1)].into_iter().map(Option::unwrap).collect();
+    a + b + c.len() as u32
+}
+
+fn p002_sites(flag: bool) {
+    if !flag {
+        panic!("boom");
+    }
+    assert!(flag, "asserted on the serve path");
+    unreachable!();
+}
+
+fn p003_sites(values: &[u32], table: &Vec<u32>) -> u32 {
+    let head = values[0];
+    let tail = table[values.len() - 1];
+    head + tail
+}
+
+fn quiet_sites(values: &[u32]) -> Option<u32> {
+    // None of these may fire: unwrap_or is total, vec![...] is a macro,
+    // attributes and slice types use brackets without indexing, and the
+    // string below only *names* a panic.
+    let safe = values.first().copied().unwrap_or(0);
+    let built: Vec<u32> = vec![1, 2, 3];
+    let label = "do not .unwrap() strings or panic!()";
+    let _: &[u8] = &[1, 2];
+    Some(safe + built.len() as u32 + label.len() as u32)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn assertions_are_fine_in_tests() {
+        let v = vec![1, 2, 3];
+        assert_eq!(v[0], 1);
+        assert!(v.first().copied().unwrap() == 1);
+        let _ = v.get(9).ok_or("x").expect("tests may expect");
+        panic!("tests may panic");
+    }
+}

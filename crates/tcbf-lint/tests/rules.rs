@@ -1,0 +1,247 @@
+//! Fixture tests: for every rule, one case where it FIRES on a
+//! purpose-built fixture and one where the same findings are fully
+//! SUPPRESSED by an allowlist — proving both halves of the contract
+//! (detection and reviewable waiver) end to end.
+
+use tcbf_lint::allowlist::Allowlist;
+use tcbf_lint::config::LintConfig;
+use tcbf_lint::diagnostics::Finding;
+use tcbf_lint::rules::error_codes;
+use tcbf_lint::source::SourceFile;
+
+/// Scope config that puts the fixtures under every rule.
+fn fixture_config() -> LintConfig {
+    LintConfig {
+        serve_path: vec!["fixtures/".into()],
+        float_scope: vec!["fixtures/".into()],
+        float_approved: vec![],
+        instant_allowed: vec![],
+        lock_methods: vec!["lock".into()],
+    }
+}
+
+fn lint_fixture(name: &str, text: &str) -> Vec<Finding> {
+    tcbf_lint::lint_source(&format!("fixtures/{name}"), text, &fixture_config())
+}
+
+fn count(findings: &[Finding], rule: &str) -> usize {
+    findings.iter().filter(|f| f.rule == rule).count()
+}
+
+fn lines(findings: &[Finding], rule: &str) -> Vec<u32> {
+    findings
+        .iter()
+        .filter(|f| f.rule == rule)
+        .map(|f| f.line)
+        .collect()
+}
+
+/// Suppresses every finding with a blanket per-rule allowlist and
+/// asserts nothing is left unsuppressed and nothing is stale.
+fn assert_fully_suppressible(name: &str, findings: &mut [Finding]) {
+    let mut rules: Vec<&str> = findings.iter().map(|f| f.rule).collect();
+    rules.sort_unstable();
+    rules.dedup();
+    let toml: String = rules
+        .iter()
+        .map(|rule| {
+            format!(
+                "[[allow]]\nrule = \"{rule}\"\npath = \"fixtures/{name}\"\nreason = \"fixture: suppression half of the contract\"\n\n"
+            )
+        })
+        .collect();
+    let allow = Allowlist::parse(&toml).expect("generated allowlist parses");
+    let stale = allow.apply(findings);
+    assert!(stale.is_empty(), "no generated entry may be stale");
+    let open: Vec<&Finding> = findings
+        .iter()
+        .filter(|f| f.suppressed_by.is_none())
+        .collect();
+    assert!(open.is_empty(), "still unsuppressed: {open:?}");
+}
+
+const SERVE_PANICS: &str = include_str!("fixtures/serve_panics.rs");
+const NONDETERMINISM: &str = include_str!("fixtures/nondeterminism.rs");
+const LOCK_INVERSION: &str = include_str!("fixtures/lock_inversion.rs");
+const LOCK_CLEAN: &str = include_str!("fixtures/lock_clean.rs");
+const ERRORS_ENUM: &str = include_str!("fixtures/errors_enum.rs");
+
+#[test]
+fn p001_fires_on_unwrap_expect_and_path_form() {
+    let findings = lint_fixture("serve_panics.rs", SERVE_PANICS);
+    assert_eq!(lines(&findings, "TCBF-P001"), vec![6, 7, 8]);
+}
+
+#[test]
+fn p002_fires_on_panicking_macros() {
+    let findings = lint_fixture("serve_panics.rs", SERVE_PANICS);
+    // panic!, assert!, unreachable! — one each.
+    assert_eq!(count(&findings, "TCBF-P002"), 3);
+}
+
+#[test]
+fn p003_fires_on_indexing_only() {
+    let findings = lint_fixture("serve_panics.rs", SERVE_PANICS);
+    assert_eq!(lines(&findings, "TCBF-P003"), vec![21, 22]);
+}
+
+#[test]
+fn panic_rules_skip_test_code_and_safe_constructs() {
+    let findings = lint_fixture("serve_panics.rs", SERVE_PANICS);
+    // Everything in `quiet_sites` and `mod tests` stays silent: the
+    // fixture's only findings are the 8 deliberate ones above.
+    assert_eq!(findings.len(), 8, "unexpected findings: {findings:?}");
+    assert!(
+        findings.iter().all(|f| f.line < 36),
+        "fired inside mod tests"
+    );
+}
+
+#[test]
+fn panic_rules_are_scoped_to_the_serve_path() {
+    let cfg = LintConfig::default(); // real policy: fixtures are out of scope
+    let findings = tcbf_lint::lint_source("fixtures/serve_panics.rs", SERVE_PANICS, &cfg);
+    assert_eq!(count(&findings, "TCBF-P001"), 0);
+    assert_eq!(count(&findings, "TCBF-P002"), 0);
+    assert_eq!(count(&findings, "TCBF-P003"), 0);
+}
+
+#[test]
+fn panic_findings_are_suppressible() {
+    let mut findings = lint_fixture("serve_panics.rs", SERVE_PANICS);
+    assert!(!findings.is_empty());
+    assert_fully_suppressible("serve_panics.rs", &mut findings);
+}
+
+#[test]
+fn d001_fires_on_hash_iteration_not_lookup() {
+    let findings = lint_fixture("nondeterminism.rs", NONDETERMINISM);
+    // keys() on a HashMap field, for over a local HashMap, for over a
+    // HashSet parameter.
+    assert_eq!(count(&findings, "TCBF-D001"), 3);
+    assert!(
+        !lines(&findings, "TCBF-D001").contains(&27),
+        "point lookup must not fire"
+    );
+}
+
+#[test]
+fn d002_fires_on_float_reductions_but_not_min_max() {
+    let findings = lint_fixture("nondeterminism.rs", NONDETERMINISM);
+    assert_eq!(lines(&findings, "TCBF-D002"), vec![30, 31]);
+}
+
+#[test]
+fn d003_and_d004_fire_outside_test_code() {
+    let findings = lint_fixture("nondeterminism.rs", NONDETERMINISM);
+    assert_eq!(count(&findings, "TCBF-D003"), 3); // SystemTime, thread_rng, from_entropy
+    assert_eq!(count(&findings, "TCBF-D004"), 1);
+    assert!(
+        findings.iter().all(|f| f.line < 48),
+        "fired inside mod tests"
+    );
+}
+
+#[test]
+fn d004_respects_the_timing_allowlist() {
+    let mut cfg = fixture_config();
+    cfg.instant_allowed = vec!["fixtures/".into()];
+    let findings = tcbf_lint::lint_source("fixtures/nondeterminism.rs", NONDETERMINISM, &cfg);
+    assert_eq!(count(&findings, "TCBF-D004"), 0);
+}
+
+#[test]
+fn determinism_findings_are_suppressible() {
+    let mut findings = lint_fixture("nondeterminism.rs", NONDETERMINISM);
+    assert!(!findings.is_empty());
+    assert_fully_suppressible("nondeterminism.rs", &mut findings);
+}
+
+#[test]
+fn l001_and_l002_fire_on_an_inversion() {
+    let findings = lint_fixture("lock_inversion.rs", LOCK_INVERSION);
+    // Both edges of the alpha/beta cycle are flagged…
+    assert_eq!(count(&findings, "TCBF-L001"), 2);
+    // …and the beta -> alpha edge also contradicts the declared order.
+    assert_eq!(count(&findings, "TCBF-L002"), 1);
+    assert!(findings
+        .iter()
+        .any(|f| f.rule == "TCBF-L002" && f.message.contains("contradicts")));
+}
+
+#[test]
+fn lock_rules_accept_consistent_nesting() {
+    let findings = lint_fixture("lock_clean.rs", LOCK_CLEAN);
+    assert_eq!(count(&findings, "TCBF-L001"), 0);
+    assert_eq!(count(&findings, "TCBF-L002"), 0);
+}
+
+#[test]
+fn l002_requires_a_declaration() {
+    // Strip the declaration from the clean fixture: its single edge now
+    // has no canonical order to check against.
+    let undeclared = LOCK_CLEAN.replace("//! Lock order: slots -> quarantined", "//!");
+    let findings = lint_fixture("lock_clean.rs", &undeclared);
+    assert_eq!(count(&findings, "TCBF-L002"), 1);
+    assert!(findings[0].message.contains("declares no canonical"));
+}
+
+#[test]
+fn lock_findings_are_suppressible() {
+    let mut findings = lint_fixture("lock_inversion.rs", LOCK_INVERSION);
+    assert!(!findings.is_empty());
+    assert_fully_suppressible("lock_inversion.rs", &mut findings);
+}
+
+#[test]
+fn e001_fires_on_missing_arm_and_wildcard() {
+    let file = SourceFile::new("fixtures/errors_enum.rs".into(), ERRORS_ENUM.into());
+    let mut findings = Vec::new();
+    error_codes::check(
+        &file,
+        Some("MissingWeights Degraded Forgotten Undocumented"),
+        &mut findings,
+    );
+    let e001: Vec<&Finding> = findings.iter().filter(|f| f.rule == "TCBF-E001").collect();
+    assert_eq!(e001.len(), 2);
+    assert!(e001.iter().any(|f| f.message.contains("`Forgotten`")));
+    assert!(e001.iter().any(|f| f.message.contains("wildcard")));
+    assert_eq!(count(&findings, "TCBF-E002"), 0);
+}
+
+#[test]
+fn e002_fires_on_undocumented_variants() {
+    let file = SourceFile::new("fixtures/errors_enum.rs".into(), ERRORS_ENUM.into());
+    let mut findings = Vec::new();
+    error_codes::check(
+        &file,
+        Some("MissingWeights Degraded Forgotten"),
+        &mut findings,
+    );
+    let e002: Vec<&Finding> = findings.iter().filter(|f| f.rule == "TCBF-E002").collect();
+    assert_eq!(e002.len(), 1);
+    assert!(e002[0].message.contains("`Undocumented`"));
+    // A missing protocol document is itself a finding.
+    let mut none = Vec::new();
+    error_codes::check(&file, None, &mut none);
+    assert!(none
+        .iter()
+        .any(|f| f.rule == "TCBF-E002" && f.message.contains("missing")));
+}
+
+#[test]
+fn e_findings_are_suppressible() {
+    let file = SourceFile::new("fixtures/errors_enum.rs".into(), ERRORS_ENUM.into());
+    let mut findings = Vec::new();
+    error_codes::check(&file, Some("MissingWeights Degraded"), &mut findings);
+    assert!(!findings.is_empty());
+    assert_fully_suppressible("errors_enum.rs", &mut findings);
+}
+
+#[test]
+fn allowlist_reason_is_mandatory_end_to_end() {
+    let toml =
+        "[[allow]]\nrule = \"TCBF-P001\"\npath = \"fixtures/serve_panics.rs\"\nreason = \"\"\n";
+    let errs = Allowlist::parse(toml).unwrap_err();
+    assert!(errs[0].message.contains("must be justified"));
+}

@@ -21,11 +21,12 @@ use tcbf_types::Complex;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    let rest = args.get(1..).unwrap_or_default();
     let result = match args.first().map(String::as_str) {
-        Some("serve") => run_serve(&args[1..]),
-        Some("bench-client") => run_bench_client(&args[1..]),
-        Some("discover") => run_discover(&args[1..]),
-        Some("fault-smoke") => run_fault_smoke(&args[1..]),
+        Some("serve") => run_serve(rest),
+        Some("bench-client") => run_bench_client(rest),
+        Some("discover") => run_discover(rest),
+        Some("fault-smoke") => run_fault_smoke(rest),
         Some("--help" | "-h" | "help") | None => {
             print_usage();
             Ok(())
@@ -337,10 +338,13 @@ fn run_fault_smoke(args: &[String]) -> Result<(), String> {
         .precision(Precision::Float16)
         .build_engine()
         .map_err(|e| format!("cannot build reference engine: {e}"))?;
-    let bit_identical = stream.iter().zip(&served).all(|(block, beams)| {
-        let mut outputs = reference.process_batch(&[block]).expect("reference engine");
-        outputs.pop().expect("one block in, one block out").beams == *beams
-    });
+    let mut bit_identical = true;
+    for (block, beams) in stream.iter().zip(&served) {
+        let mut outputs = reference
+            .process_batch(&[block])
+            .map_err(|e| format!("reference engine failed: {e}"))?;
+        bit_identical &= outputs.pop().map(|o| o.beams) == Some(beams.clone());
+    }
 
     println!(
         "fault-smoke blocks={} client_errors={} recovered_jobs={} bit_identical={}",

@@ -261,10 +261,13 @@ impl Client {
             while pending.len() < self.window && next_block < blocks.len() {
                 let seq = self.next_seq;
                 self.next_seq += 1;
-                self.send(&ClientMsg::Block {
-                    seq,
-                    samples: blocks[next_block].clone(),
-                })?;
+                let samples = blocks
+                    .get(next_block)
+                    .ok_or_else(|| {
+                        ServeError::Protocol(format!("block {next_block} out of range"))
+                    })?
+                    .clone();
+                self.send(&ClientMsg::Block { seq, samples })?;
                 pending.push((seq, next_block));
                 next_block += 1;
             }
@@ -275,7 +278,9 @@ impl Client {
                         .position(|&(s, _)| s == seq)
                         .ok_or_else(|| ServeError::Protocol(format!("unknown seq {seq}")))?;
                     let (_, index) = pending.swap_remove(slot);
-                    results[index] = Some(beams);
+                    *results.get_mut(index).ok_or_else(|| {
+                        ServeError::Protocol(format!("result slot {index} out of range"))
+                    })? = Some(beams);
                     done += 1;
                 }
                 ServerMsg::Throttled { seq, .. } => {
@@ -288,16 +293,19 @@ impl Client {
                     let (_, index) = pending.swap_remove(slot);
                     self.throttle_retries += 1;
                     std::thread::sleep(retry_backoff(
-                        attempts[index],
+                        attempts.get(index).copied().unwrap_or(0),
                         self.session_id ^ index as u64,
                     ));
-                    attempts[index] = attempts[index].saturating_add(1);
+                    if let Some(count) = attempts.get_mut(index) {
+                        *count = count.saturating_add(1);
+                    }
                     let seq = self.next_seq;
                     self.next_seq += 1;
-                    self.send(&ClientMsg::Block {
-                        seq,
-                        samples: blocks[index].clone(),
-                    })?;
+                    let samples = blocks
+                        .get(index)
+                        .ok_or_else(|| ServeError::Protocol(format!("block {index} out of range")))?
+                        .clone();
+                    self.send(&ClientMsg::Block { seq, samples })?;
                     pending.push((seq, index));
                 }
                 ServerMsg::Error { code, message, .. } => {
@@ -310,7 +318,15 @@ impl Client {
                 }
             }
         }
-        Ok(results.into_iter().map(Option::unwrap).collect())
+        results
+            .into_iter()
+            .enumerate()
+            .map(|(i, slot)| {
+                slot.ok_or_else(|| {
+                    ServeError::Protocol(format!("stream finished but block {i} has no output"))
+                })
+            })
+            .collect()
     }
 
     /// Hot-swaps the session's beam weights; blocks streamed afterwards

@@ -70,29 +70,27 @@ impl WorkerInfo {
         }
         let mut pos = 0usize;
         let take = |pos: &mut usize, n: usize| -> Option<&[u8]> {
-            if datagram.len() - *pos < n {
-                return None;
-            }
-            let slice = &datagram[*pos..*pos + n];
+            let slice = datagram.get(*pos..pos.saturating_add(n))?;
             *pos += n;
             Some(slice)
         };
+        let take_u8 = |pos: &mut usize| -> Option<u8> { take(pos, 1)?.first().copied() };
         if take(&mut pos, 4)? != BEACON_MAGIC {
             return None;
         }
-        if take(&mut pos, 1)?[0] != BEACON_VERSION {
+        if take_u8(&mut pos)? != BEACON_VERSION {
             return None;
         }
         let addr = take_string(datagram, &mut pos)?;
-        let num_gpus = take(&mut pos, 1)?[0] as usize;
+        let num_gpus = take_u8(&mut pos)? as usize;
         let mut gpus = Vec::with_capacity(num_gpus);
         for _ in 0..num_gpus {
             gpus.push(take_string(datagram, &mut pos)?);
         }
-        let num_precisions = take(&mut pos, 1)?[0] as usize;
+        let num_precisions = take_u8(&mut pos)? as usize;
         let mut precisions = Vec::with_capacity(num_precisions);
         for _ in 0..num_precisions {
-            precisions.push(precision_from_code(take(&mut pos, 1)?[0])?);
+            precisions.push(precision_from_code(take_u8(&mut pos)?)?);
         }
         let engines_per_precision = u32::from_le_bytes(take(&mut pos, 4)?.try_into().ok()?);
         let max_sessions = u32::from_le_bytes(take(&mut pos, 4)?.try_into().ok()?);
@@ -117,15 +115,11 @@ fn push_string(buf: &mut Vec<u8>, s: &str) {
 }
 
 fn take_string(datagram: &[u8], pos: &mut usize) -> Option<String> {
-    if datagram.len() - *pos < 2 {
-        return None;
-    }
-    let len = u16::from_le_bytes(datagram[*pos..*pos + 2].try_into().ok()?) as usize;
+    let len_bytes = datagram.get(*pos..pos.saturating_add(2))?;
+    let len = u16::from_le_bytes(len_bytes.try_into().ok()?) as usize;
     *pos += 2;
-    if datagram.len() - *pos < len {
-        return None;
-    }
-    let s = String::from_utf8(datagram[*pos..*pos + len].to_vec()).ok()?;
+    let body = datagram.get(*pos..pos.saturating_add(len))?;
+    let s = String::from_utf8(body.to_vec()).ok()?;
     *pos += len;
     Some(s)
 }
@@ -183,7 +177,7 @@ impl Discovery {
             self.socket.set_read_timeout(Some(deadline - now))?;
             match self.socket.recv_from(&mut buf) {
                 Ok((len, _)) => {
-                    if let Some(info) = WorkerInfo::decode(&buf[..len]) {
+                    if let Some(info) = buf.get(..len).and_then(WorkerInfo::decode) {
                         workers.insert(info.addr.clone(), info);
                     }
                 }

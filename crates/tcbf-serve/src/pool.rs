@@ -16,12 +16,22 @@
 //! different session or an older weights version.  Each session's blocks
 //! therefore always execute under exactly the weights that session
 //! configured, no matter how workers interleave tenants.
+//!
+//! Lock order: slots -> quarantined
+//!
+//! That single line is the pool's canonical lock-acquisition order,
+//! machine-checked by `tcbf-lint` (rule `TCBF-L002`) against the static
+//! acquisition graph of this file: wherever both of a fleet's locks are
+//! held together, `slots` is taken first.  The dynamic checker in the
+//! vendored `parking_lot` enforces the same property per lock instance at
+//! test time.
 
 use beamform::{Engine, WeightMatrix};
 use ccglib::matrix::HostComplexMatrix;
 use ccglib::Precision;
 use gpu_sim::{FaultInjector, FaultPlan, Gpu};
-use std::sync::{Arc, Condvar, Mutex};
+use parking_lot::{Condvar, Mutex};
+use std::sync::Arc;
 use std::time::Duration;
 use tcbf::{BeamformerBuilder, TcbfError};
 
@@ -111,12 +121,18 @@ impl ServeConfig {
                     .into(),
             });
         }
+        let primary_gpu = *self
+            .gpus
+            .first()
+            .ok_or_else(|| TcbfError::InvalidParameters {
+                reason: "ServeConfig.gpus must name at least one device".into(),
+            })?;
         let mut fleets = Vec::with_capacity(self.precisions.len());
         let mut next_slot_id = 0usize;
         for &precision in &self.precisions {
             let mut slots = Vec::with_capacity(self.engines_per_precision);
             for _ in 0..self.engines_per_precision {
-                let mut builder = BeamformerBuilder::new(self.gpus[0])
+                let mut builder = BeamformerBuilder::new(primary_gpu)
                     .weights(self.weights.clone())
                     .samples_per_block(self.samples_per_block)
                     .precision(precision);
@@ -244,6 +260,20 @@ impl EnginePool {
         self.fleets.iter().any(|f| f.precision == precision)
     }
 
+    /// The fleet serving `precision`, or the typed off-menu error.  The
+    /// server validates the menu at `Hello` time, so in practice this
+    /// never fails for admitted sessions — but the pool answers a typed
+    /// error rather than panicking if that contract is ever broken.
+    fn fleet(&self, precision: Precision) -> tcbf::Result<&PrecisionFleet> {
+        self.fleets
+            .iter()
+            .find(|f| f.precision == precision)
+            .ok_or_else(|| TcbfError::UnsupportedPrecision {
+                device: "engine pool".into(),
+                precision: precision.to_string(),
+            })
+    }
+
     /// The fault injector armed over the fleet, if the configuration
     /// carried a fault plan.  Workers consult it per job, keyed by
     /// [`EngineSlot::slot_id`].
@@ -254,17 +284,12 @@ impl EnginePool {
     /// Checks out an engine of `precision`, blocking until one is free.
     ///
     /// Returns [`TcbfError::Degraded`] when every engine of the fleet has
-    /// been quarantined — there is nothing left to wait for.
-    ///
-    /// Panics if `precision` is not on the menu — the server validates the
-    /// menu at `Hello` time, before any job can reach the pool.
+    /// been quarantined — there is nothing left to wait for — and
+    /// [`TcbfError::UnsupportedPrecision`] when `precision` is not on the
+    /// menu.
     pub fn checkout(&self, precision: Precision) -> tcbf::Result<EngineSlot> {
-        let fleet = self
-            .fleets
-            .iter()
-            .find(|f| f.precision == precision)
-            .expect("precision validated at admission");
-        let mut slots = fleet.slots.lock().expect("engine pool poisoned");
+        let fleet = self.fleet(precision)?;
+        let mut slots = fleet.slots.lock();
         loop {
             // FIFO rotation (oldest check-in first) so every slot takes
             // its share of the stream: work spreads across the fleet and
@@ -274,18 +299,14 @@ impl EnginePool {
                 return Ok(slots.remove(0));
             }
             // Everything quarantined: no check-in will ever come.
-            let lost = fleet
-                .quarantined
-                .lock()
-                .expect("engine pool poisoned")
-                .len();
+            let lost = fleet.quarantined.lock().len();
             if lost >= self.fleet_size {
                 return Err(TcbfError::Degraded {
                     healthy: 0,
                     total: self.fleet_size,
                 });
             }
-            slots = fleet.available.wait(slots).expect("engine pool poisoned");
+            slots = fleet.available.wait(slots);
         }
     }
 
@@ -293,48 +314,27 @@ impl EnginePool {
     /// quarantine (keeping its accounting for fleet reports) and never
     /// checked out again.  Waiters are woken so they can observe the
     /// shrunken fleet instead of sleeping forever.
-    pub fn quarantine(&self, precision: Precision, slot: EngineSlot) {
-        let fleet = self
-            .fleets
-            .iter()
-            .find(|f| f.precision == precision)
-            .expect("precision validated at admission");
-        fleet
-            .quarantined
-            .lock()
-            .expect("engine pool poisoned")
-            .push(slot);
+    pub fn quarantine(&self, precision: Precision, slot: EngineSlot) -> tcbf::Result<()> {
+        let fleet = self.fleet(precision)?;
+        fleet.quarantined.lock().push(slot);
         fleet.available.notify_all();
+        Ok(())
     }
 
     /// The health of one precision's fleet.
-    ///
-    /// Panics if `precision` is not on the menu.
-    pub fn fleet_health(&self, precision: Precision) -> PoolHealth {
-        let fleet = self
-            .fleets
-            .iter()
-            .find(|f| f.precision == precision)
-            .expect("precision validated at admission");
-        let lost = fleet
-            .quarantined
-            .lock()
-            .expect("engine pool poisoned")
-            .len();
-        PoolHealth {
+    pub fn fleet_health(&self, precision: Precision) -> tcbf::Result<PoolHealth> {
+        let fleet = self.fleet(precision)?;
+        let lost = fleet.quarantined.lock().len();
+        Ok(PoolHealth {
             healthy: self.fleet_size.saturating_sub(lost),
             total: self.fleet_size,
-        }
+        })
     }
 
     /// The health of the whole pool, across every precision fleet.
     pub fn health(&self) -> PoolHealth {
         let total = self.fleet_size * self.fleets.len();
-        let lost: usize = self
-            .fleets
-            .iter()
-            .map(|f| f.quarantined.lock().expect("engine pool poisoned").len())
-            .sum();
+        let lost: usize = self.fleets.iter().map(|f| f.quarantined.lock().len()).sum();
         PoolHealth {
             healthy: total.saturating_sub(lost),
             total,
@@ -342,14 +342,11 @@ impl EnginePool {
     }
 
     /// Returns a checked-out engine to its fleet and wakes one waiter.
-    pub fn check_in(&self, precision: Precision, slot: EngineSlot) {
-        let fleet = self
-            .fleets
-            .iter()
-            .find(|f| f.precision == precision)
-            .expect("precision validated at admission");
-        fleet.slots.lock().expect("engine pool poisoned").push(slot);
+    pub fn check_in(&self, precision: Precision, slot: EngineSlot) -> tcbf::Result<()> {
+        let fleet = self.fleet(precision)?;
+        fleet.slots.lock().push(slot);
         fleet.available.notify_one();
+        Ok(())
     }
 
     /// The merged engine report of the whole fleet — every engine of every
@@ -362,16 +359,12 @@ impl EnginePool {
         let mut shards = Vec::new();
         let mut weight_swaps = 0;
         for fleet in &self.fleets {
-            let mut slots = fleet.slots.lock().expect("engine pool poisoned");
+            let mut slots = fleet.slots.lock();
             let deadline = std::time::Instant::now() + drain_timeout;
             // Quarantined slots never come back: the fleet is drained when
             // rotation + quarantine account for every built engine.
             loop {
-                let lost = fleet
-                    .quarantined
-                    .lock()
-                    .expect("engine pool poisoned")
-                    .len();
+                let lost = fleet.quarantined.lock().len();
                 if slots.len() + lost >= self.fleet_size {
                     break;
                 }
@@ -379,13 +372,10 @@ impl EnginePool {
                 if now >= deadline {
                     break;
                 }
-                let (guard, _) = fleet
-                    .available
-                    .wait_timeout(slots, deadline - now)
-                    .expect("engine pool poisoned");
+                let (guard, _) = fleet.available.wait_timeout(slots, deadline - now);
                 slots = guard;
             }
-            let quarantined = fleet.quarantined.lock().expect("engine pool poisoned");
+            let quarantined = fleet.quarantined.lock();
             for slot in slots.iter().chain(quarantined.iter()) {
                 let report = slot.engine.report();
                 weight_swaps += report.weight_swaps();
@@ -421,19 +411,19 @@ mod tests {
         let slot = pool.checkout(Precision::Float16).unwrap();
         // Another precision is unaffected by float16 being exhausted.
         let int1 = pool.checkout(Precision::Int1).unwrap();
-        pool.check_in(Precision::Int1, int1);
+        pool.check_in(Precision::Int1, int1).unwrap();
 
         let waiter = {
             let pool = Arc::clone(&pool);
             std::thread::spawn(move || {
                 let slot = pool.checkout(Precision::Float16).unwrap();
-                pool.check_in(Precision::Float16, slot);
+                pool.check_in(Precision::Float16, slot).unwrap();
             })
         };
         // The waiter cannot finish while the only float16 engine is out.
         std::thread::sleep(Duration::from_millis(20));
         assert!(!waiter.is_finished());
-        pool.check_in(Precision::Float16, slot);
+        pool.check_in(Precision::Float16, slot).unwrap();
         waiter.join().unwrap();
     }
 
@@ -454,7 +444,7 @@ mod tests {
         // Different session: swaps again.
         slot.ensure_weights(2, 0, &weights).unwrap();
         assert_eq!(slot.engine.report().weight_swaps(), swaps_after_first + 2);
-        pool.check_in(Precision::Float16, slot);
+        pool.check_in(Precision::Float16, slot).unwrap();
     }
 
     #[test]
@@ -504,9 +494,9 @@ mod tests {
         assert!(!pool.health().is_degraded());
 
         let first = pool.checkout(Precision::Float16).unwrap();
-        pool.quarantine(Precision::Float16, first);
+        pool.quarantine(Precision::Float16, first).unwrap();
         assert_eq!(
-            pool.fleet_health(Precision::Float16),
+            pool.fleet_health(Precision::Float16).unwrap(),
             PoolHealth {
                 healthy: 1,
                 total: 2
@@ -523,7 +513,7 @@ mod tests {
         assert!((pool.health().fraction() - 0.75).abs() < 1e-12);
         // The other precision fleet is untouched.
         assert_eq!(
-            pool.fleet_health(Precision::Int1),
+            pool.fleet_health(Precision::Int1).unwrap(),
             PoolHealth {
                 healthy: 2,
                 total: 2
@@ -533,7 +523,7 @@ mod tests {
         // The survivor still checks out; once it is quarantined too, the
         // fleet is exhausted and checkout errors instead of blocking.
         let second = pool.checkout(Precision::Float16).unwrap();
-        pool.quarantine(Precision::Float16, second);
+        pool.quarantine(Precision::Float16, second).unwrap();
         assert_eq!(
             pool.checkout(Precision::Float16).map(|_| ()).unwrap_err(),
             TcbfError::Degraded {
@@ -543,7 +533,7 @@ mod tests {
         );
         // Int1 is still served.
         let int1 = pool.checkout(Precision::Int1).unwrap();
-        pool.check_in(Precision::Int1, int1);
+        pool.check_in(Precision::Int1, int1).unwrap();
     }
 
     #[test]
@@ -560,7 +550,7 @@ mod tests {
         assert!(!waiter.is_finished());
         // Quarantining the only engine must wake the waiter with the
         // typed degradation error, not leave it blocked forever.
-        pool.quarantine(Precision::Float16, slot);
+        pool.quarantine(Precision::Float16, slot).unwrap();
         assert_eq!(
             waiter.join().unwrap().map(|_| ()).unwrap_err(),
             TcbfError::Degraded {
@@ -582,7 +572,7 @@ mod tests {
         let mut slot = pool.checkout(Precision::Float16).unwrap();
         slot.ensure_weights(1, 0, &weights).unwrap();
         slot.engine.process_batch(&[&block]).unwrap();
-        pool.quarantine(Precision::Float16, slot);
+        pool.quarantine(Precision::Float16, slot).unwrap();
         // The quarantined engine's block stays in the fleet report, and
         // the drain does not wait for it to "come back".
         let report = pool.merged_report(Duration::from_millis(50));

@@ -179,7 +179,7 @@ pub fn serve(addr: impl ToSocketAddrs, config: ServeConfig) -> tcbf::Result<Serv
     // flight at once; `try_send` failure surfaces as `Throttled`.
     let capacity = shared.config.max_sessions * shared.config.queue_depth;
     let (job_tx, job_rx) = mpsc::sync_channel::<Job>(capacity);
-    let job_rx = Arc::new(std::sync::Mutex::new(job_rx));
+    let job_rx = Arc::new(parking_lot::Mutex::new(job_rx));
 
     let workers = (0..shared.config.workers)
         .map(|_| {
@@ -732,7 +732,7 @@ fn run_job(shared: &Shared, job: &Job) -> tcbf::Result<beamform::BeamformOutput>
     // Every replay consumes either a permanent fault (quarantining one of
     // the fleet's engines) or a one-shot transient fault, so attempts are
     // bounded; the cap is a backstop against misconfigured injectors.
-    let fleet = shared.pool.fleet_health(job.precision).total;
+    let fleet = shared.pool.fleet_health(job.precision)?.total;
     let max_attempts = 2 * fleet + 2;
     for _ in 0..max_attempts {
         let mut slot = shared.pool.checkout(job.precision)?;
@@ -741,9 +741,9 @@ fn run_job(shared: &Shared, job: &Job) -> tcbf::Result<beamform::BeamformOutput>
         if let Some(injector) = shared.pool.injector() {
             if let gpu_sim::BlockVerdict::Fail(fault) = injector.on_block(slot.slot_id) {
                 if fault.permanent {
-                    shared.pool.quarantine(job.precision, slot);
+                    shared.pool.quarantine(job.precision, slot)?;
                 } else {
-                    shared.pool.check_in(job.precision, slot);
+                    shared.pool.check_in(job.precision, slot)?;
                 }
                 shared.metrics.record_recovery(&job.tenant);
                 continue;
@@ -759,29 +759,31 @@ fn run_job(shared: &Shared, job: &Job) -> tcbf::Result<beamform::BeamformOutput>
             Err(ccglib::CcglibError::DeviceLost {
                 permanent: true, ..
             }) => {
-                shared.pool.quarantine(job.precision, slot);
+                shared.pool.quarantine(job.precision, slot)?;
                 shared.metrics.record_recovery(&job.tenant);
                 continue;
             }
             other => {
-                shared.pool.check_in(job.precision, slot);
+                shared.pool.check_in(job.precision, slot)?;
                 let mut outputs = other?;
-                return Ok(outputs.pop().expect("one block in, one block out"));
+                return outputs.pop().ok_or_else(|| TcbfError::Internal {
+                    reason: "engine returned no output for a one-block batch".into(),
+                });
             }
         }
     }
     Err(TcbfError::Degraded {
-        healthy: shared.pool.fleet_health(job.precision).healthy,
+        healthy: shared.pool.fleet_health(job.precision)?.healthy,
         total: fleet,
     })
 }
 
 /// The worker loop: pull a job, check an engine out, lazily swap weights,
 /// beamform (failing over on engine faults), reply, account.
-fn worker_loop(shared: &Arc<Shared>, job_rx: &Arc<std::sync::Mutex<mpsc::Receiver<Job>>>) {
+fn worker_loop(shared: &Arc<Shared>, job_rx: &Arc<parking_lot::Mutex<mpsc::Receiver<Job>>>) {
     loop {
         // Hold the receiver lock only while pulling one job.
-        let job = match job_rx.lock().expect("job queue poisoned").recv() {
+        let job = match job_rx.lock().recv() {
             Ok(job) => job,
             Err(_) => return, // all senders gone: shutdown
         };

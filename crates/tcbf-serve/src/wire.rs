@@ -274,32 +274,45 @@ impl<'a> Reader<'a> {
     }
 
     fn take(&mut self, n: usize) -> Result<&'a [u8], DecodeError> {
-        if self.buf.len() - self.pos < n {
-            return Err(DecodeError(format!(
-                "need {n} bytes at offset {}, have {}",
-                self.pos,
-                self.buf.len() - self.pos
-            )));
-        }
-        let slice = &self.buf[self.pos..self.pos + n];
+        let slice = self
+            .buf
+            .get(self.pos..self.pos.saturating_add(n))
+            .ok_or_else(|| {
+                DecodeError(format!(
+                    "need {n} bytes at offset {}, have {}",
+                    self.pos,
+                    self.buf.len().saturating_sub(self.pos)
+                ))
+            })?;
         self.pos += n;
         Ok(slice)
     }
 
     fn u8(&mut self) -> Result<u8, DecodeError> {
-        Ok(self.take(1)?[0])
+        self.take(1)?.first().copied().ok_or_else(|| {
+            DecodeError("internal decoder error: take(1) returned an empty slice".into())
+        })
     }
 
     fn u16(&mut self) -> Result<u16, DecodeError> {
-        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+        let bytes = self.take(2)?.try_into().map_err(|_| {
+            DecodeError("internal decoder error: take(2) returned a wrong-width slice".into())
+        })?;
+        Ok(u16::from_le_bytes(bytes))
     }
 
     fn u32(&mut self) -> Result<u32, DecodeError> {
-        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+        let bytes = self.take(4)?.try_into().map_err(|_| {
+            DecodeError("internal decoder error: take(4) returned a wrong-width slice".into())
+        })?;
+        Ok(u32::from_le_bytes(bytes))
     }
 
     fn u64(&mut self) -> Result<u64, DecodeError> {
-        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+        let bytes = self.take(8)?.try_into().map_err(|_| {
+            DecodeError("internal decoder error: take(8) returned a wrong-width slice".into())
+        })?;
+        Ok(u64::from_le_bytes(bytes))
     }
 
     fn f32(&mut self) -> Result<f32, DecodeError> {
@@ -669,7 +682,10 @@ fn fill_polling(
 ) -> std::io::Result<bool> {
     let mut filled = 0;
     while filled < buf.len() {
-        match reader.read(&mut buf[filled..]) {
+        let Some(dst) = buf.get_mut(filled..) else {
+            break; // unreachable: `filled < buf.len()` guards the range
+        };
+        match reader.read(dst) {
             Ok(0) => {
                 if eof_ok && filled == 0 {
                     return Ok(false);

@@ -92,6 +92,13 @@ pub enum TcbfError {
         /// Fleet size when at full strength.
         total: usize,
     },
+    /// An internal invariant was violated.  The serve path never panics:
+    /// when a "cannot happen" state is reached anyway (a bug, not a user
+    /// error), it surfaces as this typed error instead of an `unwrap`.
+    Internal {
+        /// Which invariant broke.
+        reason: String,
+    },
 }
 
 impl TcbfError {
@@ -117,6 +124,7 @@ impl TcbfError {
             TcbfError::PrecisionMismatch { .. } => 11,
             TcbfError::DeviceLost { .. } => 12,
             TcbfError::Degraded { .. } => 13,
+            TcbfError::Internal { .. } => 14,
         }
     }
 
@@ -221,6 +229,9 @@ impl std::fmt::Display for TcbfError {
                 f,
                 "fleet degraded: {healthy} of {total} engines healthy — retry once capacity recovers"
             ),
+            TcbfError::Internal { reason } => {
+                write!(f, "internal invariant violated (this is a bug): {reason}")
+            }
         }
     }
 }
@@ -295,6 +306,9 @@ mod tests {
                 healthy: 1,
                 total: 4,
             },
+            TcbfError::Internal {
+                reason: "bug".into(),
+            },
         ]
     }
 
@@ -334,6 +348,13 @@ mod tests {
             }
             .code(),
             13
+        );
+        assert_eq!(
+            TcbfError::Internal {
+                reason: String::new(),
+            }
+            .code(),
+            14
         );
         // The code depends only on the variant, not its payload.
         assert_eq!(

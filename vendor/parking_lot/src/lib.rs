@@ -1,22 +1,94 @@
 //! Offline stand-in for `parking_lot`: wraps `std::sync` primitives with
 //! parking_lot's panic-free locking API (no poisoning, `lock()` returns
-//! the guard directly).
+//! the guard directly), plus a **dynamic lock-order checker**.
+//!
+//! # Lock-order checking
+//!
+//! In debug builds (`debug_assertions`), every `Mutex`/`RwLock` instance
+//! is assigned a stable numeric id on first acquisition and every guard
+//! maintains a per-thread *held-lock set*.  When the checker is **armed**
+//! (the `TCBF_LOCK_ORDER=1` environment variable, or
+//! [`lock_order::arm`]), each acquisition records a directed edge from
+//! every currently-held lock to the newly-acquired one in a global
+//! acquisition graph.  If an edge closes a cycle — thread 1 takes A then
+//! B while thread 2 takes B then A — the acquisition **panics**
+//! immediately with both edges, turning a potential deadlock that might
+//! only strike under production interleavings into a deterministic test
+//! failure at the first inconsistent acquisition.
+//!
+//! The checker costs nothing in release builds (it is compiled out) and
+//! next to nothing when disarmed (one relaxed atomic load per lock).
+//! `Condvar::wait` participates correctly: the lock is released from the
+//! held set for the duration of the wait and re-recorded on wake-up.
+
+use std::sync::Condvar as StdCondvar;
+
+pub mod lock_order;
+
+use lock_order::LockToken;
 
 /// Mutual exclusion with parking_lot's non-poisoning interface.
-pub struct Mutex<T: ?Sized>(std::sync::Mutex<T>);
+pub struct Mutex<T: ?Sized> {
+    token: LockToken,
+    inner: std::sync::Mutex<T>,
+}
 
 /// RAII guard returned by [`Mutex::lock`].
-pub type MutexGuard<'a, T> = std::sync::MutexGuard<'a, T>;
+///
+/// Unlike the `std::sync` guard this is a named struct so the dynamic
+/// lock-order checker can observe its drop; it dereferences to `T`
+/// exactly like the standard guard.
+pub struct MutexGuard<'a, T: ?Sized> {
+    // `Option` so `Condvar::wait` can move the std guard out without
+    // running our Drop bookkeeping twice.  It is `None` only transiently
+    // inside `Condvar` methods and in `Drop`.
+    inner: Option<std::sync::MutexGuard<'a, T>>,
+    id: usize,
+}
+
+impl<T: ?Sized> std::ops::Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.inner
+            .as_deref()
+            .unwrap_or_else(|| unreachable!("guard accessed after release"))
+    }
+}
+
+impl<T: ?Sized> std::ops::DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.inner
+            .as_deref_mut()
+            .unwrap_or_else(|| unreachable!("guard accessed after release"))
+    }
+}
+
+impl<T: ?Sized> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        if self.inner.is_some() {
+            lock_order::on_release(self.id);
+        }
+    }
+}
+
+impl<T: ?Sized + std::fmt::Debug> std::fmt::Debug for MutexGuard<'_, T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        (**self).fmt(f)
+    }
+}
 
 impl<T> Mutex<T> {
     /// Creates a new mutex protecting `value`.
     pub const fn new(value: T) -> Self {
-        Mutex(std::sync::Mutex::new(value))
+        Mutex {
+            token: LockToken::new(),
+            inner: std::sync::Mutex::new(value),
+        }
     }
 
     /// Consumes the mutex, returning the protected value.
     pub fn into_inner(self) -> T {
-        self.0.into_inner().unwrap_or_else(|e| e.into_inner())
+        self.inner.into_inner().unwrap_or_else(|e| e.into_inner())
     }
 }
 
@@ -24,13 +96,44 @@ impl<T: ?Sized> Mutex<T> {
     /// Acquires the lock, blocking until it is available.  Unlike
     /// `std::sync::Mutex`, a panic in a previous critical section does not
     /// poison the lock.
+    ///
+    /// When the dynamic lock-order checker is armed, panics if this
+    /// acquisition closes a cycle in the global acquisition-order graph.
     pub fn lock(&self) -> MutexGuard<'_, T> {
-        self.0.lock().unwrap_or_else(|e| e.into_inner())
+        let id = self.token.id();
+        lock_order::on_acquire(id);
+        let inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        MutexGuard {
+            inner: Some(inner),
+            id,
+        }
+    }
+
+    /// Attempts to acquire the lock without blocking.
+    pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
+        let id = self.token.id();
+        match self.inner.try_lock() {
+            Ok(inner) => {
+                lock_order::on_acquire(id);
+                Some(MutexGuard {
+                    inner: Some(inner),
+                    id,
+                })
+            }
+            Err(std::sync::TryLockError::Poisoned(e)) => {
+                lock_order::on_acquire(id);
+                Some(MutexGuard {
+                    inner: Some(e.into_inner()),
+                    id,
+                })
+            }
+            Err(std::sync::TryLockError::WouldBlock) => None,
+        }
     }
 
     /// Mutable access without locking (requires exclusive ownership).
     pub fn get_mut(&mut self) -> &mut T {
-        self.0.get_mut().unwrap_or_else(|e| e.into_inner())
+        self.inner.get_mut().unwrap_or_else(|e| e.into_inner())
     }
 }
 
@@ -42,33 +145,253 @@ impl<T: Default> Default for Mutex<T> {
 
 impl<T: ?Sized + std::fmt::Debug> std::fmt::Debug for Mutex<T> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        self.0.fmt(f)
+        self.inner.fmt(f)
+    }
+}
+
+/// Whether a [`Condvar::wait_timeout`] returned because the timeout
+/// elapsed rather than a notification.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct WaitTimeoutResult {
+    timed_out: bool,
+}
+
+impl WaitTimeoutResult {
+    /// True when the wait ended because the timeout elapsed.
+    pub fn timed_out(&self) -> bool {
+        self.timed_out
+    }
+}
+
+/// Condition variable with parking_lot's panic-free interface.
+///
+/// Deviates from upstream parking_lot in one respect: `wait` consumes and
+/// returns the guard (`std::sync` style) instead of taking `&mut` — the
+/// std primitives underneath require ownership of the guard across the
+/// wait.  The dynamic lock-order checker treats the wait correctly as a
+/// release followed by a fresh acquisition.
+pub struct Condvar(StdCondvar);
+
+impl Condvar {
+    /// Creates a new condition variable.
+    pub const fn new() -> Self {
+        Condvar(StdCondvar::new())
+    }
+
+    /// Atomically releases `guard`'s mutex and blocks until notified, then
+    /// reacquires the mutex and returns the guard.
+    pub fn wait<'a, T>(&self, mut guard: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
+        let id = guard.id;
+        let Some(inner) = guard.inner.take() else {
+            unreachable!("guard waited on after release")
+        };
+        lock_order::on_release(id);
+        let inner = self.0.wait(inner).unwrap_or_else(|e| e.into_inner());
+        lock_order::on_acquire(id);
+        guard.inner = Some(inner);
+        guard
+    }
+
+    /// Like [`Condvar::wait`] with an upper bound on the blocked time.
+    pub fn wait_timeout<'a, T>(
+        &self,
+        mut guard: MutexGuard<'a, T>,
+        timeout: std::time::Duration,
+    ) -> (MutexGuard<'a, T>, WaitTimeoutResult) {
+        let id = guard.id;
+        let Some(inner) = guard.inner.take() else {
+            unreachable!("guard waited on after release")
+        };
+        lock_order::on_release(id);
+        let (inner, result) = match self.0.wait_timeout(inner, timeout) {
+            Ok((inner, result)) => (inner, result),
+            Err(e) => {
+                let (inner, result) = e.into_inner();
+                (inner, result)
+            }
+        };
+        lock_order::on_acquire(id);
+        guard.inner = Some(inner);
+        (
+            guard,
+            WaitTimeoutResult {
+                timed_out: result.timed_out(),
+            },
+        )
+    }
+
+    /// Wakes one thread blocked on this condition variable.
+    pub fn notify_one(&self) {
+        self.0.notify_one();
+    }
+
+    /// Wakes every thread blocked on this condition variable.
+    pub fn notify_all(&self) {
+        self.0.notify_all();
+    }
+}
+
+impl Default for Condvar {
+    fn default() -> Self {
+        Condvar::new()
+    }
+}
+
+impl std::fmt::Debug for Condvar {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.pad("Condvar { .. }")
     }
 }
 
 /// Reader–writer lock with parking_lot's non-poisoning interface.
-pub struct RwLock<T: ?Sized>(std::sync::RwLock<T>);
+///
+/// For lock-order purposes read and write acquisitions are equivalent:
+/// both participate in the held-lock set under the lock's single id.
+pub struct RwLock<T: ?Sized> {
+    token: LockToken,
+    inner: std::sync::RwLock<T>,
+}
 
 /// RAII read guard returned by [`RwLock::read`].
-pub type RwLockReadGuard<'a, T> = std::sync::RwLockReadGuard<'a, T>;
+pub struct RwLockReadGuard<'a, T: ?Sized> {
+    inner: std::sync::RwLockReadGuard<'a, T>,
+    id: usize,
+}
+
 /// RAII write guard returned by [`RwLock::write`].
-pub type RwLockWriteGuard<'a, T> = std::sync::RwLockWriteGuard<'a, T>;
+pub struct RwLockWriteGuard<'a, T: ?Sized> {
+    inner: std::sync::RwLockWriteGuard<'a, T>,
+    id: usize,
+}
+
+impl<T: ?Sized> std::ops::Deref for RwLockReadGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.inner
+    }
+}
+
+impl<T: ?Sized> std::ops::Deref for RwLockWriteGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.inner
+    }
+}
+
+impl<T: ?Sized> std::ops::DerefMut for RwLockWriteGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.inner
+    }
+}
+
+impl<T: ?Sized> Drop for RwLockReadGuard<'_, T> {
+    fn drop(&mut self) {
+        lock_order::on_release(self.id);
+    }
+}
+
+impl<T: ?Sized> Drop for RwLockWriteGuard<'_, T> {
+    fn drop(&mut self) {
+        lock_order::on_release(self.id);
+    }
+}
 
 impl<T> RwLock<T> {
     /// Creates a new reader–writer lock protecting `value`.
     pub const fn new(value: T) -> Self {
-        RwLock(std::sync::RwLock::new(value))
+        RwLock {
+            token: LockToken::new(),
+            inner: std::sync::RwLock::new(value),
+        }
     }
 }
 
 impl<T: ?Sized> RwLock<T> {
     /// Acquires a shared read lock.
     pub fn read(&self) -> RwLockReadGuard<'_, T> {
-        self.0.read().unwrap_or_else(|e| e.into_inner())
+        let id = self.token.id();
+        lock_order::on_acquire(id);
+        RwLockReadGuard {
+            inner: self.inner.read().unwrap_or_else(|e| e.into_inner()),
+            id,
+        }
     }
 
     /// Acquires an exclusive write lock.
     pub fn write(&self) -> RwLockWriteGuard<'_, T> {
-        self.0.write().unwrap_or_else(|e| e.into_inner())
+        let id = self.token.id();
+        lock_order::on_acquire(id);
+        RwLockWriteGuard {
+            inner: self.inner.write().unwrap_or_else(|e| e.into_inner()),
+            id,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mutex_basic_lock_unlock() {
+        let m = Mutex::new(5);
+        {
+            let mut g = m.lock();
+            *g += 1;
+        }
+        assert_eq!(*m.lock(), 6);
+        assert_eq!(m.into_inner(), 6);
+    }
+
+    #[test]
+    fn try_lock_contended_returns_none() {
+        let m = Mutex::new(0);
+        let g = m.lock();
+        assert!(m.try_lock().is_none());
+        drop(g);
+        assert!(m.try_lock().is_some());
+    }
+
+    #[test]
+    fn condvar_wait_roundtrip() {
+        use std::sync::Arc;
+        let pair = Arc::new((Mutex::new(false), Condvar::new()));
+        let waiter = {
+            let pair = Arc::clone(&pair);
+            std::thread::spawn(move || {
+                let (lock, cvar) = &*pair;
+                let mut ready = lock.lock();
+                while !*ready {
+                    ready = cvar.wait(ready);
+                }
+            })
+        };
+        {
+            let (lock, cvar) = &*pair;
+            *lock.lock() = true;
+            cvar.notify_one();
+        }
+        waiter.join().expect("waiter thread");
+    }
+
+    #[test]
+    fn condvar_wait_timeout_times_out() {
+        let lock = Mutex::new(());
+        let cvar = Condvar::new();
+        let guard = lock.lock();
+        let (_guard, result) = cvar.wait_timeout(guard, std::time::Duration::from_millis(5));
+        assert!(result.timed_out());
+    }
+
+    #[test]
+    fn rwlock_read_write() {
+        let l = RwLock::new(1);
+        {
+            let a = l.read();
+            let b = l.read();
+            assert_eq!(*a + *b, 2);
+        }
+        *l.write() = 7;
+        assert_eq!(*l.read(), 7);
     }
 }

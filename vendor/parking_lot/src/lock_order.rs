@@ -1,0 +1,323 @@
+//! The dynamic lock-order checker: a per-thread held-lock set plus a
+//! global acquisition-order graph.
+//!
+//! Compiled to no-ops in release builds.  In debug builds the tracker is
+//! dormant until **armed** — either by setting `TCBF_LOCK_ORDER=1` in the
+//! environment before the first acquisition, or programmatically via
+//! [`arm`] (tests use the latter).  Once armed it records, for every lock
+//! acquisition, a directed edge from each lock the acquiring thread
+//! already holds to the lock being acquired.  An acquisition whose edges
+//! would close a cycle panics with the offending edge, because a cycle in
+//! the acquisition-order graph is exactly the precondition for an
+//! ABBA-style deadlock.
+//!
+//! Identity is **per lock instance** (ids are assigned from a global
+//! counter on first acquisition), so the graph only connects locks that
+//! were genuinely held together — two unrelated `Mutex<T>`s of the same
+//! type never alias.  The graph and ids are process-global and grow
+//! monotonically; this is a test-time tool, not a production allocator.
+
+#[cfg(debug_assertions)]
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Per-lock identity: lazily assigned on first acquisition so that
+/// `Mutex::new` stays `const`.
+pub struct LockToken {
+    #[cfg(debug_assertions)]
+    id: AtomicUsize,
+}
+
+impl LockToken {
+    /// A token with no id assigned yet (`const`, for static mutexes).
+    pub const fn new() -> Self {
+        LockToken {
+            #[cfg(debug_assertions)]
+            id: AtomicUsize::new(0),
+        }
+    }
+
+    /// The lock's process-unique id, assigned on first call.
+    #[cfg(debug_assertions)]
+    pub fn id(&self) -> usize {
+        static NEXT: AtomicUsize = AtomicUsize::new(1);
+        let current = self.id.load(Ordering::Relaxed);
+        if current != 0 {
+            return current;
+        }
+        let fresh = NEXT.fetch_add(1, Ordering::Relaxed);
+        match self
+            .id
+            .compare_exchange(0, fresh, Ordering::Relaxed, Ordering::Relaxed)
+        {
+            Ok(_) => fresh,
+            // Another thread assigned first; use its id (ours leaks, which
+            // only costs one unused graph node).
+            Err(won) => won,
+        }
+    }
+
+    /// The lock's id (release builds: untracked).
+    #[cfg(not(debug_assertions))]
+    pub fn id(&self) -> usize {
+        0
+    }
+}
+
+impl Default for LockToken {
+    fn default() -> Self {
+        LockToken::new()
+    }
+}
+
+#[cfg(debug_assertions)]
+mod imp {
+    use super::*;
+    use std::cell::RefCell;
+
+    /// 0 = unresolved (read the env var), 1 = disarmed, 2 = armed.
+    static ARMED: AtomicUsize = AtomicUsize::new(0);
+
+    /// The global acquisition graph: adjacency list indexed by lock id.
+    /// Guarded by a *std* mutex — the tracker must never recurse into the
+    /// instrumented `parking_lot::Mutex`.
+    static GRAPH: std::sync::Mutex<Vec<Vec<usize>>> = std::sync::Mutex::new(Vec::new());
+
+    thread_local! {
+        /// The ids of the locks this thread currently holds, in
+        /// acquisition order (a stack with holes: out-of-order releases
+        /// remove from the middle).
+        static HELD: RefCell<Vec<usize>> = const { RefCell::new(Vec::new()) };
+    }
+
+    pub fn armed() -> bool {
+        match ARMED.load(Ordering::Relaxed) {
+            2 => true,
+            1 => false,
+            _ => {
+                let armed = std::env::var("TCBF_LOCK_ORDER").is_ok_and(|v| v == "1");
+                ARMED.store(if armed { 2 } else { 1 }, Ordering::Relaxed);
+                armed
+            }
+        }
+    }
+
+    pub fn arm() {
+        ARMED.store(2, Ordering::Relaxed);
+    }
+
+    /// True when `to` can already reach `from` — adding `from -> to` would
+    /// close a cycle.  Iterative DFS over the adjacency list.
+    fn reaches(graph: &[Vec<usize>], to: usize, from: usize) -> bool {
+        if to == from {
+            return true;
+        }
+        let mut visited = vec![false; graph.len()];
+        let mut stack = vec![to];
+        while let Some(node) = stack.pop() {
+            if node == from {
+                return true;
+            }
+            if node >= graph.len() || visited[node] {
+                continue;
+            }
+            visited[node] = true;
+            stack.extend(graph[node].iter().copied());
+        }
+        false
+    }
+
+    pub fn on_acquire(id: usize) {
+        if !armed() {
+            return;
+        }
+        let held: Vec<usize> = HELD.with(|h| h.borrow().clone());
+        if !held.is_empty() {
+            let mut graph = GRAPH.lock().unwrap_or_else(|e| e.into_inner());
+            for &from in &held {
+                if from == id {
+                    continue;
+                }
+                if graph.len() <= from.max(id) {
+                    graph.resize(from.max(id) + 1, Vec::new());
+                }
+                if !graph[from].contains(&id) {
+                    // Check *before* inserting: the cycle is closed by
+                    // this new edge against the reverse path already in
+                    // the graph.
+                    if reaches(&graph, id, from) {
+                        drop(graph);
+                        panic!(
+                            "lock-order violation: acquiring lock #{id} while holding \
+                             lock #{from}, but the acquisition graph already orders \
+                             #{id} before #{from} — an ABBA deadlock is possible \
+                             (held set: {held:?})"
+                        );
+                    }
+                    graph[from].push(id);
+                }
+            }
+        }
+        HELD.with(|h| h.borrow_mut().push(id));
+    }
+
+    pub fn on_release(id: usize) {
+        if !armed() {
+            return;
+        }
+        HELD.with(|h| {
+            let mut held = h.borrow_mut();
+            if let Some(pos) = held.iter().rposition(|&x| x == id) {
+                held.remove(pos);
+            }
+        });
+    }
+
+    /// Snapshot of the recorded acquisition edges, for diagnostics.
+    pub fn edges() -> Vec<(usize, usize)> {
+        let graph = GRAPH.lock().unwrap_or_else(|e| e.into_inner());
+        graph
+            .iter()
+            .enumerate()
+            .flat_map(|(from, tos)| tos.iter().map(move |&to| (from, to)))
+            .collect()
+    }
+}
+
+/// Arms the checker for the rest of the process (debug builds only; a
+/// no-op in release builds).
+pub fn arm() {
+    #[cfg(debug_assertions)]
+    imp::arm();
+}
+
+/// True when the checker is armed and recording.
+pub fn armed() -> bool {
+    #[cfg(debug_assertions)]
+    return imp::armed();
+    #[cfg(not(debug_assertions))]
+    false
+}
+
+/// Records an acquisition of lock `id` by the current thread; panics on a
+/// lock-order cycle when armed.
+#[inline]
+pub fn on_acquire(id: usize) {
+    #[cfg(debug_assertions)]
+    imp::on_acquire(id);
+    #[cfg(not(debug_assertions))]
+    let _ = id;
+}
+
+/// Records a release of lock `id` by the current thread.
+#[inline]
+pub fn on_release(id: usize) {
+    #[cfg(debug_assertions)]
+    imp::on_release(id);
+    #[cfg(not(debug_assertions))]
+    let _ = id;
+}
+
+/// The recorded acquisition edges `(held, acquired)` (empty in release
+/// builds) — diagnostic surface for tests and tooling.
+pub fn edges() -> Vec<(usize, usize)> {
+    #[cfg(debug_assertions)]
+    return imp::edges();
+    #[cfg(not(debug_assertions))]
+    Vec::new()
+}
+
+#[cfg(all(test, debug_assertions))]
+mod tests {
+    use crate::{Condvar, Mutex};
+
+    // The tests below share process-global tracker state, but every test
+    // uses freshly built mutexes (fresh ids), so their graph components
+    // are disjoint and cannot interfere.
+
+    #[test]
+    fn consistent_order_is_silent() {
+        super::arm();
+        let a = Mutex::new(());
+        let b = Mutex::new(());
+        for _ in 0..3 {
+            let ga = a.lock();
+            let gb = b.lock();
+            drop(gb);
+            drop(ga);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "lock-order violation")]
+    fn abba_inversion_panics() {
+        super::arm();
+        let a = Mutex::new(());
+        let b = Mutex::new(());
+        {
+            let ga = a.lock();
+            let gb = b.lock();
+            drop(gb);
+            drop(ga);
+        }
+        // Reverse order on the same pair: the edge b -> a closes a cycle.
+        let gb = b.lock();
+        let _ga = a.lock();
+        drop(gb);
+    }
+
+    #[test]
+    #[should_panic(expected = "lock-order violation")]
+    fn three_lock_cycle_panics() {
+        super::arm();
+        let a = Mutex::new(());
+        let b = Mutex::new(());
+        let c = Mutex::new(());
+        {
+            let ga = a.lock();
+            let _gb = b.lock();
+            drop(ga);
+        }
+        {
+            let gb = b.lock();
+            let _gc = c.lock();
+            drop(gb);
+        }
+        // c -> a completes the 3-cycle a -> b -> c -> a.
+        let gc = c.lock();
+        let _ga = a.lock();
+        drop(gc);
+    }
+
+    #[test]
+    fn condvar_wait_releases_the_held_slot() {
+        super::arm();
+        let outer = Mutex::new(());
+        let inner = Mutex::new(false);
+        let cvar = Condvar::new();
+        // Establish inner -> outer first.
+        {
+            let gi = inner.lock();
+            let _go = outer.lock();
+            drop(gi);
+        }
+        // Waiting on `inner` releases it for the duration of the wait, so
+        // taking `outer` afterwards records no outer -> inner edge and no
+        // false cycle.
+        let done = inner.lock();
+        let (done, timeout) = cvar.wait_timeout(done, std::time::Duration::from_millis(1));
+        assert!(timeout.timed_out());
+        assert!(!*done);
+        drop(done);
+        let _go = outer.lock();
+    }
+
+    #[test]
+    fn reacquiring_the_same_lock_sequentially_is_fine() {
+        super::arm();
+        let a = Mutex::new(0);
+        for i in 0..5 {
+            *a.lock() += i;
+        }
+        assert_eq!(*a.lock(), 10);
+    }
+}
